@@ -1,0 +1,24 @@
+"""Fig. 6: variation of the repair ablation across the four models on ZH-EN.
+
+The figure plots, per model, the accuracy drop caused by removing each
+conflict resolver.  Expected shape: models with hard negative sampling
+(AlignE, Dual-AMN) lose less from removing one-to-many resolution;
+GCN-Align benefits most from relation-alignment conflict resolution (cr1)
+because it does not model relations itself.
+"""
+
+import pytest
+
+from conftest import ALL_MODELS, run_once
+from repro.experiments import format_ablation_rows, run_ablation_experiment
+
+
+@pytest.mark.parametrize("model_name", ALL_MODELS)
+def test_fig6_ablation_across_models(benchmark, model_name, dataset_cache, model_cache):
+    dataset = dataset_cache("ZH-EN")
+    model = model_cache(model_name, "ZH-EN")
+
+    rows = run_once(benchmark, lambda: run_ablation_experiment(model, dataset))
+    print()
+    print(format_ablation_rows(rows, title=f"[Fig. 6] {model_name} ablation on ZH-EN"))
+    assert {row.variant for row in rows} == {"ExEA", "ExEA w/o cr1", "ExEA w/o cr2", "ExEA w/o cr3"}

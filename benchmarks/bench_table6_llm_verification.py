@@ -1,0 +1,28 @@
+"""Table VI: comparison with LLMs on EA verification.
+
+A balanced sample of correct and incorrect predicted pairs is judged by the
+simulated ChatGPT (names), by ExEA (explanation confidence), and by their
+fusion (averaged confidences).  Expected shape: ExEA beats the LLM alone,
+and the fusion beats both — structural and textual evidence are
+complementary.
+"""
+
+import pytest
+
+from conftest import LLM_DATASETS, LLM_MODELS, run_once
+from repro.experiments import format_verification_rows, run_verification_experiment
+
+
+@pytest.mark.parametrize("model_name", LLM_MODELS)
+@pytest.mark.parametrize("dataset_name", LLM_DATASETS)
+def test_table6_llm_verification(benchmark, model_name, dataset_name, dataset_cache, model_cache, bench_scale):
+    dataset = dataset_cache(dataset_name)
+    model = model_cache(model_name, dataset_name)
+
+    rows = run_once(
+        benchmark, lambda: run_verification_experiment(model, dataset, bench_scale)
+    )
+    print()
+    print(format_verification_rows(rows, title=f"[Table VI] {model_name} on {dataset_name}"))
+    by_method = {row.method: row for row in rows}
+    assert by_method["ChatGPT + ExEA"].f1 >= min(by_method["ChatGPT"].f1, by_method["ExEA"].f1) - 0.05

@@ -1,0 +1,24 @@
+"""Table VIII: EA repair under seed-alignment noise.
+
+Same noise protocol as Table VII; the repair pipeline runs on the models
+trained with the corrupted seed alignment.  Expected shape: base accuracy
+drops relative to the clean setting, but ExEA still delivers a large
+improvement — the repair is robust to seed noise.
+"""
+
+import pytest
+
+from conftest import LLM_DATASETS, LLM_MODELS, run_once
+from repro.experiments import format_repair_rows, run_repair_experiment
+
+
+@pytest.mark.parametrize("model_name", LLM_MODELS)
+@pytest.mark.parametrize("dataset_name", LLM_DATASETS)
+def test_table8_noise_repair(benchmark, model_name, dataset_name, dataset_cache, model_cache):
+    dataset = dataset_cache(dataset_name, noisy=True)
+    model = model_cache(model_name, dataset_name, noisy=True)
+
+    row = run_once(benchmark, lambda: run_repair_experiment(model, dataset))
+    print()
+    print(format_repair_rows([row], title=f"[Table VIII] {model_name} on {dataset_name} (noisy seed)"))
+    assert row.repaired_accuracy >= row.base_accuracy - 0.02

@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md for the index).  Datasets and trained base models
+are cached per session so the harness spends its time on the experiment
+being measured, not on repeated training.
+
+Scale: the benchmarks run the same code paths as the paper at a reduced,
+CPU-friendly size (see ``BENCH_SCALE``).  Increase ``dataset_scale`` /
+sample sizes for a closer run.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentScale, prepare_dataset, train_model  # noqa: E402
+
+#: Scale used by all benchmarks (reduced from the paper's 15k-pair datasets).
+BENCH_SCALE = ExperimentScale(
+    dataset_scale=0.3,
+    embedding_dim=24,
+    explanation_sample=20,
+    verification_sample=30,
+    llm_sample=15,
+    seed=1,
+)
+
+#: All datasets / models of the paper's evaluation.
+ALL_DATASETS = ("ZH-EN", "JA-EN", "FR-EN", "DBP-WD", "DBP-YAGO")
+ALL_MODELS = ("MTransE", "AlignE", "GCN-Align", "Dual-AMN")
+#: Subsets used by the LLM / noise experiments (as in the paper).
+LLM_DATASETS = ("ZH-EN", "DBP-WD")
+LLM_MODELS = ("MTransE", "Dual-AMN")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Session cache of benchmark datasets keyed by (name, noisy)."""
+    cache = {}
+
+    def get(name: str, noisy: bool = False):
+        key = (name, noisy)
+        if key not in cache:
+            cache[key] = prepare_dataset(name, BENCH_SCALE, noisy_seed=noisy)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def model_cache(dataset_cache):
+    """Session cache of trained base models keyed by (model, dataset, noisy)."""
+    cache = {}
+
+    def get(model_name: str, dataset_name: str, noisy: bool = False):
+        key = (model_name, dataset_name, noisy)
+        if key not in cache:
+            dataset = dataset_cache(dataset_name, noisy)
+            cache[key] = train_model(model_name, dataset, BENCH_SCALE)
+        return cache[key]
+
+    return get
+
+
+def run_once(benchmark, function):
+    """Run *function* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

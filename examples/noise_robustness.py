@@ -1,0 +1,45 @@
+"""Robustness example (the Section V-E scenario): seed noise and LLM verification.
+
+Corrupts a fraction of the seed alignment, retrains a base model on the
+noisy seeds, and shows that (a) ExEA still repairs the results and (b) the
+explanation-confidence verifier combined with the simulated ChatGPT keeps
+separating correct from incorrect pairs.
+
+Run with:  python examples/noise_robustness.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.experiments import (
+    ExperimentScale,
+    format_repair_rows,
+    format_verification_rows,
+    prepare_dataset,
+    run_repair_experiment,
+    run_verification_experiment,
+    train_model,
+)
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        dataset_scale=0.3, embedding_dim=24, verification_sample=25, seed=1
+    )
+    repair_rows = []
+    verification_rows = []
+    for noisy in (False, True):
+        dataset = prepare_dataset("ZH-EN", scale, noisy_seed=noisy)
+        model = train_model("Dual-AMN", dataset, scale)
+        repair_rows.append(run_repair_experiment(model, dataset))
+        verification_rows += run_verification_experiment(model, dataset, scale)
+
+    print(format_repair_rows(repair_rows, title="EA repair: clean vs noisy seed alignment (Table VIII protocol)"))
+    print()
+    print(format_verification_rows(verification_rows, title="EA verification under noise (Table VI protocol)"))
+
+
+if __name__ == "__main__":
+    main()

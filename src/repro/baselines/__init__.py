@@ -1,0 +1,38 @@
+"""Explanation baselines adapted to entity alignment (Section V-B.1)."""
+
+from .anchor import Anchor
+from .base import BaselineExplainer, BaselineExplanation
+from .ealime import EALime
+from .eashapley import EAShapley, shapley_kernel_weight
+from .lore import LORE
+from .perturbation import (
+    PerturbationEngine,
+    PerturbationSample,
+    masks_to_samples,
+    random_masks,
+    weighted_linear_regression,
+)
+
+#: Baselines in the order the paper's tables report them.
+BASELINE_REGISTRY: dict[str, type[BaselineExplainer]] = {
+    "EALime": EALime,
+    "EAShapley": EAShapley,
+    "Anchor": Anchor,
+    "LORE": LORE,
+}
+
+__all__ = [
+    "Anchor",
+    "BASELINE_REGISTRY",
+    "BaselineExplainer",
+    "BaselineExplanation",
+    "EALime",
+    "EAShapley",
+    "LORE",
+    "PerturbationEngine",
+    "PerturbationSample",
+    "masks_to_samples",
+    "random_masks",
+    "shapley_kernel_weight",
+    "weighted_linear_regression",
+]

@@ -1,0 +1,121 @@
+"""Common interface of the explanation baselines (Section V-B.1).
+
+All baselines (EALime, EAShapley, Anchor, LORE) treat an individual
+relation triple as a feature and select a subset of the candidate triples
+as the explanation.  Their output, :class:`BaselineExplanation`, exposes
+the same triple/candidate/sparsity interface as the ExEA
+:class:`~repro.core.Explanation` so the fidelity and sparsity metrics apply
+to both uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kg import EADataset, Triple
+from ..models import EAModel
+
+
+@dataclass
+class BaselineExplanation:
+    """Triples selected by a baseline explainer for one EA pair."""
+
+    source: str
+    target: str
+    selected_triples1: set[Triple] = field(default_factory=set)
+    selected_triples2: set[Triple] = field(default_factory=set)
+    candidate_triples1: set[Triple] = field(default_factory=set)
+    candidate_triples2: set[Triple] = field(default_factory=set)
+    #: per-triple importance scores (optional, for inspection)
+    scores: dict[Triple, float] = field(default_factory=dict)
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+    @property
+    def triples1(self) -> set[Triple]:
+        return self.selected_triples1
+
+    @property
+    def triples2(self) -> set[Triple]:
+        return self.selected_triples2
+
+    @property
+    def triples(self) -> set[Triple]:
+        return self.selected_triples1 | self.selected_triples2
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.triples
+
+    def num_candidates(self) -> int:
+        return len(self.candidate_triples1 | self.candidate_triples2)
+
+    def sparsity(self) -> float:
+        """Sparsity ``1 - |T'| / |T|`` (Eq. 13)."""
+        total = self.num_candidates()
+        if total == 0:
+            return 0.0
+        return 1.0 - len(self.triples) / total
+
+    def removed_triples(self) -> tuple[set[Triple], set[Triple]]:
+        """Candidate triples not selected, per KG (for the fidelity protocol)."""
+        removed1 = {t for t in self.candidate_triples1 if t not in self.selected_triples1}
+        removed2 = {t for t in self.candidate_triples2 if t not in self.selected_triples2}
+        return removed1, removed2
+
+
+class BaselineExplainer:
+    """Base class for explanation baselines.
+
+    Subclasses implement :meth:`rank_triples`, returning an importance
+    score per candidate triple; :meth:`explain` then selects the
+    ``num_triples`` highest-scoring triples (the experiment harness chooses
+    ``num_triples`` so that the sparsity matches ExEA's, as in the paper).
+    """
+
+    name: str = "Baseline"
+
+    def __init__(self, model: EAModel, dataset: EADataset | None = None, max_hops: int = 1) -> None:
+        if not model.is_fitted:
+            raise ValueError("the EA model must be fitted before explaining its results")
+        self.model = model
+        self.dataset = dataset or model.dataset
+        if self.dataset is None:
+            raise ValueError("a dataset is required (none attached to the model)")
+        self.max_hops = max_hops
+
+    # ------------------------------------------------------------------
+    def candidate_triples(self, source: str, target: str) -> tuple[set[Triple], set[Triple]]:
+        """The candidate sets ``T_e1`` and ``T_e2`` within ``max_hops`` hops."""
+        return (
+            self.dataset.kg1.triples_within_hops(source, self.max_hops),
+            self.dataset.kg2.triples_within_hops(target, self.max_hops),
+        )
+
+    def rank_triples(
+        self,
+        source: str,
+        target: str,
+        candidates1: set[Triple],
+        candidates2: set[Triple],
+    ) -> dict[Triple, float]:
+        """Importance score of every candidate triple (higher = more important)."""
+        raise NotImplementedError
+
+    def explain(self, source: str, target: str, num_triples: int) -> BaselineExplanation:
+        """Select the ``num_triples`` most important candidate triples."""
+        candidates1, candidates2 = self.candidate_triples(source, target)
+        scores = self.rank_triples(source, target, candidates1, candidates2)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        selected = {triple for triple, _ in ranked[: max(num_triples, 0)]}
+        return BaselineExplanation(
+            source=source,
+            target=target,
+            selected_triples1={t for t in selected if t in candidates1},
+            selected_triples2={t for t in selected if t in candidates2},
+            candidate_triples1=candidates1,
+            candidate_triples2=candidates2,
+            scores=scores,
+        )

@@ -1,0 +1,146 @@
+"""Shared perturbation machinery for the explanation baselines.
+
+EALime, EAShapley, Anchor and LORE all need to query the EA model on
+*perturbed* inputs: subsets of the candidate triples around the pair being
+explained.  Retraining the model per perturbation is infeasible, so —
+following the paper's treatment of TransE-based models (Eq. 10) — the
+perturbed representation of a central entity is reconstructed from the
+kept triples and the frozen entity/relation embeddings:
+
+* translation reconstruction (models with relation embeddings):
+  ``e ≈ mean over kept (e, r, e') of (e' - r)`` and
+  ``e ≈ mean over kept (e', r, e) of (e' + r)``;
+* aggregation reconstruction (GCN-style models without relation
+  embeddings): ``e ≈ mean of the kept neighbours' embeddings``.
+
+The prediction value of a perturbed sample is the cosine similarity of the
+two reconstructed central entities, and the LIME similarity kernel
+(Eq. 11) compares the reconstructions against the original embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..embedding import cosine
+from ..kg import Triple
+from ..models import EAModel
+
+
+@dataclass(frozen=True)
+class PerturbationSample:
+    """One perturbed input: the candidate triples kept on each side."""
+
+    kept1: frozenset[Triple]
+    kept2: frozenset[Triple]
+
+
+class PerturbationEngine:
+    """Evaluates the EA model on perturbed candidate-triple subsets."""
+
+    def __init__(self, model: EAModel, source: str, target: str) -> None:
+        self.model = model
+        self.source = source
+        self.target = target
+        self._original1 = model.entity_embedding(source)
+        self._original2 = model.entity_embedding(target)
+
+    # ------------------------------------------------------------------
+    # Entity reconstruction
+    # ------------------------------------------------------------------
+    def reconstruct(self, entity: str, kept: frozenset[Triple] | set[Triple]) -> np.ndarray:
+        """Representation of *entity* using only the kept incident triples.
+
+        Triples not incident to *entity* (e.g. second-order candidates) do
+        not contribute directly; when no incident triple is kept the zero
+        vector is returned, signalling that the entity lost all evidence.
+        """
+        model = self.model
+        contributions: list[np.ndarray] = []
+        for triple in kept:
+            if triple.head == entity:
+                other = model.entity_embedding(triple.tail)
+                if model.learns_relation_embeddings:
+                    contributions.append(other - model.relation_embedding(triple.relation))
+                else:
+                    contributions.append(other)
+            elif triple.tail == entity:
+                other = model.entity_embedding(triple.head)
+                if model.learns_relation_embeddings:
+                    contributions.append(other + model.relation_embedding(triple.relation))
+                else:
+                    contributions.append(other)
+        if not contributions:
+            return np.zeros_like(self._original1)
+        return np.mean(contributions, axis=0)
+
+    # ------------------------------------------------------------------
+    # Model queries on perturbed samples
+    # ------------------------------------------------------------------
+    def prediction_value(self, sample: PerturbationSample) -> float:
+        """Similarity of the pair under the perturbed candidate sets."""
+        reconstructed1 = self.reconstruct(self.source, sample.kept1)
+        reconstructed2 = self.reconstruct(self.target, sample.kept2)
+        return cosine(reconstructed1, reconstructed2)
+
+    def lime_kernel(self, sample: PerturbationSample) -> float:
+        """LIME similarity kernel π_x (Eq. 11): closeness to the original sample."""
+        reconstructed1 = self.reconstruct(self.source, sample.kept1)
+        reconstructed2 = self.reconstruct(self.target, sample.kept2)
+        return 0.5 * (
+            cosine(reconstructed1, self._original1) + cosine(reconstructed2, self._original2)
+        )
+
+    def original_value(self) -> float:
+        """Similarity of the pair under the original (unperturbed) model."""
+        return cosine(self._original1, self._original2)
+
+
+def random_masks(
+    num_features: int, num_samples: int, rng: np.random.Generator, keep_probability: float = 0.5
+) -> np.ndarray:
+    """Random binary masks over the candidate triples (1 = keep the triple)."""
+    if num_features == 0:
+        return np.zeros((num_samples, 0), dtype=bool)
+    masks = rng.random((num_samples, num_features)) < keep_probability
+    # Guarantee the all-ones mask is present: it anchors the regression at
+    # the original prediction.
+    masks[0] = True
+    return masks
+
+
+def masks_to_samples(
+    masks: np.ndarray, candidates1: list[Triple], candidates2: list[Triple]
+) -> list[PerturbationSample]:
+    """Convert binary masks (columns = candidates1 + candidates2) to samples."""
+    split = len(candidates1)
+    samples: list[PerturbationSample] = []
+    for mask in masks:
+        kept1 = frozenset(t for t, keep in zip(candidates1, mask[:split]) if keep)
+        kept2 = frozenset(t for t, keep in zip(candidates2, mask[split:]) if keep)
+        samples.append(PerturbationSample(kept1=kept1, kept2=kept2))
+    return samples
+
+
+def weighted_linear_regression(
+    features: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    l2: float = 1e-3,
+) -> np.ndarray:
+    """Ridge-regularised weighted least squares; returns the coefficients.
+
+    Used by both EALime (with the LIME kernel weights) and the
+    KernelSHAP-style variant of EAShapley (with the Shapley kernel).
+    """
+    if features.size == 0:
+        return np.zeros(features.shape[1] if features.ndim > 1 else 0)
+    weights = np.clip(weights, 0.0, None)
+    design = np.hstack([features, np.ones((features.shape[0], 1))])
+    weighted_design = design * weights[:, None]
+    gram = weighted_design.T @ design + l2 * np.eye(design.shape[1])
+    moment = weighted_design.T @ targets
+    coefficients = np.linalg.solve(gram, moment)
+    return coefficients[:-1]

@@ -1,0 +1,58 @@
+"""The paper's contribution: the ExEA framework.
+
+Sub-packages:
+
+* :mod:`repro.core.explanation` — semantic matching subgraph generation.
+* :mod:`repro.core.adg` — alignment dependency graphs and confidence.
+* :mod:`repro.core.repair` — conflict detection and EA repair.
+* :mod:`repro.core.pipeline` — the :class:`ExEA` facade tying them together.
+"""
+
+from .adg import (
+    ADGBuilder,
+    ADGConfig,
+    ADGEdge,
+    ADGNode,
+    AlignmentDependencyGraph,
+    EdgeType,
+    low_confidence_threshold,
+    node_confidence,
+)
+from .explanation import (
+    Explanation,
+    ExplanationConfig,
+    ExplanationGenerator,
+    MatchedPath,
+    RelationPath,
+)
+from .pipeline import ExEA, ExEAConfig
+from .repair import (
+    EARepairer,
+    RepairConfig,
+    RepairResult,
+    mine_not_same_as_rules,
+    mine_relation_alignment,
+)
+
+__all__ = [
+    "ADGBuilder",
+    "ADGConfig",
+    "ADGEdge",
+    "ADGNode",
+    "AlignmentDependencyGraph",
+    "EARepairer",
+    "EdgeType",
+    "ExEA",
+    "ExEAConfig",
+    "Explanation",
+    "ExplanationConfig",
+    "ExplanationGenerator",
+    "MatchedPath",
+    "RelationPath",
+    "RepairConfig",
+    "RepairResult",
+    "low_confidence_threshold",
+    "mine_not_same_as_rules",
+    "mine_relation_alignment",
+    "node_confidence",
+]

@@ -1,0 +1,27 @@
+"""Alignment dependency graphs: structure, weights, confidence (Section III-B)."""
+
+from .builder import ADGBuilder, ADGConfig
+from .confidence import (
+    aggregate_by_type,
+    low_confidence_threshold,
+    node_confidence,
+    sigmoid,
+)
+from .graph import ADGEdge, ADGNode, AlignmentDependencyGraph, EdgeType
+from .weights import classify_edge, edge_weight, path_weight
+
+__all__ = [
+    "ADGBuilder",
+    "ADGConfig",
+    "ADGEdge",
+    "ADGNode",
+    "AlignmentDependencyGraph",
+    "EdgeType",
+    "aggregate_by_type",
+    "classify_edge",
+    "edge_weight",
+    "low_confidence_threshold",
+    "node_confidence",
+    "path_weight",
+    "sigmoid",
+]

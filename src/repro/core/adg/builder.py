@@ -1,0 +1,106 @@
+"""ADG construction from explanations (Section III-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...kg import EADataset
+from ...models import EAModel
+from ..explanation import Explanation
+from .confidence import node_confidence
+from .graph import ADGEdge, ADGNode, AlignmentDependencyGraph
+from .weights import edge_weight
+
+
+@dataclass
+class ADGConfig:
+    """Hyper-parameters of ADG construction and confidence computation.
+
+    Attributes:
+        alpha: down-weighting factor of moderately-influential edges (Eq. 7).
+        weak_weight: fixed weight of weakly-influential edges.
+        theta: strong-aggregate sufficiency threshold (Eq. 9).
+        gamma: moderate-aggregate sufficiency threshold (Eq. 9).
+        adaptive: use the adaptive aggregation of Eq. 9 (paper default)
+            instead of the plain Eq. 8.
+        max_edges: cap on the number of edges per ADG (the paper restricts
+            the number of surrounding triples ``T_n`` to a constant level).
+    """
+
+    alpha: float = 0.5
+    weak_weight: float = 0.05
+    theta: float = 0.0
+    gamma: float = 0.0
+    adaptive: bool = True
+    max_edges: int = 50
+
+
+class ADGBuilder:
+    """Builds alignment dependency graphs from explanations."""
+
+    def __init__(
+        self,
+        model: EAModel,
+        dataset: EADataset | None = None,
+        config: ADGConfig | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("the EA model must be fitted before building ADGs")
+        self.model = model
+        self.dataset = dataset or model.dataset
+        if self.dataset is None:
+            raise ValueError("a dataset is required (none attached to the model)")
+        self.config = config or ADGConfig()
+
+    # ------------------------------------------------------------------
+    def build(self, explanation: Explanation) -> AlignmentDependencyGraph:
+        """Construct the ADG of *explanation* and compute its confidence."""
+        config = self.config
+        central = ADGNode(
+            source=explanation.source,
+            target=explanation.target,
+            influence=self.model.similarity(explanation.source, explanation.target),
+            is_central=True,
+        )
+        graph = AlignmentDependencyGraph(central=central)
+
+        neighbor_nodes: dict[tuple[str, str], ADGNode] = {}
+        for match in explanation.matched_paths[: config.max_edges]:
+            pair = match.neighbor_pair
+            if pair not in neighbor_nodes:
+                neighbor_nodes[pair] = ADGNode(
+                    source=pair[0],
+                    target=pair[1],
+                    influence=self.model.similarity(pair[0], pair[1]),
+                )
+            edge_type, weight = edge_weight(
+                match,
+                self.dataset.kg1,
+                self.dataset.kg2,
+                alpha=config.alpha,
+                weak_weight=config.weak_weight,
+            )
+            graph.edges.append(
+                ADGEdge(
+                    neighbor=neighbor_nodes[pair],
+                    matched_path=match,
+                    edge_type=edge_type,
+                    weight=weight,
+                )
+            )
+        self.refresh_confidence(graph)
+        return graph
+
+    def refresh_confidence(self, graph: AlignmentDependencyGraph) -> float:
+        """Recompute and store the central-node confidence of *graph*.
+
+        Called after construction and again whenever the repair module
+        deletes neighbour nodes (relation-alignment conflict resolution).
+        """
+        graph.confidence = node_confidence(
+            graph,
+            theta=self.config.theta,
+            gamma=self.config.gamma,
+            adaptive=self.config.adaptive,
+        )
+        return graph.confidence

@@ -1,0 +1,133 @@
+"""Alignment dependency graph (ADG) data structures (Section III-B).
+
+An ADG abstracts an explanation: every matched entity pair becomes a node
+(the explained pair is the *central* node), every matched relation-path
+pair becomes an edge between the central node and a neighbour node.  Edges
+are classified by the lengths of their two relation paths:
+
+* **strongly influential** — both paths have length one;
+* **moderately influential** — exactly one path has length one;
+* **weakly influential** — both paths are longer than one.
+
+Each edge carries a weight derived from relation functionality (Eq. 3-7)
+and each node carries an *influence* (the embedding similarity of its two
+entities).  The central node's *confidence* aggregates the neighbour
+influences through the edge weights (Eq. 8-9).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..explanation import MatchedPath
+
+
+class EdgeType(enum.Enum):
+    """Influence category of an ADG edge."""
+
+    STRONG = "strong"
+    MODERATE = "moderate"
+    WEAK = "weak"
+
+
+@dataclass(frozen=True)
+class ADGNode:
+    """A node of the ADG: a matched entity pair and its influence.
+
+    The influence is the embedding similarity between the two entities as
+    reported by the EA model being explained.
+    """
+
+    source: str
+    target: str
+    influence: float
+    is_central: bool = False
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class ADGEdge:
+    """An edge between the central node and a neighbour node."""
+
+    neighbor: ADGNode
+    matched_path: MatchedPath
+    edge_type: EdgeType
+    weight: float
+
+
+@dataclass
+class AlignmentDependencyGraph:
+    """The ADG of one explained EA pair."""
+
+    central: ADGNode
+    edges: list[ADGEdge] = field(default_factory=list)
+    #: the central node's confidence (filled in by the builder, Eq. 8-9)
+    confidence: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def pair(self) -> tuple[str, str]:
+        return self.central.pair
+
+    @property
+    def conf(self) -> float:
+        """Alias matching the pseudo-code of Algorithms 1 and 2 (``g.conf``)."""
+        return self.confidence
+
+    def neighbors(self) -> list[ADGNode]:
+        """Distinct neighbour nodes, in edge order."""
+        seen: list[ADGNode] = []
+        for edge in self.edges:
+            if edge.neighbor not in seen:
+                seen.append(edge.neighbor)
+        return seen
+
+    def edges_of_type(self, edge_type: EdgeType) -> list[ADGEdge]:
+        return [edge for edge in self.edges if edge.edge_type == edge_type]
+
+    @property
+    def strong_edges(self) -> list[ADGEdge]:
+        return self.edges_of_type(EdgeType.STRONG)
+
+    @property
+    def moderate_edges(self) -> list[ADGEdge]:
+        return self.edges_of_type(EdgeType.MODERATE)
+
+    @property
+    def weak_edges(self) -> list[ADGEdge]:
+        return self.edges_of_type(EdgeType.WEAK)
+
+    def has_strong_edges(self) -> bool:
+        """True if at least one strongly-influential edge exists.
+
+        The low-confidence conflict detector (Section IV-C) uses the absence
+        of strong edges as its primary signal for unreliable alignment.
+        """
+        return any(edge.edge_type is EdgeType.STRONG for edge in self.edges)
+
+    def remove_neighbor(self, source: str, target: str) -> int:
+        """Remove every edge whose neighbour node matches the given pair.
+
+        Used by the relation-alignment conflict resolution, which deletes
+        neighbour nodes inferred to be misaligned and then recomputes the
+        confidence.  Returns the number of removed edges.
+        """
+        before = len(self.edges)
+        self.edges = [
+            edge
+            for edge in self.edges
+            if edge.neighbor.pair != (source, target)
+        ]
+        return before - len(self.edges)
+
+    def summary(self) -> str:
+        """One-line description used in logs and examples."""
+        return (
+            f"ADG({self.central.source} ≡ {self.central.target}: "
+            f"{len(self.strong_edges)} strong / {len(self.moderate_edges)} moderate / "
+            f"{len(self.weak_edges)} weak edges, confidence={self.confidence:.3f})"
+        )

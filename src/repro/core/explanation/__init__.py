@@ -1,0 +1,16 @@
+"""Explanation generation: semantic matching subgraphs (Section III-A)."""
+
+from .generator import ExplanationConfig, ExplanationGenerator
+from .paths import RelationPath, enumerate_paths, path_embedding, path_embeddings
+from .subgraph import Explanation, MatchedPath
+
+__all__ = [
+    "Explanation",
+    "ExplanationConfig",
+    "ExplanationGenerator",
+    "MatchedPath",
+    "RelationPath",
+    "enumerate_paths",
+    "path_embedding",
+    "path_embeddings",
+]

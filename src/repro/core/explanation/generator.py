@@ -1,0 +1,182 @@
+"""Semantic matching subgraph generation (Section III-A).
+
+Given an EA pair ``(e1, e2)`` predicted by a model, the generator
+
+1. collects the candidate triples ``T_e1`` and ``T_e2`` within ``h`` hops,
+2. matches the neighbours of ``e1`` and ``e2`` that are themselves aligned
+   (by the model's predictions or the seed alignment),
+3. enumerates the relation paths from each central entity to its matched
+   neighbours and embeds them with Eq. 2,
+4. performs bidirectional (mutual nearest neighbour) matching over the path
+   embeddings; the triples of mutually matched paths form the semantic
+   matching subgraph, which is the explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...embedding import cosine_matrix, mutual_nearest_pairs
+from ...kg import AlignmentSet, EADataset
+from ...models import EAModel
+from .paths import RelationPath, enumerate_paths, path_embeddings
+from .subgraph import Explanation, MatchedPath
+
+
+@dataclass
+class ExplanationConfig:
+    """Configuration of the explanation generator.
+
+    Attributes:
+        max_hops: neighbourhood radius ``h`` for candidate triples and
+            matched neighbours (the paper uses ``h <= 2``; 1 by default).
+        max_paths_per_neighbor: cap on enumerated paths per matched
+            neighbour (keeps worst-case cost bounded on dense entities).
+        min_path_similarity: discard matched path pairs whose embedding
+            similarity falls below this threshold.
+    """
+
+    max_hops: int = 1
+    max_paths_per_neighbor: int = 8
+    min_path_similarity: float = -1.0
+
+
+class ExplanationGenerator:
+    """Generates semantic-matching-subgraph explanations for EA pairs."""
+
+    def __init__(
+        self,
+        model: EAModel,
+        dataset: EADataset | None = None,
+        config: ExplanationConfig | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("the EA model must be fitted before explaining its results")
+        self.model = model
+        self.dataset = dataset or model.dataset
+        if self.dataset is None:
+            raise ValueError("a dataset is required (none attached to the model)")
+        self.config = config or ExplanationConfig()
+
+    # ------------------------------------------------------------------
+    # Neighbour matching
+    # ------------------------------------------------------------------
+    def _neighborhood(self, kg, entity: str) -> set[str]:
+        """Entities within ``max_hops`` hops of *entity* (excluding itself)."""
+        frontier = {entity}
+        seen = {entity}
+        for _ in range(self.config.max_hops):
+            next_frontier: set[str] = set()
+            for node in frontier:
+                next_frontier |= kg.neighbors(node)
+            next_frontier -= seen
+            seen |= next_frontier
+            frontier = next_frontier
+        return seen - {entity}
+
+    def matched_neighbors(
+        self, source: str, target: str, alignment: AlignmentSet
+    ) -> list[tuple[str, str]]:
+        """Neighbour pairs of (source, target) that are aligned by *alignment*.
+
+        The alignment passed in is typically the union of the model's
+        predictions and the seed alignment ("predicted to be aligned by the
+        model or are themselves in seed alignment").  The central pair
+        itself is never returned.
+        """
+        neighbors1 = self._neighborhood(self.dataset.kg1, source)
+        neighbors2 = self._neighborhood(self.dataset.kg2, target)
+        matched: list[tuple[str, str]] = []
+        for neighbor1 in sorted(neighbors1):
+            for neighbor2 in alignment.targets_of(neighbor1):
+                if neighbor2 in neighbors2 and (neighbor1, neighbor2) != (source, target):
+                    matched.append((neighbor1, neighbor2))
+        return matched
+
+    # ------------------------------------------------------------------
+    # Explanation generation
+    # ------------------------------------------------------------------
+    def reference_alignment(self, extra: AlignmentSet | None = None) -> AlignmentSet:
+        """Model predictions plus seed alignment (plus *extra* if given)."""
+        reference = self.model.predict().copy()
+        reference.update(self.dataset.train_alignment.pairs)
+        if extra is not None:
+            reference.update(extra.pairs)
+        return reference
+
+    def explain(
+        self,
+        source: str,
+        target: str,
+        alignment: AlignmentSet | None = None,
+    ) -> Explanation:
+        """Generate the explanation for the EA pair ``(source, target)``.
+
+        Args:
+            source: entity of the source KG.
+            target: entity of the target KG.
+            alignment: the alignment used to match neighbours.  When omitted
+                the model's own predictions plus the seed alignment are used
+                (the standard post-hoc explanation setting); the repair
+                algorithms pass their current working alignment instead.
+        """
+        config = self.config
+        if alignment is None:
+            alignment = self.reference_alignment()
+
+        candidates1 = self.dataset.kg1.triples_within_hops(source, config.max_hops)
+        candidates2 = self.dataset.kg2.triples_within_hops(target, config.max_hops)
+        explanation = Explanation(
+            source=source,
+            target=target,
+            candidate_triples1=candidates1,
+            candidate_triples2=candidates2,
+        )
+
+        neighbor_pairs = self.matched_neighbors(source, target, alignment)
+        if not neighbor_pairs:
+            return explanation
+
+        paths1: list[RelationPath] = []
+        paths2: list[RelationPath] = []
+        for neighbor1, neighbor2 in neighbor_pairs:
+            found1 = enumerate_paths(
+                self.dataset.kg1, source, neighbor1, max_length=config.max_hops
+            )[: config.max_paths_per_neighbor]
+            found2 = enumerate_paths(
+                self.dataset.kg2, target, neighbor2, max_length=config.max_hops
+            )[: config.max_paths_per_neighbor]
+            paths1.extend(found1)
+            paths2.extend(found2)
+        if not paths1 or not paths2:
+            return explanation
+
+        embeddings1 = path_embeddings(paths1, self.model)
+        embeddings2 = path_embeddings(paths2, self.model)
+        similarity = cosine_matrix(embeddings1, embeddings2)
+        for i, j in mutual_nearest_pairs(similarity):
+            path1, path2 = paths1[i], paths2[j]
+            # Only keep matches that actually connect a matched neighbour pair:
+            # bidirectional matching is done over all paths, but a pair of
+            # paths leading to unrelated neighbours is not semantic evidence.
+            if (path1.target, path2.target) not in neighbor_pairs:
+                continue
+            score = float(similarity[i, j])
+            if score < config.min_path_similarity:
+                continue
+            explanation.matched_paths.append(MatchedPath(path1, path2, score))
+        explanation.matched_paths.sort(key=lambda m: -m.similarity)
+        return explanation
+
+    def explain_pairs(
+        self,
+        pairs: list[tuple[str, str]],
+        alignment: AlignmentSet | None = None,
+    ) -> dict[tuple[str, str], Explanation]:
+        """Generate explanations for several EA pairs with one shared alignment."""
+        if alignment is None:
+            alignment = self.reference_alignment()
+        return {
+            (source, target): self.explain(source, target, alignment)
+            for source, target in pairs
+        }

@@ -1,0 +1,107 @@
+"""Relation paths and their embeddings (Eq. 2 of the paper).
+
+A relation path ``p = (e1, r1, e1', r2, e2', ..., rn, en')`` connects a
+central entity to one of its (matched) neighbours.  Its embedding is
+
+.. math::
+
+    \\mathbf{p} = \\frac{\\mathbf{e}_1 + \\sum_{i=1}^{n-1}\\mathbf{e}'_i}{n}
+                 \\; \\oplus \\;
+                 \\frac{\\sum_{i=1}^{n}\\mathbf{r}_i}{n}
+
+i.e. the mean of the entity embeddings along the path *excluding* the final
+neighbour, concatenated with the mean of the relation embeddings.  Relation
+embeddings come from the model when it learns them, otherwise from the
+translation average of Eq. 1 (handled by :meth:`EAModel.relation_embedding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...kg import KnowledgeGraph, Triple
+from ...models import EAModel
+
+
+@dataclass(frozen=True)
+class RelationPath:
+    """A relation path from a central entity to a neighbour entity.
+
+    Attributes:
+        source: the central entity the path starts from.
+        target: the neighbour entity the path ends at.
+        triples: the triples along the path, in walk order (their direction
+            may be either way; the walk ignores edge direction, as in the
+            paper's Fig. 2 where ``predecessor`` points back to the centre).
+    """
+
+    source: str
+    target: str
+    triples: tuple[Triple, ...]
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    @property
+    def length(self) -> int:
+        """Number of hops in the path."""
+        return len(self.triples)
+
+    @property
+    def is_direct(self) -> bool:
+        """True if the path is a single triple (length one)."""
+        return len(self.triples) == 1
+
+    def entities(self) -> list[str]:
+        """Entities along the path in walk order, starting at the source."""
+        ordered = [self.source]
+        for triple in self.triples:
+            ordered.append(triple.other_entity(ordered[-1]))
+        return ordered
+
+    def relations(self) -> list[str]:
+        """Relations along the path in walk order."""
+        return [triple.relation for triple in self.triples]
+
+    def starts_at_head(self) -> bool:
+        """True if the central entity is the head of the first triple.
+
+        This determines whether the ADG edge weight uses the relation's
+        inverse functionality (central entity is the head, Eq. 3) or
+        functionality (central entity is the tail, Eq. 4).
+        """
+        return self.triples[0].head == self.source
+
+
+def enumerate_paths(
+    kg: KnowledgeGraph, source: str, target: str, max_length: int = 2
+) -> list[RelationPath]:
+    """All simple relation paths from *source* to *target* up to *max_length* hops."""
+    return [
+        RelationPath(source=source, target=target, triples=path)
+        for path in kg.relation_paths(source, target, max_length=max_length)
+    ]
+
+
+def path_embedding(path: RelationPath, model: EAModel) -> np.ndarray:
+    """Embedding of a relation path following Eq. 2.
+
+    The entity part averages the source entity and the intermediate
+    entities (the final neighbour is excluded); the relation part averages
+    the relation embeddings.  The two parts are concatenated.
+    """
+    entities = path.entities()
+    relations = path.relations()
+    n = len(relations)
+    entity_part = np.sum([model.entity_embedding(e) for e in entities[:-1]], axis=0) / n
+    relation_part = np.sum([model.relation_embedding(r) for r in relations], axis=0) / n
+    return np.concatenate([entity_part, relation_part])
+
+
+def path_embeddings(paths: list[RelationPath], model: EAModel) -> np.ndarray:
+    """Stacked path embeddings, shape ``(len(paths), 2 * dim)``."""
+    if not paths:
+        return np.zeros((0, 2 * model.embedding_dim))
+    return np.stack([path_embedding(path, model) for path in paths])

@@ -1,0 +1,121 @@
+"""The ExEA facade: explanation generation, ADG construction, repair (Fig. 1).
+
+:class:`ExEA` wires the three modules of the framework together behind a
+single object, mirroring the pipeline of the paper's Fig. 1:
+
+    input (model ``f``, predictions ``A_res``)
+        → explanation generation (``E``)
+        → ADG construction (``G``)
+        → EA repair (``A*_res`` with explanations ``E*``)
+
+It also exposes :meth:`verify`, the confidence-based EA verification used
+in the comparison with LLMs (Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kg import AlignmentSet, EADataset
+from ..models import EAModel
+from .adg import ADGBuilder, ADGConfig, AlignmentDependencyGraph, low_confidence_threshold
+from .explanation import Explanation, ExplanationConfig, ExplanationGenerator
+from .repair import EARepairer, RepairConfig, RepairResult
+
+
+@dataclass
+class ExEAConfig:
+    """Top-level configuration of the ExEA framework."""
+
+    explanation: ExplanationConfig = field(default_factory=ExplanationConfig)
+    adg: ADGConfig = field(default_factory=ADGConfig)
+    repair: RepairConfig = field(default_factory=RepairConfig)
+
+    def __post_init__(self) -> None:
+        # The repair pipeline shares the explanation / ADG settings unless
+        # they were overridden explicitly.
+        self.repair.explanation = self.explanation
+        self.repair.adg = self.adg
+
+
+class ExEA:
+    """Explanation generation and repair for one fitted EA model."""
+
+    def __init__(
+        self,
+        model: EAModel,
+        dataset: EADataset | None = None,
+        config: ExEAConfig | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("ExEA requires a fitted EA model")
+        self.model = model
+        self.dataset = dataset or model.dataset
+        if self.dataset is None:
+            raise ValueError("a dataset is required (none attached to the model)")
+        self.config = config or ExEAConfig()
+        self.generator = ExplanationGenerator(model, self.dataset, self.config.explanation)
+        self.adg_builder = ADGBuilder(model, self.dataset, self.config.adg)
+        self.repairer = EARepairer(model, self.dataset, self.config.repair)
+        self._reference_alignment: AlignmentSet | None = None
+
+    # ------------------------------------------------------------------
+    # Explanations and ADGs
+    # ------------------------------------------------------------------
+    def reference_alignment(self) -> AlignmentSet:
+        """Model predictions plus seed alignment, cached."""
+        if self._reference_alignment is None:
+            self._reference_alignment = self.generator.reference_alignment()
+        return self._reference_alignment
+
+    def explain(
+        self, source: str, target: str, alignment: AlignmentSet | None = None
+    ) -> Explanation:
+        """Explanation (semantic matching subgraph) for an EA pair."""
+        return self.generator.explain(source, target, alignment or self.reference_alignment())
+
+    def build_adg(self, explanation: Explanation) -> AlignmentDependencyGraph:
+        """ADG of an explanation, with confidence computed."""
+        return self.adg_builder.build(explanation)
+
+    def confidence(
+        self, source: str, target: str, alignment: AlignmentSet | None = None
+    ) -> float:
+        """Explanation confidence of an EA pair."""
+        return self.build_adg(self.explain(source, target, alignment)).confidence
+
+    def explain_predictions(
+        self, pairs: list[tuple[str, str]] | None = None, limit: int | None = None
+    ) -> dict[tuple[str, str], Explanation]:
+        """Explanations for (a sample of) the model's predicted pairs."""
+        if pairs is None:
+            pairs = sorted(self.model.predict().pairs)
+        if limit is not None:
+            pairs = pairs[:limit]
+        return self.generator.explain_pairs(pairs, self.reference_alignment())
+
+    # ------------------------------------------------------------------
+    # Verification and repair
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        pairs: list[tuple[str, str]],
+        threshold: float | None = None,
+    ) -> dict[tuple[str, str], bool]:
+        """Judge whether each EA pair is correct based on explanation confidence.
+
+        This is ExEA's entry in the EA-verification comparison (Table VI):
+        a pair is accepted when its explanation confidence reaches the
+        low-confidence threshold ``beta`` (``sigmoid(theta)`` by default).
+        """
+        if threshold is None:
+            threshold = low_confidence_threshold(self.config.adg.theta)
+        reference = self.reference_alignment()
+        return {
+            (source, target): self.confidence(source, target, reference) > threshold
+            for source, target in pairs
+        }
+
+    def repair(self, predictions: AlignmentSet | None = None) -> RepairResult:
+        """Run the full conflict-resolution pipeline on the model's predictions."""
+        return self.repairer.repair(predictions)

@@ -1,0 +1,210 @@
+"""Low-confidence conflict repair — Algorithm 2 of the paper (Section IV-C).
+
+After the one-to-many resolution some alignment pairs lose their matched
+neighbours and end up with explanations that no longer support them
+(no strongly-influential edges → confidence below ``beta = sigmoid(0)``).
+Those pairs are released and re-aligned: for every unaligned source the
+repair searches candidate targets whose neighbourhood can form a confident
+explanation, scores them by ``confidence + alpha * model similarity``
+(balancing local explanation evidence against the model's global view),
+and arbitrates collisions by the same score.  Sources that still cannot be
+aligned at the end are greedily matched with the remaining free targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...kg import AlignmentSet, EADataset
+
+#: ``confidence(source, target, alignment)`` oracle, as in Algorithm 1.
+ConfidenceFn = Callable[[str, str, AlignmentSet], float]
+#: ``similarity(source, target)`` from the original EA model.
+SimilarityFn = Callable[[str, str], float]
+
+
+@dataclass
+class LowConfidenceRepairResult:
+    """Outcome of the low-confidence repair stage."""
+
+    alignment: AlignmentSet
+    num_low_confidence: int = 0
+    num_reassigned: int = 0
+    num_greedy_fallback: int = 0
+    iterations: int = 0
+    released_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+
+class LowConfidenceRepairer:
+    """Implements Algorithm 2 on top of a confidence / similarity oracle."""
+
+    def __init__(
+        self,
+        dataset: EADataset,
+        confidence: ConfidenceFn,
+        similarity: SimilarityFn,
+        seed_alignment: AlignmentSet,
+        beta: float = 0.5,
+        score_alpha: float = 1.0,
+        k: int = 5,
+        max_candidates: int = 25,
+        max_iterations: int = 10,
+        allow_takeover: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.confidence = confidence
+        self.similarity = similarity
+        self.seed_alignment = seed_alignment
+        self.beta = beta
+        self.score_alpha = score_alpha
+        self.k = k
+        self.max_candidates = max_candidates
+        self.max_iterations = max_iterations
+        # When one-to-many conflict resolution is ablated (cr2 off), this
+        # stage must not arbitrate target collisions either — otherwise it
+        # would silently re-introduce the ablated capability.
+        self.allow_takeover = allow_takeover
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _reference(self, working: AlignmentSet) -> AlignmentSet:
+        combined = working.copy()
+        combined.update(self.seed_alignment.pairs)
+        return combined
+
+    def _low_confidence_pairs(
+        self, working: AlignmentSet, protected: set[tuple[str, str]]
+    ) -> list[tuple[str, str]]:
+        """Pairs of *working* whose explanation confidence falls below beta."""
+        reference = self._reference(working)
+        flagged = []
+        for source, target in sorted(working.pairs):
+            if (source, target) in protected:
+                continue
+            # A confidence of exactly beta (= sigmoid(0)) means the ADG has
+            # no influential edges at all, which is the canonical
+            # low-confidence case, so the comparison is inclusive.
+            if self.confidence(source, target, reference) <= self.beta:
+                flagged.append((source, target))
+        return flagged
+
+    def _candidates(self, source: str, working: AlignmentSet) -> list[str]:
+        """Candidate targets whose neighbourhood shares an aligned entity with *source*.
+
+        These are the targets that can form an explanation with at least one
+        matched neighbour, hence a confidence above 0.5 ("target entities
+        with aligned neighbors" in the paper).
+        """
+        reference = self._reference(working)
+        candidates: list[str] = []
+        seen: set[str] = set()
+        valid_targets = self.dataset.test_targets() | working.targets()
+        for neighbor1 in sorted(self.dataset.kg1.neighbors(source)):
+            for neighbor2 in sorted(reference.targets_of(neighbor1)):
+                for candidate in sorted(self.dataset.kg2.neighbors(neighbor2)):
+                    if candidate in seen or candidate not in valid_targets:
+                        continue
+                    seen.add(candidate)
+                    candidates.append(candidate)
+                    if len(candidates) >= self.max_candidates:
+                        return candidates
+        return candidates
+
+    def _score(self, source: str, target: str, reference: AlignmentSet) -> float:
+        """Alignment score: explanation confidence plus scaled model similarity."""
+        return self.confidence(source, target, reference) + self.score_alpha * self.similarity(
+            source, target
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        alignment: AlignmentSet,
+        unaligned_sources: set[str] | None = None,
+    ) -> LowConfidenceRepairResult:
+        """Run Algorithm 2 starting from *alignment* (modified on a copy)."""
+        working = alignment.copy()
+        unaligned: set[str] = set(unaligned_sources or set())
+        result = LowConfidenceRepairResult(alignment=working)
+        protected: set[tuple[str, str]] = set()
+
+        last_size = -1
+        for iteration in range(self.max_iterations):
+            result.iterations = iteration + 1
+            flagged = self._low_confidence_pairs(working, protected)
+            result.num_low_confidence += len(flagged)
+            for source, target in flagged:
+                working.remove(source, target)
+                unaligned.add(source)
+                result.released_pairs.append((source, target))
+            if last_size > -1 and len(unaligned) >= last_size:
+                break
+            last_size = len(unaligned)
+
+            still_unaligned: set[str] = set()
+            for source in sorted(unaligned):
+                reference = self._reference(working)
+                candidates = self._candidates(source, working)
+                if not candidates:
+                    still_unaligned.add(source)
+                    continue
+                scored = sorted(
+                    ((self._score(source, candidate, reference), candidate) for candidate in candidates),
+                    key=lambda item: (-item[0], item[1]),
+                )
+                aligned = False
+                for score, target in scored[: self.k]:
+                    holders = working.sources_of(target)
+                    if not holders:
+                        working.add(source, target)
+                        protected.add((source, target))
+                        result.num_reassigned += 1
+                        aligned = True
+                        break
+                    if not self.allow_takeover:
+                        continue
+                    holder = next(iter(holders))
+                    holder_score = self._score(holder, target, reference)
+                    if score > holder_score:
+                        working.remove(holder, target)
+                        working.add(source, target)
+                        protected.add((source, target))
+                        result.num_reassigned += 1
+                        still_unaligned.add(holder)
+                        aligned = True
+                        break
+                if not aligned:
+                    still_unaligned.add(source)
+            unaligned = still_unaligned
+            if not unaligned:
+                break
+
+        self._greedy_fallback(working, unaligned, result)
+        result.alignment = working
+        return result
+
+    def _greedy_fallback(
+        self,
+        working: AlignmentSet,
+        unaligned: set[str],
+        result: LowConfidenceRepairResult,
+    ) -> None:
+        """Greedily match leftover sources with still-free targets by similarity."""
+        if not unaligned:
+            return
+        free_targets = sorted(self.dataset.test_targets() - working.targets())
+        if not free_targets:
+            return
+        for source in sorted(unaligned):
+            if not free_targets:
+                break
+            best = max(free_targets, key=lambda target: self.similarity(source, target))
+            working.add(source, best)
+            free_targets.remove(best)
+            result.num_greedy_fallback += 1

@@ -1,0 +1,154 @@
+"""One-to-many conflict repair — Algorithm 1 of the paper (Section IV-B).
+
+A one-to-many conflict arises when several source entities are predicted to
+align with the same target entity: since entities within one KG are
+distinct, at most one of those predictions can be correct.  The repair
+keeps the prediction with the highest explanation confidence, releases the
+others, and iteratively re-aligns the released sources with their top-k
+most similar targets, again arbitrating collisions by confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...kg import AlignmentSet
+
+#: Callable computing the explanation confidence of a candidate pair under
+#: the current working alignment: ``confidence(source, target, alignment)``.
+ConfidenceFn = Callable[[str, str, AlignmentSet], float]
+
+
+@dataclass
+class OneToManyRepairResult:
+    """Outcome of the one-to-many repair stage."""
+
+    alignment: AlignmentSet
+    unaligned_sources: set[str]
+    num_conflicts: int = 0
+    num_reassigned: int = 0
+    iterations: int = 0
+    resolved_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+
+def resolve_to_one_to_one(
+    predictions: AlignmentSet,
+    confidence: ConfidenceFn,
+    reference_alignment: AlignmentSet,
+) -> tuple[AlignmentSet, set[str], int]:
+    """The ``OnetoOne`` step (line 1): keep the most confident pair per target.
+
+    Returns the one-to-one alignment, the set of released source entities,
+    and the number of conflicting targets found.
+    """
+    resolved = AlignmentSet()
+    released: set[str] = set()
+    conflicts = predictions.one_to_many_targets()
+    for source, target in predictions:
+        if target not in conflicts:
+            resolved.add(source, target)
+    for target, sources in sorted(conflicts.items()):
+        scored = sorted(
+            ((confidence(source, target, reference_alignment), source) for source in sources),
+            key=lambda item: (-item[0], item[1]),
+        )
+        best_source = scored[0][1]
+        resolved.add(best_source, target)
+        released |= {source for source in sources if source != best_source}
+    return resolved, released, len(conflicts)
+
+
+def repair_one_to_many(
+    predictions: AlignmentSet,
+    similarity: np.ndarray,
+    source_entities: Sequence[str],
+    target_entities: Sequence[str],
+    confidence: ConfidenceFn,
+    seed_alignment: AlignmentSet,
+    k: int = 5,
+    max_iterations: int = 20,
+) -> OneToManyRepairResult:
+    """Algorithm 1: repair one-to-many conflicts in *predictions*.
+
+    Args:
+        predictions: the model's EA results ``A_res`` (greedy, may contain
+            one-to-many conflicts).
+        similarity: pairwise similarity matrix between *source_entities*
+            (rows) and *target_entities* (columns), from the original model.
+        source_entities / target_entities: orderings matching *similarity*.
+        confidence: explanation-confidence oracle ``conf(e1, e2, alignment)``.
+        seed_alignment: the training alignment ``A_train`` (used, together
+            with the working alignment, as the reference for explanations).
+        k: number of candidate targets examined per unaligned source.
+        max_iterations: hard cap on the outer loop (the algorithm already
+            stops when no progress is made).
+
+    Returns:
+        The repaired one-to-one alignment plus bookkeeping counters.
+    """
+    source_index = {entity: i for i, entity in enumerate(source_entities)}
+    top_k_cache: dict[str, list[str]] = {}
+
+    def top_candidates(source: str) -> list[str]:
+        if source not in top_k_cache:
+            row = similarity[source_index[source]]
+            order = np.argsort(-row)[:k]
+            top_k_cache[source] = [target_entities[j] for j in order]
+        return top_k_cache[source]
+
+    def reference(working: AlignmentSet) -> AlignmentSet:
+        combined = working.copy()
+        combined.update(seed_alignment.pairs)
+        return combined
+
+    working, unaligned, num_conflicts = resolve_to_one_to_one(
+        predictions, confidence, reference(predictions)
+    )
+    result = OneToManyRepairResult(
+        alignment=working,
+        unaligned_sources=set(unaligned),
+        num_conflicts=num_conflicts,
+    )
+
+    iterations = 0
+    while unaligned and iterations < max_iterations:
+        iterations += 1
+        last_size = len(unaligned)
+        still_unaligned: set[str] = set()
+        for source in sorted(unaligned):
+            if source not in source_index:
+                continue
+            aligned = False
+            for target in top_candidates(source):
+                holders = working.sources_of(target)
+                if not holders:
+                    working.add(source, target)
+                    result.num_reassigned += 1
+                    result.resolved_pairs.append((source, target))
+                    aligned = True
+                    break
+                current_holder = next(iter(holders))
+                ref = reference(working)
+                challenger_conf = confidence(source, target, ref)
+                holder_conf = confidence(current_holder, target, ref)
+                if challenger_conf > holder_conf:
+                    working.remove(current_holder, target)
+                    working.add(source, target)
+                    result.num_reassigned += 1
+                    result.resolved_pairs.append((source, target))
+                    still_unaligned.add(current_holder)
+                    aligned = True
+                    break
+            if not aligned:
+                still_unaligned.add(source)
+        unaligned = still_unaligned
+        if len(unaligned) >= last_size:
+            break
+
+    result.alignment = working
+    result.unaligned_sources = unaligned
+    result.iterations = iterations
+    return result

@@ -1,0 +1,222 @@
+"""The full ExEA repair pipeline: cr1 + cr2 + cr3 (Section IV).
+
+The pipeline takes the base model's predictions ``A_res`` and repairs them
+by resolving the three conflict types in order:
+
+1. **relation-alignment conflicts (cr1)** — soft: conflicting neighbour
+   nodes are removed from ADGs so the affected pairs lose confidence;
+2. **one-to-many conflicts (cr2)** — Algorithm 1;
+3. **low-confidence conflicts (cr3)** — Algorithm 2.
+
+Each stage can be disabled individually, which is what the ablation
+experiments of Table IV and Fig. 6 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...kg import AlignmentSet, EADataset
+from ...models import EAModel
+from ..adg import ADGBuilder, ADGConfig, AlignmentDependencyGraph, low_confidence_threshold
+from ..explanation import Explanation, ExplanationConfig, ExplanationGenerator
+from .low_confidence import LowConfidenceRepairer, LowConfidenceRepairResult
+from .one_to_many import OneToManyRepairResult, repair_one_to_many
+from .relation_conflicts import RelationConflictResolver
+from .rules import (
+    NotSameAsRuleSet,
+    RelationAlignment,
+    mine_not_same_as_rules,
+    mine_relation_alignment,
+)
+
+
+@dataclass
+class RepairConfig:
+    """Configuration of the repair pipeline.
+
+    The three ``enable_*`` switches correspond to cr1 / cr2 / cr3 in the
+    paper's ablation study.
+    """
+
+    enable_relation_conflicts: bool = True
+    enable_one_to_many: bool = True
+    enable_low_confidence: bool = True
+    candidate_k: int = 5
+    score_alpha: float = 1.0
+    beta: float | None = None
+    max_iterations: int = 10
+    explanation: ExplanationConfig = field(default_factory=ExplanationConfig)
+    adg: ADGConfig = field(default_factory=ADGConfig)
+
+
+@dataclass
+class RepairResult:
+    """Outcome of the full repair pipeline."""
+
+    base_alignment: AlignmentSet
+    repaired_alignment: AlignmentSet
+    base_accuracy: float
+    repaired_accuracy: float
+    num_relation_conflicts: int = 0
+    one_to_many: OneToManyRepairResult | None = None
+    low_confidence: LowConfidenceRepairResult | None = None
+
+    @property
+    def accuracy_gain(self) -> float:
+        """Δacc, the improvement reported in Table III."""
+        return self.repaired_accuracy - self.base_accuracy
+
+
+class EARepairer:
+    """Repairs the EA results of a fitted model using ExEA explanations."""
+
+    def __init__(
+        self,
+        model: EAModel,
+        dataset: EADataset | None = None,
+        config: RepairConfig | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("the EA model must be fitted before repairing its results")
+        self.model = model
+        self.dataset = dataset or model.dataset
+        if self.dataset is None:
+            raise ValueError("a dataset is required (none attached to the model)")
+        self.config = config or RepairConfig()
+        self.generator = ExplanationGenerator(model, self.dataset, self.config.explanation)
+        self.adg_builder = ADGBuilder(model, self.dataset, self.config.adg)
+        self._relation_alignment: RelationAlignment | None = None
+        self._rules_kg1: NotSameAsRuleSet | None = None
+        self._rules_kg2: NotSameAsRuleSet | None = None
+        self._conflict_resolver: RelationConflictResolver | None = None
+        self._similarity_cache: dict[tuple[str, str], float] = {}
+        self._num_relation_conflicts = 0
+
+    # ------------------------------------------------------------------
+    # Lazily mined reasoning artefacts
+    # ------------------------------------------------------------------
+    @property
+    def relation_alignment(self) -> RelationAlignment:
+        """Mutual relation alignment between the two KGs (mined on first use)."""
+        if self._relation_alignment is None:
+            self._relation_alignment = mine_relation_alignment(
+                self.model, self.dataset.kg1, self.dataset.kg2
+            )
+        return self._relation_alignment
+
+    @property
+    def not_same_as_rules(self) -> tuple[NotSameAsRuleSet, NotSameAsRuleSet]:
+        """¬sameAs rule sets of the two KGs (mined on first use)."""
+        if self._rules_kg1 is None or self._rules_kg2 is None:
+            self._rules_kg1 = mine_not_same_as_rules(self.dataset.kg1)
+            self._rules_kg2 = mine_not_same_as_rules(self.dataset.kg2)
+        return self._rules_kg1, self._rules_kg2
+
+    @property
+    def conflict_resolver(self) -> RelationConflictResolver:
+        if self._conflict_resolver is None:
+            rules_kg1, rules_kg2 = self.not_same_as_rules
+            self._conflict_resolver = RelationConflictResolver(
+                self.dataset.kg1,
+                self.dataset.kg2,
+                self.relation_alignment,
+                rules_kg1,
+                rules_kg2,
+            )
+        return self._conflict_resolver
+
+    # ------------------------------------------------------------------
+    # Confidence oracle shared by the repair stages
+    # ------------------------------------------------------------------
+    def explain(self, source: str, target: str, alignment: AlignmentSet) -> Explanation:
+        """Explanation of the pair under the given working alignment."""
+        return self.generator.explain(source, target, alignment)
+
+    def build_adg(
+        self, explanation: Explanation, resolve_conflicts: bool | None = None
+    ) -> AlignmentDependencyGraph:
+        """ADG of *explanation*, with cr1 filtering applied when enabled."""
+        graph = self.adg_builder.build(explanation)
+        if resolve_conflicts is None:
+            resolve_conflicts = self.config.enable_relation_conflicts
+        if resolve_conflicts and graph.edges:
+            conflicts = self.conflict_resolver.resolve(graph, self.adg_builder)
+            self._num_relation_conflicts += len(conflicts)
+        return graph
+
+    def confidence(self, source: str, target: str, alignment: AlignmentSet) -> float:
+        """Explanation confidence of a candidate pair under *alignment*."""
+        explanation = self.explain(source, target, alignment)
+        return self.build_adg(explanation).confidence
+
+    def similarity(self, source: str, target: str) -> float:
+        """Cached model similarity of a pair."""
+        key = (source, target)
+        if key not in self._similarity_cache:
+            self._similarity_cache[key] = self.model.similarity(source, target)
+        return self._similarity_cache[key]
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+    def repair(self, predictions: AlignmentSet | None = None) -> RepairResult:
+        """Repair the model's predictions and return the detailed outcome."""
+        config = self.config
+        self._num_relation_conflicts = 0
+        gold = self.dataset.test_alignment
+        if predictions is None:
+            predictions = self.model.predict()
+        source_entities = sorted(self.dataset.test_sources())
+        target_entities = sorted(self.dataset.test_targets())
+        similarity_matrix = self.model.similarity_matrix(source_entities, target_entities)
+
+        beta = config.beta
+        if beta is None:
+            beta = low_confidence_threshold(config.adg.theta)
+
+        working = predictions.copy()
+        unaligned: set[str] = set()
+        one_to_many_result: OneToManyRepairResult | None = None
+        low_confidence_result: LowConfidenceRepairResult | None = None
+
+        if config.enable_one_to_many:
+            one_to_many_result = repair_one_to_many(
+                working,
+                similarity_matrix,
+                source_entities,
+                target_entities,
+                confidence=self.confidence,
+                seed_alignment=self.dataset.train_alignment,
+                k=config.candidate_k,
+                max_iterations=config.max_iterations,
+            )
+            working = one_to_many_result.alignment
+            unaligned = set(one_to_many_result.unaligned_sources)
+
+        if config.enable_low_confidence:
+            repairer = LowConfidenceRepairer(
+                dataset=self.dataset,
+                confidence=self.confidence,
+                similarity=self.similarity,
+                seed_alignment=self.dataset.train_alignment,
+                beta=beta,
+                score_alpha=config.score_alpha,
+                k=config.candidate_k,
+                max_iterations=config.max_iterations,
+                allow_takeover=config.enable_one_to_many,
+            )
+            low_confidence_result = repairer.repair(working, unaligned)
+            working = low_confidence_result.alignment
+
+        return RepairResult(
+            base_alignment=predictions,
+            repaired_alignment=working,
+            base_accuracy=predictions.accuracy(gold),
+            repaired_accuracy=working.accuracy(gold),
+            num_relation_conflicts=self._num_relation_conflicts,
+            one_to_many=one_to_many_result,
+            low_confidence=low_confidence_result,
+        )

@@ -1,0 +1,143 @@
+"""Relation-alignment conflict detection and resolution (cr1, Section IV-A).
+
+A relation-alignment conflict exists when the matched triples of an ADG's
+central pair, combined with the relation alignment and the mined ¬sameAs
+rules, allow inferring that the two central entities are *not* the same.
+
+Example (paper Fig. 3a): central pair (Joe Biden, Barack Obama), neighbour
+node (Donald John Trump, Donald Trump).  The KG1 triple
+``(Donald John Trump, followed_by, Joe Biden)`` translates to the cross-KG
+triple ``(Donald Trump, successor, Joe Biden)``; KG2 contains
+``(Donald Trump, predecessor, Barack Obama)``; the rule
+``(x, successor, y) ∧ (x, predecessor, z) → y ¬sameAs z`` then infers
+``Joe Biden ¬sameAs Barack Obama`` — a conflict with the predicted sameAs.
+
+Because both the relation alignment and the rules may be noisy, the
+conflict is *soft*: the conflicting neighbour node is removed from the ADG
+and the explanation confidence is recomputed, which weakens (rather than
+deletes) the corresponding EA pair for the later repair stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...kg import KnowledgeGraph, Triple
+from ..adg import ADGBuilder, AlignmentDependencyGraph, EdgeType
+from .rules import NotSameAsRuleSet, RelationAlignment
+
+
+@dataclass(frozen=True)
+class RelationConflict:
+    """One detected relation-alignment conflict."""
+
+    central_pair: tuple[str, str]
+    neighbor_pair: tuple[str, str]
+    relation1: str
+    relation2: str
+    direction: str  # "kg1->kg2" or "kg2->kg1"
+
+
+class RelationConflictResolver:
+    """Detects and softly resolves relation-alignment conflicts in ADGs."""
+
+    def __init__(
+        self,
+        kg1: KnowledgeGraph,
+        kg2: KnowledgeGraph,
+        relation_alignment: RelationAlignment,
+        rules_kg1: NotSameAsRuleSet,
+        rules_kg2: NotSameAsRuleSet,
+    ) -> None:
+        self.kg1 = kg1
+        self.kg2 = kg2
+        self.relation_alignment = relation_alignment
+        self.rules_kg1 = rules_kg1
+        self.rules_kg2 = rules_kg2
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def detect(self, graph: AlignmentDependencyGraph) -> list[RelationConflict]:
+        """Detect conflicts on the strongly-influential edges of *graph*.
+
+        Only strong edges are examined: the paper generates cross-KG triples
+        only for entities with strongly-influential edges in ADGs to keep
+        reasoning tractable.
+        """
+        conflicts: list[RelationConflict] = []
+        central_source, central_target = graph.pair
+        for edge in graph.edges:
+            if edge.edge_type is not EdgeType.STRONG:
+                continue
+            triple1 = edge.matched_path.path1.triples[0]
+            triple2 = edge.matched_path.path2.triples[0]
+            neighbor1, neighbor2 = edge.neighbor.pair
+
+            mapped1 = self.relation_alignment.forward.get(triple1.relation)
+            if mapped1 is not None and mapped1 != triple2.relation:
+                # The KG1 triple, translated into KG2, attaches the central
+                # target to neighbor2 via mapped1, while KG2 itself attaches
+                # it via triple2.relation.  If a ¬sameAs rule covers the two
+                # relations, the two "central" entities cannot coincide.
+                if self._same_orientation(triple1, central_source, triple2, central_target):
+                    if self.rules_kg2.applies(mapped1, triple2.relation):
+                        conflicts.append(
+                            RelationConflict(
+                                central_pair=graph.pair,
+                                neighbor_pair=(neighbor1, neighbor2),
+                                relation1=mapped1,
+                                relation2=triple2.relation,
+                                direction="kg1->kg2",
+                            )
+                        )
+                        continue
+
+            mapped2 = self.relation_alignment.counterpart(triple2.relation)
+            if mapped2 is not None and mapped2 != triple1.relation:
+                if self._same_orientation(triple2, central_target, triple1, central_source):
+                    if self.rules_kg1.applies(mapped2, triple1.relation):
+                        conflicts.append(
+                            RelationConflict(
+                                central_pair=graph.pair,
+                                neighbor_pair=(neighbor1, neighbor2),
+                                relation1=mapped2,
+                                relation2=triple1.relation,
+                                direction="kg2->kg1",
+                            )
+                        )
+        return conflicts
+
+    @staticmethod
+    def _same_orientation(
+        triple_a: Triple, central_a: str, triple_b: Triple, central_b: str
+    ) -> bool:
+        """True if the central entity plays the same role (head/tail) in both triples.
+
+        The ¬sameAs rules share the *subject* variable, so the inference
+        only applies when the neighbour entity is the subject of both
+        triples, i.e. the central entities sit on the same (object) side.
+        """
+        central_a_is_tail = triple_a.tail == central_a
+        central_b_is_tail = triple_b.tail == central_b
+        return central_a_is_tail and central_b_is_tail
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, graph: AlignmentDependencyGraph, builder: ADGBuilder
+    ) -> list[RelationConflict]:
+        """Remove conflicting neighbour nodes and refresh the confidence.
+
+        Returns the conflicts that were found (and resolved).  The graph is
+        modified in place; the paper treats this as a soft resolution — the
+        central pair itself is kept but its confidence drops, steering the
+        later one-to-many / low-confidence repair.
+        """
+        conflicts = self.detect(graph)
+        for conflict in conflicts:
+            graph.remove_neighbor(*conflict.neighbor_pair)
+        if conflicts:
+            builder.refresh_confidence(graph)
+        return conflicts

@@ -1,0 +1,186 @@
+"""Relation alignment mining and ¬sameAs rule mining (Section IV-A).
+
+Two ingredients feed the relation-alignment conflict detector:
+
+* a **relation alignment** between the two KGs.  The paper encodes relation
+  names with a pre-trained language model (BERT) when names are available
+  and falls back to the EA model's relation embeddings otherwise; aligned
+  relations are the mutual best matches.  This reproduction replaces BERT
+  with a character-n-gram name encoder (documented in DESIGN.md) combined
+  with the model's relation embeddings.
+* a set of **¬sameAs rules** per KG: a pair of different relations
+  ``(r1, r2)`` yields the rule ``(x, r1, y) ∧ (x, r2, z) → y ¬sameAs z``
+  when the two relations never point a common subject at the same object
+  but do co-occur on at least one subject with different objects (the
+  paper's "real rule instance" condition).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...embedding import cosine_matrix, greedy_match
+from ...kg import KnowledgeGraph
+from ...models import EAModel
+
+
+# ----------------------------------------------------------------------
+# Relation name similarity (BERT substitute)
+# ----------------------------------------------------------------------
+def _character_ngrams(text: str, n: int = 3) -> set[str]:
+    cleaned = "".join(ch.lower() if ch.isalnum() else " " for ch in text)
+    cleaned = " ".join(cleaned.split())
+    padded = f"  {cleaned}  "
+    return {padded[i:i + n] for i in range(len(padded) - n + 1)}
+
+
+def relation_name_similarity(name1: str, name2: str) -> float:
+    """Dice similarity of character trigrams of two relation names."""
+    grams1 = _character_ngrams(name1)
+    grams2 = _character_ngrams(name2)
+    if not grams1 or not grams2:
+        return 0.0
+    return 2.0 * len(grams1 & grams2) / (len(grams1) + len(grams2))
+
+
+# ----------------------------------------------------------------------
+# Relation alignment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelationAlignment:
+    """Mutual mapping between relations of the two KGs."""
+
+    forward: dict[str, str] = field(default_factory=dict)
+
+    def counterpart(self, relation: str) -> str | None:
+        """The KG2 relation aligned with a KG1 relation (or vice versa)."""
+        if relation in self.forward:
+            return self.forward[relation]
+        for source, target in self.forward.items():
+            if target == relation:
+                return source
+        return None
+
+    def are_aligned(self, relation1: str, relation2: str) -> bool:
+        return self.forward.get(relation1) == relation2
+
+    def __len__(self) -> int:
+        return len(self.forward)
+
+    def pairs(self) -> list[tuple[str, str]]:
+        return sorted(self.forward.items())
+
+
+def mine_relation_alignment(
+    model: EAModel,
+    kg1: KnowledgeGraph,
+    kg2: KnowledgeGraph,
+    name_weight: float = 0.5,
+    min_score: float = 0.3,
+) -> RelationAlignment:
+    """Greedy mutual matching of relations across the two KGs.
+
+    The matching score blends name similarity (the BERT stand-in) with the
+    cosine similarity of the model's relation embeddings.  Greedy matching
+    (highest scores first, each relation used once) keeps only pairs above
+    ``min_score``.
+    """
+    relations1 = sorted(kg1.relations)
+    relations2 = sorted(kg2.relations)
+    if not relations1 or not relations2:
+        return RelationAlignment()
+    name_scores = np.array(
+        [[relation_name_similarity(r1, r2) for r2 in relations2] for r1 in relations1]
+    )
+    embeddings1 = np.stack([model.relation_embedding(r) for r in relations1])
+    embeddings2 = np.stack([model.relation_embedding(r) for r in relations2])
+    embedding_scores = cosine_matrix(embeddings1, embeddings2)
+    scores = name_weight * name_scores + (1.0 - name_weight) * embedding_scores
+
+    forward: dict[str, str] = {}
+    for i, j in greedy_match(scores):
+        if scores[i, j] < min_score:
+            continue
+        forward[relations1[i]] = relations2[j]
+    return RelationAlignment(forward=forward)
+
+
+# ----------------------------------------------------------------------
+# ¬sameAs rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NotSameAsRule:
+    """Rule ``(x, relation1, y) ∧ (x, relation2, z) → (y, ¬sameAs, z)``."""
+
+    relation1: str
+    relation2: str
+
+    def involves(self, relation1: str, relation2: str) -> bool:
+        """True if the rule covers the (unordered) relation pair."""
+        return {relation1, relation2} == {self.relation1, self.relation2}
+
+
+class NotSameAsRuleSet:
+    """Set of ¬sameAs rules mined from one KG, indexed for fast lookup."""
+
+    def __init__(self, rules: list[NotSameAsRule] | None = None) -> None:
+        self._pairs: set[frozenset[str]] = set()
+        for rule in rules or []:
+            self.add(rule)
+
+    def add(self, rule: NotSameAsRule) -> None:
+        self._pairs.add(frozenset((rule.relation1, rule.relation2)))
+
+    def applies(self, relation1: str, relation2: str) -> bool:
+        """True if a rule exists for the (unordered) relation pair."""
+        if relation1 == relation2:
+            return False
+        return frozenset((relation1, relation2)) in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self):
+        for pair in sorted(tuple(sorted(p)) for p in self._pairs):
+            yield NotSameAsRule(*pair)
+
+
+def mine_not_same_as_rules(kg: KnowledgeGraph) -> NotSameAsRuleSet:
+    """Mine ¬sameAs rules from a single KG.
+
+    For an ordered relation pair to yield a rule, two conditions must hold:
+
+    1. the relations never share a (subject, object) pair — otherwise the
+       objects can clearly coincide;
+    2. at least one subject has both relations with different objects — the
+       "real rule instance" filter the paper adds to avoid vacuous rules.
+    """
+    # subject -> relation -> objects
+    objects_by_subject: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+    for triple in kg.triples:
+        objects_by_subject[triple.head][triple.relation].add(triple.tail)
+
+    candidate_pairs: set[frozenset[str]] = set()
+    violating_pairs: set[frozenset[str]] = set()
+    for relation_objects in objects_by_subject.values():
+        relations = sorted(relation_objects)
+        for i, relation1 in enumerate(relations):
+            for relation2 in relations[i + 1:]:
+                pair = frozenset((relation1, relation2))
+                objects1 = relation_objects[relation1]
+                objects2 = relation_objects[relation2]
+                if objects1 & objects2:
+                    # The two relations point this subject at the same
+                    # object: the rule would be wrong.
+                    violating_pairs.add(pair)
+                if objects1 - objects2 or objects2 - objects1:
+                    candidate_pairs.add(pair)
+
+    rules = NotSameAsRuleSet()
+    for pair in candidate_pairs - violating_pairs:
+        relation1, relation2 = sorted(pair)
+        rules.add(NotSameAsRule(relation1, relation2))
+    return rules

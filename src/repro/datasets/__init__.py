@@ -1,0 +1,39 @@
+"""Benchmark dataset substrate: synthetic DBP15K/OpenEA analogues and noise."""
+
+from .noise import (
+    PAPER_SEED_NOISE_FRACTION,
+    add_spurious_triples,
+    corrupt_seed_alignment,
+    drop_random_triples,
+)
+from .registry import (
+    DATASET_NAMES,
+    available_benchmarks,
+    benchmark_config,
+    load_all_benchmarks,
+    load_benchmark,
+)
+from .synthetic import (
+    DEFAULT_RELATIONS,
+    RelationSpec,
+    SyntheticBenchmarkGenerator,
+    SyntheticConfig,
+    generate_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DEFAULT_RELATIONS",
+    "PAPER_SEED_NOISE_FRACTION",
+    "RelationSpec",
+    "SyntheticBenchmarkGenerator",
+    "SyntheticConfig",
+    "add_spurious_triples",
+    "available_benchmarks",
+    "benchmark_config",
+    "corrupt_seed_alignment",
+    "drop_random_triples",
+    "generate_dataset",
+    "load_all_benchmarks",
+    "load_benchmark",
+]

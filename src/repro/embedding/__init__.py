@@ -1,0 +1,43 @@
+"""Embedding substrate: initialisers, optimisers, sampling, similarity, evaluation."""
+
+from .evaluation import (
+    RankingMetrics,
+    alignment_accuracy,
+    greedy_alignment,
+    ranking_metrics,
+)
+from .initializers import l2_normalize_rows, normal, uniform_unit, xavier_uniform
+from .negative_sampling import HardNegativeSampler, uniform_corrupt
+from .optimizers import SGD, Adagrad, Adam, Optimizer, make_optimizer
+from .similarity import (
+    cosine,
+    cosine_matrix,
+    csls_matrix,
+    greedy_match,
+    mutual_nearest_pairs,
+    top_k_indices,
+)
+
+__all__ = [
+    "Adagrad",
+    "Adam",
+    "HardNegativeSampler",
+    "Optimizer",
+    "RankingMetrics",
+    "SGD",
+    "alignment_accuracy",
+    "cosine",
+    "cosine_matrix",
+    "csls_matrix",
+    "greedy_alignment",
+    "greedy_match",
+    "l2_normalize_rows",
+    "make_optimizer",
+    "mutual_nearest_pairs",
+    "normal",
+    "ranking_metrics",
+    "top_k_indices",
+    "uniform_corrupt",
+    "uniform_unit",
+    "xavier_uniform",
+]

@@ -1,0 +1,99 @@
+"""Evaluation of alignment inference: Hits@k, MRR, and greedy accuracy.
+
+The repair experiments of the paper report *accuracy*: the proportion of
+test source entities whose greedy nearest-neighbour prediction is correct.
+The standard ranking metrics (Hits@k, MRR) are provided as well because the
+base models are usually reported with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kg import AlignmentSet
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Ranking quality of a similarity matrix against the gold alignment."""
+
+    hits_at_1: float
+    hits_at_5: float
+    hits_at_10: float
+    mrr: float
+    num_evaluated: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits@1": self.hits_at_1,
+            "hits@5": self.hits_at_5,
+            "hits@10": self.hits_at_10,
+            "mrr": self.mrr,
+        }
+
+
+def ranking_metrics(
+    similarity: np.ndarray,
+    source_entities: list[str],
+    target_entities: list[str],
+    gold: AlignmentSet,
+) -> RankingMetrics:
+    """Compute Hits@{1,5,10} and MRR of *similarity* against *gold*.
+
+    Rows of *similarity* correspond to *source_entities*, columns to
+    *target_entities*.  Sources without a gold counterpart among the columns
+    are skipped.
+    """
+    target_index = {entity: i for i, entity in enumerate(target_entities)}
+    hits1 = hits5 = hits10 = 0
+    reciprocal_ranks: list[float] = []
+    evaluated = 0
+    for row, source in enumerate(source_entities):
+        gold_targets = gold.targets_of(source)
+        columns = [target_index[t] for t in gold_targets if t in target_index]
+        if not columns:
+            continue
+        evaluated += 1
+        order = np.argsort(-similarity[row])
+        ranks = {int(column): int(np.where(order == column)[0][0]) + 1 for column in columns}
+        best_rank = min(ranks.values())
+        hits1 += best_rank <= 1
+        hits5 += best_rank <= 5
+        hits10 += best_rank <= 10
+        reciprocal_ranks.append(1.0 / best_rank)
+    if evaluated == 0:
+        return RankingMetrics(0.0, 0.0, 0.0, 0.0, 0)
+    return RankingMetrics(
+        hits_at_1=hits1 / evaluated,
+        hits_at_5=hits5 / evaluated,
+        hits_at_10=hits10 / evaluated,
+        mrr=float(np.mean(reciprocal_ranks)),
+        num_evaluated=evaluated,
+    )
+
+
+def greedy_alignment(
+    similarity: np.ndarray,
+    source_entities: list[str],
+    target_entities: list[str],
+) -> AlignmentSet:
+    """Greedy nearest-neighbour alignment: each source picks its best target.
+
+    This is the alignment inference used by most embedding-based EA models
+    (and the one whose one-to-many conflicts ExEA repairs): different
+    sources may select the same target.
+    """
+    predicted = AlignmentSet()
+    if similarity.size == 0:
+        return predicted
+    best = similarity.argmax(axis=1)
+    for row, source in enumerate(source_entities):
+        predicted.add(source, target_entities[int(best[row])])
+    return predicted
+
+
+def alignment_accuracy(predicted: AlignmentSet, gold: AlignmentSet) -> float:
+    """Proportion of gold pairs recovered by *predicted* (Section V-C.1)."""
+    return predicted.accuracy(gold)

@@ -1,0 +1,39 @@
+"""Embedding initialisation schemes used by the EA models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    The bound is ``sqrt(6 / (fan_in + fan_out))`` where the last two axes
+    are interpreted as (fan_in, fan_out); for an embedding matrix of shape
+    ``(n, d)`` this reduces to ``sqrt(6 / (n + d))``.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.1) -> np.ndarray:
+    """Gaussian initialisation with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_unit(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """TransE-style initialisation: uniform in ``[-6/sqrt(d), 6/sqrt(d)]``, L2-normalised rows."""
+    dim = shape[-1]
+    bound = 6.0 / np.sqrt(dim)
+    matrix = rng.uniform(-bound, bound, size=shape)
+    return l2_normalize_rows(matrix)
+
+
+def l2_normalize_rows(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Return *matrix* with every row scaled to unit L2 norm."""
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    return matrix / np.maximum(norms, eps)

@@ -1,0 +1,150 @@
+"""Minimal NumPy optimisers with sparse (row-indexed) updates.
+
+The EA models update only the embedding rows touched by a mini-batch, so
+every optimiser exposes both a dense ``step`` and a sparse ``step_rows``
+that accepts the row indices alongside the gradient block.  Duplicate
+indices within one call are accumulated before the update (the same
+behaviour as ``torch.Tensor.index_add_`` followed by one optimiser step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _accumulate_by_row(
+    indices: np.ndarray, gradients: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum gradient rows that address the same index.
+
+    Returns unique indices and the summed gradients aligned with them.
+    """
+    unique, inverse = np.unique(indices, return_inverse=True)
+    summed = np.zeros((unique.shape[0], gradients.shape[1]), dtype=gradients.dtype)
+    np.add.at(summed, inverse, gradients)
+    return unique, summed
+
+
+class Optimizer:
+    """Base class: tracks per-parameter state and applies updates."""
+
+    def __init__(self, learning_rate: float = 0.01) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def step(self, name: str, parameter: np.ndarray, gradient: np.ndarray) -> None:
+        """Apply a dense gradient to *parameter* in place."""
+        raise NotImplementedError
+
+    def step_rows(
+        self,
+        name: str,
+        parameter: np.ndarray,
+        indices: np.ndarray,
+        gradients: np.ndarray,
+    ) -> None:
+        """Apply a sparse (row-indexed) gradient to *parameter* in place."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def step(self, name: str, parameter: np.ndarray, gradient: np.ndarray) -> None:
+        parameter -= self.learning_rate * gradient
+
+    def step_rows(self, name, parameter, indices, gradients) -> None:
+        unique, summed = _accumulate_by_row(np.asarray(indices), np.asarray(gradients))
+        parameter[unique] -= self.learning_rate * summed
+
+
+class Adagrad(Optimizer):
+    """Adagrad with per-element accumulated squared gradients."""
+
+    def __init__(self, learning_rate: float = 0.1, eps: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        self.eps = eps
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _state(self, name: str, parameter: np.ndarray) -> np.ndarray:
+        if name not in self._cache:
+            self._cache[name] = np.zeros_like(parameter)
+        return self._cache[name]
+
+    def step(self, name, parameter, gradient) -> None:
+        cache = self._state(name, parameter)
+        cache += gradient**2
+        parameter -= self.learning_rate * gradient / (np.sqrt(cache) + self.eps)
+
+    def step_rows(self, name, parameter, indices, gradients) -> None:
+        cache = self._state(name, parameter)
+        unique, summed = _accumulate_by_row(np.asarray(indices), np.asarray(gradients))
+        cache[unique] += summed**2
+        parameter[unique] -= self.learning_rate * summed / (np.sqrt(cache[unique]) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam optimiser.
+
+    The bias-correction step count is tracked per parameter name, which is
+    accurate for the dense path and a standard approximation ("sparse
+    Adam") for row-indexed updates.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.005,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._moment1: dict[str, np.ndarray] = {}
+        self._moment2: dict[str, np.ndarray] = {}
+        self._steps: dict[str, int] = {}
+
+    def _state(self, name: str, parameter: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if name not in self._moment1:
+            self._moment1[name] = np.zeros_like(parameter)
+            self._moment2[name] = np.zeros_like(parameter)
+            self._steps[name] = 0
+        return self._moment1[name], self._moment2[name]
+
+    def step(self, name, parameter, gradient) -> None:
+        m, v = self._state(name, parameter)
+        self._steps[name] += 1
+        t = self._steps[name]
+        m *= self.beta1
+        m += (1 - self.beta1) * gradient
+        v *= self.beta2
+        v += (1 - self.beta2) * gradient**2
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step_rows(self, name, parameter, indices, gradients) -> None:
+        m, v = self._state(name, parameter)
+        self._steps[name] += 1
+        t = self._steps[name]
+        unique, summed = _accumulate_by_row(np.asarray(indices), np.asarray(gradients))
+        m[unique] = self.beta1 * m[unique] + (1 - self.beta1) * summed
+        v[unique] = self.beta2 * v[unique] + (1 - self.beta2) * summed**2
+        m_hat = m[unique] / (1 - self.beta1**t)
+        v_hat = v[unique] / (1 - self.beta2**t)
+        parameter[unique] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def make_optimizer(name: str, learning_rate: float) -> Optimizer:
+    """Factory for optimisers by name (``"sgd"``, ``"adagrad"``, ``"adam"``)."""
+    name = name.lower()
+    if name == "sgd":
+        return SGD(learning_rate)
+    if name == "adagrad":
+        return Adagrad(learning_rate)
+    if name == "adam":
+        return Adam(learning_rate)
+    raise ValueError(f"unknown optimizer {name!r}")

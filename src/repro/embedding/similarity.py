@@ -1,0 +1,101 @@
+"""Similarity computation between entity embeddings.
+
+Embedding-based EA infers alignment by nearest-neighbour search in vector
+space (Section I of the paper).  This module provides cosine similarity,
+the CSLS re-scaled similarity used by several recent models (including
+Dual-AMN), and small helpers shared by the explanation code (cosine of two
+vectors, pairwise similarity of path embeddings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine(u: np.ndarray, v: np.ndarray, eps: float = 1e-12) -> float:
+    """Cosine similarity of two vectors."""
+    denominator = np.linalg.norm(u) * np.linalg.norm(v)
+    if denominator < eps:
+        return 0.0
+    return float(np.dot(u, v) / denominator)
+
+
+def cosine_matrix(left: np.ndarray, right: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Pairwise cosine similarity between the rows of *left* and *right*.
+
+    Returns an array of shape ``(len(left), len(right))``.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    left_norm = left / np.maximum(np.linalg.norm(left, axis=1, keepdims=True), eps)
+    right_norm = right / np.maximum(np.linalg.norm(right, axis=1, keepdims=True), eps)
+    return left_norm @ right_norm.T
+
+
+def csls_matrix(similarity: np.ndarray, k: int = 10) -> np.ndarray:
+    """Cross-domain similarity local scaling (CSLS) of a similarity matrix.
+
+    CSLS penalises hub entities that are similar to everything:
+    ``csls(x, y) = 2 * sim(x, y) - r_T(x) - r_S(y)`` where ``r`` is the mean
+    similarity to the k nearest neighbours in the other domain.
+    """
+    if similarity.size == 0:
+        return similarity.copy()
+    k_rows = min(k, similarity.shape[1])
+    k_cols = min(k, similarity.shape[0])
+    # Mean of the top-k entries per row / per column.
+    row_topk = np.partition(similarity, -k_rows, axis=1)[:, -k_rows:]
+    col_topk = np.partition(similarity, -k_cols, axis=0)[-k_cols:, :]
+    r_source = row_topk.mean(axis=1, keepdims=True)
+    r_target = col_topk.mean(axis=0, keepdims=True)
+    return 2 * similarity - r_source - r_target
+
+
+def top_k_indices(similarity_row: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the *k* largest entries of a similarity row, best first."""
+    k = min(k, similarity_row.shape[0])
+    if k <= 0:
+        return np.array([], dtype=int)
+    partial = np.argpartition(-similarity_row, k - 1)[:k]
+    return partial[np.argsort(-similarity_row[partial])]
+
+
+def greedy_match(similarity: np.ndarray) -> list[tuple[int, int]]:
+    """Greedy one-to-one matching of a similarity matrix.
+
+    Pairs are selected in decreasing similarity order, skipping rows and
+    columns already used.  This is the "greedy matching" the paper uses to
+    align relations with the highest mutual embedding similarity.
+    """
+    if similarity.size == 0:
+        return []
+    order = np.dstack(np.unravel_index(np.argsort(-similarity, axis=None), similarity.shape))[0]
+    used_rows: set[int] = set()
+    used_cols: set[int] = set()
+    matches: list[tuple[int, int]] = []
+    for row, col in order:
+        if row in used_rows or col in used_cols:
+            continue
+        used_rows.add(int(row))
+        used_cols.add(int(col))
+        matches.append((int(row), int(col)))
+        if len(used_rows) == similarity.shape[0] or len(used_cols) == similarity.shape[1]:
+            break
+    return matches
+
+
+def mutual_nearest_pairs(similarity: np.ndarray) -> list[tuple[int, int]]:
+    """Pairs ``(i, j)`` that are each other's nearest neighbour.
+
+    Used for bidirectional path matching in the explanation generator and
+    for mutual-nearest relation alignment.
+    """
+    if similarity.size == 0:
+        return []
+    best_for_row = similarity.argmax(axis=1)
+    best_for_col = similarity.argmax(axis=0)
+    return [
+        (int(i), int(j))
+        for i, j in enumerate(best_for_row)
+        if best_for_col[j] == i
+    ]

@@ -1,0 +1,92 @@
+"""Plain-text table formatting for the benchmark harness output.
+
+The benchmark modules print one table per paper table/figure; these helpers
+render aligned text tables from the result rows produced by
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .runner import AblationRow, ExplanationRow, RepairRow, VerificationRow
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def format_explanation_rows(rows: list[ExplanationRow], title: str = "") -> str:
+    """Fidelity/sparsity table (layout of Tables I, II, V, VII)."""
+    return format_table(
+        ["Dataset", "Model", "Method", "Fidelity", "Sparsity", "Time (s)"],
+        [
+            (r.dataset, r.model, r.method, _fmt(r.fidelity), _fmt(r.sparsity), f"{r.seconds:.2f}")
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def format_repair_rows(rows: list[RepairRow], title: str = "") -> str:
+    """Base / ExEA / Δacc table (layout of Tables III and VIII)."""
+    return format_table(
+        ["Dataset", "Model", "Base", "ExEA", "Δacc"],
+        [
+            (r.dataset, r.model, _fmt(r.base_accuracy), _fmt(r.repaired_accuracy), f"{r.delta:+.3f}")
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def format_ablation_rows(rows: list[AblationRow], title: str = "") -> str:
+    """Ablation table (layout of Table IV); Fig. 6 plots the accuracy drops."""
+    full_by_key = {
+        (r.dataset, r.model): r.accuracy for r in rows if r.variant == "ExEA"
+    }
+    formatted = []
+    for row in rows:
+        drop = full_by_key.get((row.dataset, row.model), row.accuracy) - row.accuracy
+        formatted.append((row.dataset, row.model, row.variant, _fmt(row.accuracy), f"{drop:+.3f}"))
+    return format_table(
+        ["Dataset", "Model", "Variant", "Accuracy", "Drop vs full"], formatted, title=title
+    )
+
+
+def format_verification_rows(rows: list[VerificationRow], title: str = "") -> str:
+    """Precision/recall/F1 table (layout of Table VI)."""
+    return format_table(
+        ["Dataset", "Model", "Method", "Prec.", "Recall", "F1"],
+        [
+            (r.dataset, r.model, r.method, _fmt(r.precision), _fmt(r.recall), _fmt(r.f1))
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def format_timing_rows(rows: list[ExplanationRow], title: str = "") -> str:
+    """Time-cost table (the series plotted in Fig. 4)."""
+    return format_table(
+        ["Dataset", "Model", "Method", "Time (s)"],
+        [(r.dataset, r.model, r.method, f"{r.seconds:.2f}") for r in rows],
+        title=title,
+    )

@@ -1,0 +1,35 @@
+"""Knowledge-graph substrate: triples, graphs, alignments, datasets, I/O."""
+
+from .alignment import AlignmentSet, mapping_to_alignment
+from .dataset import EADataset, split_alignment
+from .graph import KnowledgeGraph
+from .io import (
+    load_openea_dataset,
+    read_links,
+    read_triples,
+    save_openea_dataset,
+    write_links,
+    write_triples,
+)
+from .stats import DatasetStats, KGStats
+from .triple import Triple, entities_of, make_triples, relations_of
+
+__all__ = [
+    "AlignmentSet",
+    "DatasetStats",
+    "EADataset",
+    "KGStats",
+    "KnowledgeGraph",
+    "Triple",
+    "entities_of",
+    "load_openea_dataset",
+    "make_triples",
+    "mapping_to_alignment",
+    "read_links",
+    "read_triples",
+    "relations_of",
+    "save_openea_dataset",
+    "split_alignment",
+    "write_links",
+    "write_triples",
+]

@@ -1,0 +1,301 @@
+"""Knowledge graph container with the indexes ExEA relies on.
+
+A :class:`KnowledgeGraph` stores entities, relations and triples and
+maintains adjacency indexes (outgoing/incoming triples per entity,
+triples per relation) plus relation *functionality* statistics, which the
+ADG edge-weight computation of the paper (Section III-B, Eq. 3-5, following
+PARIS [2]) is built on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .triple import Triple, make_triples
+
+
+class KnowledgeGraph:
+    """A knowledge graph ``K = (E, R, T)`` with adjacency and functionality indexes.
+
+    Args:
+        triples: the relation triples of the graph.
+        name: optional human-readable name (e.g. ``"zh"`` or ``"dbpedia"``).
+        entities: optional explicit entity set; entities appearing in triples
+            are always included, this argument only adds isolated entities.
+    """
+
+    def __init__(
+        self,
+        triples: Iterable[Triple | Sequence[str]] = (),
+        name: str = "kg",
+        entities: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self._triples: set[Triple] = set()
+        self._entities: set[str] = set(entities)
+        self._relations: set[str] = set()
+        self._outgoing: dict[str, set[Triple]] = defaultdict(set)
+        self._incoming: dict[str, set[Triple]] = defaultdict(set)
+        self._by_relation: dict[str, set[Triple]] = defaultdict(set)
+        self._functionality_cache: dict[str, float] | None = None
+        self._inverse_functionality_cache: dict[str, float] | None = None
+        for triple in make_triples(triples):
+            self.add_triple(triple)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_triple(self, triple: Triple | Sequence[str]) -> None:
+        """Add a triple (and its entities/relation) to the graph."""
+        if not isinstance(triple, Triple):
+            head, relation, tail = triple
+            triple = Triple(head, relation, tail)
+        if triple in self._triples:
+            return
+        self._triples.add(triple)
+        self._entities.add(triple.head)
+        self._entities.add(triple.tail)
+        self._relations.add(triple.relation)
+        self._outgoing[triple.head].add(triple)
+        self._incoming[triple.tail].add(triple)
+        self._by_relation[triple.relation].add(triple)
+        self._invalidate_caches()
+
+    def add_entity(self, entity: str) -> None:
+        """Add an isolated entity (no triples required)."""
+        self._entities.add(entity)
+
+    def remove_triple(self, triple: Triple) -> None:
+        """Remove a triple from the graph.
+
+        Entities and relations are kept even if they become isolated, so
+        that embeddings indexed by entity id remain valid after removal
+        (this mirrors the fidelity protocol of Section V-B.2, which removes
+        triples but keeps the entity inventory fixed).
+        """
+        if triple not in self._triples:
+            return
+        self._triples.discard(triple)
+        self._outgoing[triple.head].discard(triple)
+        self._incoming[triple.tail].discard(triple)
+        self._by_relation[triple.relation].discard(triple)
+        self._invalidate_caches()
+
+    def remove_triples(self, triples: Iterable[Triple]) -> None:
+        """Remove several triples at once."""
+        for triple in triples:
+            self.remove_triple(triple)
+
+    def _invalidate_caches(self) -> None:
+        self._functionality_cache = None
+        self._inverse_functionality_cache = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def entities(self) -> set[str]:
+        """The entity set ``E`` (returned as a copy-free live set; do not mutate)."""
+        return self._entities
+
+    @property
+    def relations(self) -> set[str]:
+        """The relation set ``R``."""
+        return self._relations
+
+    @property
+    def triples(self) -> set[Triple]:
+        """The triple set ``T``."""
+        return self._triples
+
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeGraph(name={self.name!r}, entities={self.num_entities()}, "
+            f"relations={self.num_relations()}, triples={self.num_triples()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def outgoing(self, entity: str) -> set[Triple]:
+        """Triples where *entity* is the head."""
+        return self._outgoing.get(entity, set())
+
+    def incoming(self, entity: str) -> set[Triple]:
+        """Triples where *entity* is the tail."""
+        return self._incoming.get(entity, set())
+
+    def triples_of(self, entity: str) -> set[Triple]:
+        """All triples incident to *entity* (outgoing plus incoming)."""
+        return self.outgoing(entity) | self.incoming(entity)
+
+    def triples_with_relation(self, relation: str) -> set[Triple]:
+        """All triples using *relation*."""
+        return self._by_relation.get(relation, set())
+
+    def neighbors(self, entity: str) -> set[str]:
+        """Entities directly connected to *entity* by any triple."""
+        found: set[str] = set()
+        for triple in self.outgoing(entity):
+            found.add(triple.tail)
+        for triple in self.incoming(entity):
+            found.add(triple.head)
+        found.discard(entity)
+        return found
+
+    def degree(self, entity: str) -> int:
+        """Number of triples incident to *entity*."""
+        return len(self.outgoing(entity)) + len(self.incoming(entity))
+
+    def triples_within_hops(self, entity: str, hops: int = 1) -> set[Triple]:
+        """All triples within *hops* hops of *entity*.
+
+        This is the candidate set ``T_e`` of the paper (Section II-B): with
+        ``hops=1`` it is exactly the triples incident to the entity, with
+        ``hops=2`` it additionally contains the triples incident to the
+        entity's neighbours, and so on.
+        """
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        frontier = {entity}
+        seen_entities = {entity}
+        collected: set[Triple] = set()
+        for _ in range(hops):
+            next_frontier: set[str] = set()
+            for node in frontier:
+                for triple in self.triples_of(node):
+                    collected.add(triple)
+                    other = triple.other_entity(node)
+                    if other not in seen_entities:
+                        next_frontier.add(other)
+            seen_entities |= next_frontier
+            frontier = next_frontier
+            if not frontier:
+                break
+        return collected
+
+    def relation_paths(
+        self, source: str, target: str, max_length: int = 2
+    ) -> list[tuple[Triple, ...]]:
+        """Enumerate simple relation paths from *source* to *target*.
+
+        A path is a tuple of triples; each consecutive triple shares an
+        entity with the previous one regardless of direction (the paper's
+        relation paths ``p = (e1, r1, e1', ..., rn, en')`` also ignore
+        direction when walking the graph).  Paths do not revisit entities.
+        """
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        results: list[tuple[Triple, ...]] = []
+
+        def extend(current: str, visited: set[str], path: tuple[Triple, ...]) -> None:
+            if len(path) >= max_length:
+                return
+            for triple in self.triples_of(current):
+                nxt = triple.other_entity(current)
+                if nxt in visited:
+                    continue
+                new_path = path + (triple,)
+                if nxt == target:
+                    results.append(new_path)
+                else:
+                    extend(nxt, visited | {nxt}, new_path)
+
+        extend(source, {source}, ())
+        return results
+
+    # ------------------------------------------------------------------
+    # Relation functionality (PARIS-style)
+    # ------------------------------------------------------------------
+    def functionality(self, relation: str) -> float:
+        """Functionality ``func(r) = #distinct heads / #triples`` of a relation.
+
+        A relation with functionality 1.0 maps every head entity to exactly
+        one tail (like ``birth_place``); low functionality means a head has
+        many tails.  Used for ADG edge weights (Eq. 4).
+        """
+        if self._functionality_cache is None:
+            self._rebuild_functionality_caches()
+        assert self._functionality_cache is not None
+        return self._functionality_cache.get(relation, 0.0)
+
+    def inverse_functionality(self, relation: str) -> float:
+        """Inverse functionality ``ifunc(r) = #distinct tails / #triples``.
+
+        Used for ADG edge weights when the central entity is the head of the
+        matched path (Eq. 3).
+        """
+        if self._inverse_functionality_cache is None:
+            self._rebuild_functionality_caches()
+        assert self._inverse_functionality_cache is not None
+        return self._inverse_functionality_cache.get(relation, 0.0)
+
+    def _rebuild_functionality_caches(self) -> None:
+        functionality: dict[str, float] = {}
+        inverse_functionality: dict[str, float] = {}
+        for relation, triples in self._by_relation.items():
+            if not triples:
+                functionality[relation] = 0.0
+                inverse_functionality[relation] = 0.0
+                continue
+            heads = {t.head for t in triples}
+            tails = {t.tail for t in triples}
+            functionality[relation] = len(heads) / len(triples)
+            inverse_functionality[relation] = len(tails) / len(triples)
+        self._functionality_cache = functionality
+        self._inverse_functionality_cache = inverse_functionality
+
+    def functionality_table(self) -> Mapping[str, float]:
+        """Return functionality for every relation in the graph."""
+        if self._functionality_cache is None:
+            self._rebuild_functionality_caches()
+        assert self._functionality_cache is not None
+        return dict(self._functionality_cache)
+
+    # ------------------------------------------------------------------
+    # Copy / subgraph helpers
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "KnowledgeGraph":
+        """Return a deep structural copy of the graph."""
+        return KnowledgeGraph(
+            self._triples, name=name or self.name, entities=self._entities
+        )
+
+    def without_triples(self, triples: Iterable[Triple], name: str | None = None) -> "KnowledgeGraph":
+        """Return a copy of the graph with *triples* removed.
+
+        The entity inventory of the original graph is preserved so entity
+        indexing (and therefore embedding matrices) stays aligned.
+        """
+        excluded = set(triples)
+        kept = (t for t in self._triples if t not in excluded)
+        return KnowledgeGraph(kept, name=name or self.name, entities=self._entities)
+
+    def subgraph_of(self, entities: Iterable[str], name: str | None = None) -> "KnowledgeGraph":
+        """Return the induced subgraph over *entities*."""
+        entity_set = set(entities)
+        kept = (
+            t
+            for t in self._triples
+            if t.head in entity_set and t.tail in entity_set
+        )
+        return KnowledgeGraph(kept, name=name or f"{self.name}-sub", entities=entity_set)

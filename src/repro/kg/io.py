@@ -1,0 +1,119 @@
+"""OpenEA-format dataset I/O.
+
+The OpenEA benchmark distributes each dataset as a directory of
+tab-separated files:
+
+* ``rel_triples_1`` / ``rel_triples_2`` — relation triples of the two KGs,
+* ``ent_links`` — the gold entity alignment,
+* optionally ``721_5fold/<k>/train_links`` / ``test_links`` splits.
+
+This module reads and writes that layout so real DBP15K/OpenEA dumps can be
+dropped into the reproduction, and so synthetic datasets can be exported in
+the same format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .alignment import AlignmentSet
+from .dataset import EADataset, split_alignment
+from .graph import KnowledgeGraph
+from .triple import Triple
+
+
+def read_triples(path: str | Path) -> list[Triple]:
+    """Read tab-separated ``head relation tail`` lines into triples.
+
+    Blank lines are skipped.  Raises ``ValueError`` on malformed lines.
+    """
+    triples: list[Triple] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: expected 3 columns, got {len(parts)}")
+            triples.append(Triple(*parts))
+    return triples
+
+
+def write_triples(triples: Iterable[Triple], path: str | Path) -> None:
+    """Write triples as tab-separated lines (sorted for determinism)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = sorted(f"{t.head}\t{t.relation}\t{t.tail}" for t in triples)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+
+
+def read_links(path: str | Path) -> AlignmentSet:
+    """Read tab-separated entity links (``source<TAB>target``)."""
+    alignment = AlignmentSet()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: expected 2 columns, got {len(parts)}")
+            alignment.add(parts[0], parts[1])
+    return alignment
+
+
+def write_links(alignment: AlignmentSet, path: str | Path) -> None:
+    """Write an alignment as tab-separated lines (sorted for determinism)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = sorted(f"{s}\t{t}" for s, t in alignment)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+
+
+def load_openea_dataset(
+    directory: str | Path,
+    name: str | None = None,
+    train_ratio: float = 0.3,
+    fold: str | None = None,
+    seed: int = 0,
+) -> EADataset:
+    """Load an OpenEA-style dataset directory.
+
+    If *fold* is given (e.g. ``"721_5fold/1"``) the pre-computed
+    ``train_links`` / ``test_links`` files under that sub-directory are used;
+    otherwise ``ent_links`` is split with *train_ratio*.
+    """
+    directory = Path(directory)
+    kg1 = KnowledgeGraph(read_triples(directory / "rel_triples_1"), name="kg1")
+    kg2 = KnowledgeGraph(read_triples(directory / "rel_triples_2"), name="kg2")
+    if fold is not None:
+        fold_dir = directory / fold
+        train = read_links(fold_dir / "train_links")
+        test = read_links(fold_dir / "test_links")
+    else:
+        gold = read_links(directory / "ent_links")
+        train, test = split_alignment(gold, train_ratio=train_ratio, seed=seed)
+    return EADataset(
+        kg1=kg1,
+        kg2=kg2,
+        train_alignment=train,
+        test_alignment=test,
+        name=name or directory.name,
+    )
+
+
+def save_openea_dataset(dataset: EADataset, directory: str | Path) -> None:
+    """Write *dataset* to *directory* in the OpenEA layout.
+
+    The train/test split is additionally stored under ``721_5fold/1/`` so a
+    round-trip via :func:`load_openea_dataset` with ``fold="721_5fold/1"``
+    reproduces the exact split.
+    """
+    directory = Path(directory)
+    write_triples(dataset.kg1.triples, directory / "rel_triples_1")
+    write_triples(dataset.kg2.triples, directory / "rel_triples_2")
+    write_links(dataset.all_alignment(), directory / "ent_links")
+    write_links(dataset.train_alignment, directory / "721_5fold" / "1" / "train_links")
+    write_links(dataset.test_alignment, directory / "721_5fold" / "1" / "test_links")

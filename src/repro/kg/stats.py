@@ -1,0 +1,89 @@
+"""Descriptive statistics for KGs and EA datasets.
+
+These are used by the dataset registry tests (to check that the synthetic
+benchmarks reproduce the structural differences between DBP15K / OpenEA
+datasets the paper relies on, e.g. the higher triple density of FR-EN) and
+by the examples to print dataset overviews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from .dataset import EADataset
+from .graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class KGStats:
+    """Summary statistics of one knowledge graph."""
+
+    num_entities: int
+    num_relations: int
+    num_triples: int
+    average_degree: float
+    max_degree: int
+    density: float
+    average_functionality: float
+
+    @classmethod
+    def of(cls, kg: KnowledgeGraph) -> "KGStats":
+        entities = kg.entities
+        degrees = [kg.degree(e) for e in entities] or [0]
+        num_entities = kg.num_entities()
+        num_triples = kg.num_triples()
+        density = num_triples / max(num_entities, 1)
+        functionality = kg.functionality_table()
+        avg_func = mean(functionality.values()) if functionality else 0.0
+        return cls(
+            num_entities=num_entities,
+            num_relations=kg.num_relations(),
+            num_triples=num_triples,
+            average_degree=mean(degrees),
+            max_degree=max(degrees),
+            density=density,
+            average_functionality=avg_func,
+        )
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of an EA dataset (both KGs and the alignments)."""
+
+    name: str
+    kg1: KGStats
+    kg2: KGStats
+    train_pairs: int
+    test_pairs: int
+    relation_overlap: float
+
+    @classmethod
+    def of(cls, dataset: EADataset) -> "DatasetStats":
+        relations1 = dataset.kg1.relations
+        relations2 = dataset.kg2.relations
+        union = relations1 | relations2
+        overlap = len(relations1 & relations2) / len(union) if union else 0.0
+        return cls(
+            name=dataset.name,
+            kg1=KGStats.of(dataset.kg1),
+            kg2=KGStats.of(dataset.kg2),
+            train_pairs=len(dataset.train_alignment),
+            test_pairs=len(dataset.test_alignment),
+            relation_overlap=overlap,
+        )
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Return printable ``(label, value)`` rows for report tables."""
+        return [
+            ("dataset", self.name),
+            ("KG1 entities/relations/triples",
+             f"{self.kg1.num_entities}/{self.kg1.num_relations}/{self.kg1.num_triples}"),
+            ("KG2 entities/relations/triples",
+             f"{self.kg2.num_entities}/{self.kg2.num_relations}/{self.kg2.num_triples}"),
+            ("KG1 density", f"{self.kg1.density:.2f}"),
+            ("KG2 density", f"{self.kg2.density:.2f}"),
+            ("train pairs", str(self.train_pairs)),
+            ("test pairs", str(self.test_pairs)),
+            ("relation name overlap", f"{self.relation_overlap:.2f}"),
+        ]

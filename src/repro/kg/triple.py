@@ -1,0 +1,98 @@
+"""Relation triples, the atomic unit of a knowledge graph.
+
+The paper (Section II-B) defines a KG as ``K = (E, R, T)`` where ``T`` is a
+set of relation triples ``(subject, relation, object)``.  This module
+provides the :class:`Triple` value type used throughout the library, plus a
+few helpers for working with collections of triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Triple:
+    """A single relation triple ``(head, relation, tail)``.
+
+    Entities and relations are referred to by their string identifiers
+    (URIs or plain names).  Triples are immutable and hashable so they can
+    be stored in sets, used as dictionary keys, and compared structurally.
+    """
+
+    head: str
+    relation: str
+    tail: str
+
+    def reversed(self) -> "Triple":
+        """Return the triple with head and tail swapped.
+
+        The relation name is kept as-is; callers that need an explicit
+        inverse-relation marker should rename it themselves.
+        """
+        return Triple(self.tail, self.relation, self.head)
+
+    def entities(self) -> tuple[str, str]:
+        """Return the ``(head, tail)`` entity pair of this triple."""
+        return (self.head, self.tail)
+
+    def contains_entity(self, entity: str) -> bool:
+        """Return ``True`` if *entity* appears as head or tail."""
+        return entity == self.head or entity == self.tail
+
+    def other_entity(self, entity: str) -> str:
+        """Return the entity on the opposite side of *entity*.
+
+        Raises:
+            ValueError: if *entity* is neither the head nor the tail.
+        """
+        if entity == self.head:
+            return self.tail
+        if entity == self.tail:
+            return self.head
+        raise ValueError(f"entity {entity!r} does not appear in {self}")
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        """Return the plain ``(head, relation, tail)`` tuple."""
+        return (self.head, self.relation, self.tail)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter((self.head, self.relation, self.tail))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.head}, {self.relation}, {self.tail})"
+
+
+def make_triples(raw: Iterable[Sequence[str]]) -> list[Triple]:
+    """Convert an iterable of ``(h, r, t)`` sequences into :class:`Triple` objects.
+
+    Already-constructed :class:`Triple` instances pass through unchanged.
+
+    Raises:
+        ValueError: if an element does not have exactly three components.
+    """
+    triples: list[Triple] = []
+    for item in raw:
+        if isinstance(item, Triple):
+            triples.append(item)
+            continue
+        parts = tuple(item)
+        if len(parts) != 3:
+            raise ValueError(f"expected (head, relation, tail), got {item!r}")
+        triples.append(Triple(*parts))
+    return triples
+
+
+def entities_of(triples: Iterable[Triple]) -> set[str]:
+    """Return the set of all entities mentioned by *triples*."""
+    found: set[str] = set()
+    for triple in triples:
+        found.add(triple.head)
+        found.add(triple.tail)
+    return found
+
+
+def relations_of(triples: Iterable[Triple]) -> set[str]:
+    """Return the set of all relations mentioned by *triples*."""
+    return {triple.relation for triple in triples}

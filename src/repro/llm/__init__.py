@@ -1,0 +1,26 @@
+"""Simulated LLM (ChatGPT) substrate for the comparison experiments (Section V-D)."""
+
+from .explainers import ChatGPTMatchExplainer, ChatGPTPerturbExplainer
+from .simulated import LLMUsage, SimulatedChatGPT, name_similarity, normalize_name, strip_namespace
+from .verification import (
+    ExEAVerifier,
+    FusedVerifier,
+    LLMVerifier,
+    Verdict,
+    verdicts_to_bool,
+)
+
+__all__ = [
+    "ChatGPTMatchExplainer",
+    "ChatGPTPerturbExplainer",
+    "ExEAVerifier",
+    "FusedVerifier",
+    "LLMUsage",
+    "LLMVerifier",
+    "SimulatedChatGPT",
+    "Verdict",
+    "name_similarity",
+    "normalize_name",
+    "strip_namespace",
+    "verdicts_to_bool",
+]

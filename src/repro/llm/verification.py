@@ -1,0 +1,110 @@
+"""EA verification: ChatGPT vs ExEA vs their fusion (Section V-D.2, Table VI).
+
+Each EA pair is treated as a claim and the local relation triples of its
+two entities as evidence.  Three verifiers are provided:
+
+* :class:`LLMVerifier` — the simulated ChatGPT judges the claim from the
+  entity names and the evidence triples (name-based reasoning);
+* :class:`ExEAVerifier` — ExEA judges the claim from its explanation
+  confidence (structure-based reasoning);
+* :class:`FusedVerifier` — averages the two confidences, exploiting their
+  complementarity (the paper's ChatGPT + ExEA row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ExEA
+from ..core.adg import low_confidence_threshold
+from ..kg import EADataset
+from .simulated import SimulatedChatGPT
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Accept/reject decision with the verifier's confidence in acceptance."""
+
+    accepted: bool
+    confidence: float
+
+
+class LLMVerifier:
+    """Name-based EA verification through the simulated ChatGPT."""
+
+    name = "ChatGPT"
+
+    def __init__(self, dataset: EADataset, llm: SimulatedChatGPT | None = None) -> None:
+        self.dataset = dataset
+        self.llm = llm or SimulatedChatGPT()
+
+    def verify(self, source: str, target: str) -> Verdict:
+        triples1 = sorted(self.dataset.kg1.triples_of(source))
+        triples2 = sorted(self.dataset.kg2.triples_of(target))
+        accepted, confidence = self.llm.verify_pair(source, target, triples1, triples2)
+        return Verdict(accepted=accepted, confidence=confidence)
+
+    def verify_pairs(self, pairs: list[tuple[str, str]]) -> dict[tuple[str, str], Verdict]:
+        return {pair: self.verify(*pair) for pair in pairs}
+
+
+class ExEAVerifier:
+    """Structure-based EA verification through ExEA explanation confidence."""
+
+    name = "ExEA"
+
+    def __init__(self, exea: ExEA, threshold: float | None = None) -> None:
+        self.exea = exea
+        if threshold is None:
+            threshold = low_confidence_threshold(exea.config.adg.theta)
+        self.threshold = threshold
+
+    def verify(self, source: str, target: str) -> Verdict:
+        confidence = self.exea.confidence(source, target)
+        return Verdict(accepted=confidence > self.threshold, confidence=confidence)
+
+    def verify_pairs(self, pairs: list[tuple[str, str]]) -> dict[tuple[str, str], Verdict]:
+        reference = self.exea.reference_alignment()
+        verdicts = {}
+        for source, target in pairs:
+            confidence = self.exea.confidence(source, target, reference)
+            verdicts[(source, target)] = Verdict(
+                accepted=confidence > self.threshold, confidence=confidence
+            )
+        return verdicts
+
+
+class FusedVerifier:
+    """ChatGPT + ExEA: average the two confidences and threshold at 0.5.
+
+    Structural evidence (ExEA) and textual knowledge (the LLM) fail on
+    different pairs, so averaging their confidences removes most errors of
+    either — the complementarity observation of Section V-D.2.
+    """
+
+    name = "ChatGPT + ExEA"
+
+    def __init__(self, llm_verifier: LLMVerifier, exea_verifier: ExEAVerifier, threshold: float = 0.5) -> None:
+        self.llm_verifier = llm_verifier
+        self.exea_verifier = exea_verifier
+        self.threshold = threshold
+
+    def verify(self, source: str, target: str) -> Verdict:
+        llm = self.llm_verifier.verify(source, target)
+        exea = self.exea_verifier.verify(source, target)
+        confidence = 0.5 * (llm.confidence + exea.confidence)
+        return Verdict(accepted=confidence > self.threshold, confidence=confidence)
+
+    def verify_pairs(self, pairs: list[tuple[str, str]]) -> dict[tuple[str, str], Verdict]:
+        llm = self.llm_verifier.verify_pairs(pairs)
+        exea = self.exea_verifier.verify_pairs(pairs)
+        verdicts = {}
+        for pair in pairs:
+            confidence = 0.5 * (llm[pair].confidence + exea[pair].confidence)
+            verdicts[pair] = Verdict(accepted=confidence > self.threshold, confidence=confidence)
+        return verdicts
+
+
+def verdicts_to_bool(verdicts: dict[tuple[str, str], Verdict]) -> dict[tuple[str, str], bool]:
+    """Drop the confidences, keeping only accept/reject (for the metrics)."""
+    return {pair: verdict.accepted for pair, verdict in verdicts.items()}

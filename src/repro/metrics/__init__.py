@@ -1,0 +1,21 @@
+"""Evaluation metrics: fidelity, sparsity, alignment accuracy, verification."""
+
+from ..embedding import alignment_accuracy
+from .classification import VerificationMetrics, accuracy_of_verdicts, verification_metrics
+from .fidelity import (
+    ExplanationLike,
+    fidelity_by_retraining,
+    fidelity_fast,
+    mean_sparsity,
+)
+
+__all__ = [
+    "ExplanationLike",
+    "VerificationMetrics",
+    "accuracy_of_verdicts",
+    "alignment_accuracy",
+    "fidelity_by_retraining",
+    "fidelity_fast",
+    "mean_sparsity",
+    "verification_metrics",
+]

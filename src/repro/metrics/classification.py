@@ -1,0 +1,60 @@
+"""Binary classification metrics for EA verification (Table VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class VerificationMetrics:
+    """Precision / recall / F1 of an EA verification method."""
+
+    precision: float
+    recall: float
+    f1: float
+    num_pairs: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {"precision": self.precision, "recall": self.recall, "f1": self.f1}
+
+
+def verification_metrics(
+    verdicts: Mapping[tuple[str, str], bool],
+    labels: Mapping[tuple[str, str], bool],
+) -> VerificationMetrics:
+    """Precision/recall/F1 of accept/reject verdicts against gold labels.
+
+    The positive class is "the pair is a correct alignment"; precision is
+    measured over accepted pairs and recall over truly correct pairs, as in
+    the paper's verification experiment.
+    """
+    true_positive = false_positive = false_negative = 0
+    evaluated = 0
+    for pair, label in labels.items():
+        if pair not in verdicts:
+            continue
+        evaluated += 1
+        verdict = verdicts[pair]
+        if verdict and label:
+            true_positive += 1
+        elif verdict and not label:
+            false_positive += 1
+        elif not verdict and label:
+            false_negative += 1
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return VerificationMetrics(precision=precision, recall=recall, f1=f1, num_pairs=evaluated)
+
+
+def accuracy_of_verdicts(
+    verdicts: Mapping[tuple[str, str], bool],
+    labels: Mapping[tuple[str, str], bool],
+) -> float:
+    """Plain accuracy of accept/reject verdicts."""
+    evaluated = [pair for pair in labels if pair in verdicts]
+    if not evaluated:
+        return 0.0
+    correct = sum(verdicts[pair] == labels[pair] for pair in evaluated)
+    return correct / len(evaluated)

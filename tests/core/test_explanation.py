@@ -1,0 +1,201 @@
+"""Tests for explanation generation (paths, subgraphs, generator)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Explanation, ExplanationConfig, ExplanationGenerator, MatchedPath
+from repro.core.explanation import RelationPath, enumerate_paths, path_embedding
+from repro.kg import AlignmentSet, Triple
+from repro.models import MTransE
+
+
+# ----------------------------------------------------------------------
+# RelationPath
+# ----------------------------------------------------------------------
+class TestRelationPath:
+    def test_direct_path_properties(self, core_dataset):
+        kg = core_dataset.kg1
+        triple = sorted(kg.triples)[0]
+        path = RelationPath(source=triple.head, target=triple.tail, triples=(triple,))
+        assert path.is_direct
+        assert path.length == 1
+        assert path.entities() == [triple.head, triple.tail]
+        assert path.relations() == [triple.relation]
+        assert path.starts_at_head()
+
+    def test_reverse_direction_path(self):
+        triple = Triple("n", "r", "c")
+        path = RelationPath(source="c", target="n", triples=(triple,))
+        assert not path.starts_at_head()
+        assert path.entities() == ["c", "n"]
+
+    def test_two_hop_entities(self):
+        t1 = Triple("a", "r", "b")
+        t2 = Triple("b", "s", "c")
+        path = RelationPath(source="a", target="c", triples=(t1, t2))
+        assert path.entities() == ["a", "b", "c"]
+        assert path.length == 2
+        assert not path.is_direct
+
+    def test_enumerate_paths_matches_kg(self, core_dataset):
+        kg = core_dataset.kg1
+        triple = sorted(kg.triples)[0]
+        paths = enumerate_paths(kg, triple.head, triple.tail, max_length=1)
+        assert all(p.source == triple.head and p.target == triple.tail for p in paths)
+        assert any(p.triples == (triple,) for p in paths)
+
+
+class TestPathEmbedding:
+    def test_direct_path_embedding_formula(self, fitted_mtranse):
+        model = fitted_mtranse
+        kg = model.dataset.kg1
+        triple = sorted(kg.triples)[0]
+        path = RelationPath(source=triple.head, target=triple.tail, triples=(triple,))
+        embedding = path_embedding(path, model)
+        expected = np.concatenate(
+            [model.entity_embedding(triple.head), model.relation_embedding(triple.relation)]
+        )
+        assert np.allclose(embedding, expected)
+        assert embedding.shape == (2 * model.embedding_dim,)
+
+    def test_two_hop_embedding_averages(self, fitted_mtranse):
+        model = fitted_mtranse
+        kg = model.dataset.kg1
+        # find a 2-hop path
+        source = next(iter(kg.entities))
+        found = None
+        for entity in sorted(kg.entities):
+            for other in sorted(kg.neighbors(entity)):
+                for third in sorted(kg.neighbors(other)):
+                    if third not in (entity, other):
+                        paths = enumerate_paths(kg, entity, third, max_length=2)
+                        two_hop = [p for p in paths if p.length == 2]
+                        if two_hop:
+                            found = two_hop[0]
+                            break
+                if found:
+                    break
+            if found:
+                break
+        assert found is not None
+        embedding = path_embedding(found, model)
+        entities = found.entities()
+        expected_entity = (
+            model.entity_embedding(entities[0]) + model.entity_embedding(entities[1])
+        ) / 2
+        expected_relation = (
+            model.relation_embedding(found.relations()[0])
+            + model.relation_embedding(found.relations()[1])
+        ) / 2
+        assert np.allclose(embedding, np.concatenate([expected_entity, expected_relation]))
+
+
+# ----------------------------------------------------------------------
+# Explanation container
+# ----------------------------------------------------------------------
+class TestExplanationContainer:
+    def _make(self):
+        t1 = Triple("e1", "r", "n1")
+        t2 = Triple("e2", "r", "n2")
+        match = MatchedPath(
+            RelationPath("e1", "n1", (t1,)), RelationPath("e2", "n2", (t2,)), 0.9
+        )
+        return Explanation(
+            source="e1",
+            target="e2",
+            matched_paths=[match],
+            candidate_triples1={t1, Triple("e1", "s", "x")},
+            candidate_triples2={t2, Triple("e2", "s", "y")},
+        )
+
+    def test_triples_split_by_kg(self):
+        explanation = self._make()
+        assert explanation.triples1 == {Triple("e1", "r", "n1")}
+        assert explanation.triples2 == {Triple("e2", "r", "n2")}
+        assert len(explanation.triples) == 2
+
+    def test_sparsity(self):
+        explanation = self._make()
+        assert explanation.sparsity() == pytest.approx(1 - 2 / 4)
+
+    def test_empty_explanation_sparsity_zero_candidates(self):
+        empty = Explanation(source="a", target="b")
+        assert empty.sparsity() == 0.0
+        assert empty.is_empty
+
+    def test_removed_triples(self):
+        explanation = self._make()
+        removed1, removed2 = explanation.removed_triples()
+        assert removed1 == {Triple("e1", "s", "x")}
+        assert removed2 == {Triple("e2", "s", "y")}
+
+    def test_matched_neighbors_and_render(self):
+        explanation = self._make()
+        assert explanation.matched_neighbors == [("n1", "n2")]
+        assert "sameAs" in explanation.render()
+        assert "Explanation(" in explanation.summary()
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+class TestExplanationGenerator:
+    def test_requires_fitted_model(self, core_dataset):
+        with pytest.raises(ValueError):
+            ExplanationGenerator(MTransE(), core_dataset)
+
+    def test_explanations_for_gold_pairs(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        reference = generator.reference_alignment()
+        explained = non_empty = 0
+        for source, target in sorted(core_dataset.test_alignment)[:30]:
+            explanation = generator.explain(source, target, reference)
+            explained += 1
+            assert explanation.source == source and explanation.target == target
+            assert explanation.candidate_triples1 == core_dataset.kg1.triples_within_hops(source, 1)
+            if not explanation.is_empty:
+                non_empty += 1
+                # the explanation must be a subset of the candidates
+                assert explanation.triples1 <= explanation.candidate_triples1
+                assert explanation.triples2 <= explanation.candidate_triples2
+                assert 0.0 <= explanation.sparsity() <= 1.0
+        assert explained == 30
+        assert non_empty > 10  # most gold pairs have matching neighbourhoods
+
+    def test_matched_paths_connect_matched_neighbors(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        reference = generator.reference_alignment()
+        for source, target in sorted(core_dataset.test_alignment)[:15]:
+            explanation = generator.explain(source, target, reference)
+            matched = set(
+                generator.matched_neighbors(source, target, reference)
+            )
+            for match in explanation.matched_paths:
+                assert match.neighbor_pair in matched
+                assert match.path1.source == source
+                assert match.path2.source == target
+
+    def test_second_order_candidates_grow(self, fitted_mtranse, core_dataset):
+        first = ExplanationGenerator(
+            fitted_mtranse, core_dataset, ExplanationConfig(max_hops=1)
+        )
+        second = ExplanationGenerator(
+            fitted_mtranse, core_dataset, ExplanationConfig(max_hops=2)
+        )
+        source, target = sorted(core_dataset.test_alignment)[0]
+        reference = first.reference_alignment()
+        explanation1 = first.explain(source, target, reference)
+        explanation2 = second.explain(source, target, reference)
+        assert explanation2.num_candidates() >= explanation1.num_candidates()
+
+    def test_alignment_argument_controls_matching(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        source, target = sorted(core_dataset.test_alignment)[0]
+        empty = generator.explain(source, target, AlignmentSet())
+        assert empty.is_empty
+
+    def test_explain_pairs_bulk(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        pairs = sorted(core_dataset.test_alignment)[:5]
+        explanations = generator.explain_pairs(pairs)
+        assert set(explanations) == set(pairs)

@@ -1,0 +1,133 @@
+"""Tests for the synthetic benchmark generator, registry and noise utilities."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    SyntheticConfig,
+    add_spurious_triples,
+    benchmark_config,
+    corrupt_seed_alignment,
+    drop_random_triples,
+    generate_dataset,
+    load_benchmark,
+)
+from repro.kg import DatasetStats
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_dataset(SyntheticConfig(name="TINY", num_entities=120, seed=5))
+
+
+class TestGenerator:
+    def test_dataset_is_valid(self, small_dataset):
+        small_dataset.validate()
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(name="DET", num_entities=80, seed=9)
+        first = generate_dataset(config)
+        second = generate_dataset(config)
+        assert first.kg1.triples == second.kg1.triples
+        assert first.train_alignment == second.train_alignment
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(SyntheticConfig(num_entities=80, seed=1))
+        second = generate_dataset(SyntheticConfig(num_entities=80, seed=2))
+        assert first.kg1.triples != second.kg1.triples
+
+    def test_gold_alignment_is_one_to_one(self, small_dataset):
+        assert small_dataset.all_alignment().is_one_to_one()
+
+    def test_entities_use_prefixes(self, small_dataset):
+        assert all(e.startswith("a:") for e in small_dataset.kg1.entities)
+        assert all(e.startswith("b:") for e in small_dataset.kg2.entities)
+
+    def test_train_ratio_respected(self, small_dataset):
+        total = len(small_dataset.all_alignment())
+        ratio = len(small_dataset.train_alignment) / total
+        assert 0.2 < ratio < 0.4
+
+    def test_relation_overlap_full_when_one(self, small_dataset):
+        assert small_dataset.kg1.relations == small_dataset.kg2.relations
+
+    def test_relation_overlap_partial_when_low(self):
+        dataset = generate_dataset(
+            SyntheticConfig(num_entities=100, relation_overlap=0.3, seed=4)
+        )
+        shared = dataset.kg1.relations & dataset.kg2.relations
+        assert shared
+        assert shared != dataset.kg1.relations
+
+    def test_siblings_create_confusable_entities(self, small_dataset):
+        entities = small_dataset.kg1.entities
+        siblings = [e for e in entities if e.endswith("2") and e[:-1] in entities]
+        assert siblings
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_registered(self):
+        assert set(DATASET_NAMES) == {"ZH-EN", "JA-EN", "FR-EN", "DBP-WD", "DBP-YAGO"}
+
+    def test_alias_lookup(self):
+        assert benchmark_config("zh_en").name == "ZH-EN"
+        assert benchmark_config("DBP-WD-V1").name == "DBP-WD"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_config("XX-YY")
+
+    def test_scale_changes_size(self):
+        small = benchmark_config("ZH-EN", scale=0.25)
+        full = benchmark_config("ZH-EN")
+        assert small.num_entities < full.num_entities
+
+    def test_load_benchmark_small_scale(self):
+        dataset = load_benchmark("ZH-EN", scale=0.25)
+        dataset.validate()
+        assert dataset.name == "ZH-EN"
+
+    def test_fr_en_is_denser_than_ja_en(self):
+        fr = DatasetStats.of(load_benchmark("FR-EN", scale=0.3))
+        ja = DatasetStats.of(load_benchmark("JA-EN", scale=0.3))
+        assert fr.kg1.density > ja.kg1.density
+
+    def test_heterogeneous_datasets_have_lower_relation_overlap(self):
+        wd = DatasetStats.of(load_benchmark("DBP-WD", scale=0.3))
+        zh = DatasetStats.of(load_benchmark("ZH-EN", scale=0.3))
+        assert wd.relation_overlap < zh.relation_overlap
+
+
+class TestNoise:
+    def test_corrupt_seed_alignment_fraction(self, small_dataset):
+        noisy = corrupt_seed_alignment(small_dataset, fraction=0.2, seed=1)
+        assert len(noisy.train_alignment) == len(small_dataset.train_alignment)
+        broken = sum(
+            1
+            for pair in small_dataset.train_alignment
+            if pair not in noisy.train_alignment
+        )
+        assert broken > 0
+        assert noisy.test_alignment == small_dataset.test_alignment
+
+    def test_corrupt_rejects_bad_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            corrupt_seed_alignment(small_dataset, fraction=1.5)
+
+    def test_add_spurious_triples(self, small_dataset):
+        kg = small_dataset.kg1
+        noisy = add_spurious_triples(kg, fraction=0.1, seed=2)
+        assert noisy.num_triples() > kg.num_triples()
+        assert noisy.entities >= kg.entities
+
+    def test_drop_random_triples(self, small_dataset):
+        kg = small_dataset.kg1
+        reduced = drop_random_triples(kg, fraction=0.1, seed=2)
+        assert reduced.num_triples() < kg.num_triples()
+        assert reduced.entities == kg.entities
+
+    def test_noise_helpers_validate_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            add_spurious_triples(small_dataset.kg1, fraction=-0.1)
+        with pytest.raises(ValueError):
+            drop_random_triples(small_dataset.kg1, fraction=2.0)

@@ -1,0 +1,105 @@
+"""Tests for repro.embedding.optimizers and initializers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import (
+    SGD,
+    Adagrad,
+    Adam,
+    l2_normalize_rows,
+    make_optimizer,
+    normal,
+    uniform_unit,
+    xavier_uniform,
+)
+
+
+def quadratic_gradient(x: np.ndarray) -> np.ndarray:
+    """Gradient of ``0.5 * ||x - 3||^2``."""
+    return x - 3.0
+
+
+@pytest.mark.parametrize("name", ["sgd", "adagrad", "adam"])
+def test_optimizers_minimize_quadratic(name):
+    optimizer = make_optimizer(name, learning_rate=0.1)
+    x = np.zeros((4, 3))
+    for _ in range(2000):
+        optimizer.step("x", x, quadratic_gradient(x))
+    assert np.allclose(x, 3.0, atol=0.1)
+
+
+@pytest.mark.parametrize("name", ["sgd", "adagrad", "adam"])
+def test_sparse_step_matches_direction(name):
+    optimizer = make_optimizer(name, learning_rate=0.1)
+    x = np.zeros((5, 2))
+    indices = np.array([0, 2, 0])
+    gradients = np.array([[1.0, 1.0], [2.0, 2.0], [1.0, 1.0]])
+    optimizer.step_rows("x", x, indices, gradients)
+    assert x[0, 0] < 0  # moved against the gradient
+    assert x[2, 0] < 0
+    assert np.allclose(x[1], 0.0)
+    assert np.allclose(x[3], 0.0)
+
+
+def test_sgd_sparse_accumulates_duplicates():
+    optimizer = SGD(learning_rate=1.0)
+    x = np.zeros((2, 1))
+    optimizer.step_rows("x", x, np.array([0, 0]), np.array([[1.0], [1.0]]))
+    assert x[0, 0] == pytest.approx(-2.0)
+
+
+def test_adam_and_adagrad_track_state_per_name():
+    adam = Adam(learning_rate=0.1)
+    x = np.zeros((2, 2))
+    y = np.zeros((3, 2))
+    adam.step("x", x, np.ones_like(x))
+    adam.step("y", y, np.ones_like(y))
+    assert adam._steps["x"] == 1 and adam._steps["y"] == 1
+
+    adagrad = Adagrad(learning_rate=0.1)
+    adagrad.step("x", x, np.ones_like(x))
+    assert "x" in adagrad._cache
+
+
+def test_make_optimizer_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_optimizer("lbfgs", 0.1)
+
+
+def test_learning_rate_must_be_positive():
+    with pytest.raises(ValueError):
+        SGD(learning_rate=0.0)
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        matrix = xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(matrix) <= bound)
+
+    def test_uniform_unit_rows_are_normalized(self):
+        rng = np.random.default_rng(0)
+        matrix = uniform_unit((20, 16), rng)
+        assert np.allclose(np.linalg.norm(matrix, axis=1), 1.0)
+
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        matrix = normal((2000, 10), rng, std=0.5)
+        assert abs(matrix.std() - 0.5) < 0.05
+
+    def test_l2_normalize_handles_zero_rows(self):
+        matrix = np.array([[0.0, 0.0], [3.0, 4.0]])
+        normalized = l2_normalize_rows(matrix)
+        assert np.allclose(normalized[1], [0.6, 0.8])
+        assert np.all(np.isfinite(normalized))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_xavier_shape(rows, cols):
+    rng = np.random.default_rng(1)
+    assert xavier_uniform((rows, cols), rng).shape == (rows, cols)

@@ -1,0 +1,193 @@
+"""Tests for similarity utilities, negative sampling and evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.embedding import (
+    HardNegativeSampler,
+    cosine,
+    cosine_matrix,
+    csls_matrix,
+    greedy_alignment,
+    greedy_match,
+    mutual_nearest_pairs,
+    ranking_metrics,
+    top_k_indices,
+    uniform_corrupt,
+)
+from repro.kg import AlignmentSet
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        assert cosine(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vector_is_zero_similarity(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_cosine_matrix_shape_and_values(self):
+        left = np.array([[1.0, 0.0], [0.0, 1.0]])
+        right = np.array([[1.0, 0.0], [1.0, 1.0], [0.0, 2.0]])
+        matrix = cosine_matrix(left, right)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[1, 2] == pytest.approx(1.0)
+
+
+class TestCSLS:
+    def test_preserves_shape(self):
+        similarity = np.random.default_rng(0).random((6, 5))
+        assert csls_matrix(similarity, k=2).shape == (6, 5)
+
+    def test_penalizes_hubs(self):
+        # Column 0 is a hub similar to everything; CSLS should demote it
+        # relative to a target that is only similar to one source.
+        similarity = np.array([
+            [0.9, 0.8, 0.1],
+            [0.9, 0.1, 0.1],
+            [0.9, 0.1, 0.1],
+        ])
+        rescaled = csls_matrix(similarity, k=2)
+        assert rescaled[0, 1] > rescaled[0, 0]
+
+    def test_empty_matrix(self):
+        empty = np.zeros((0, 0))
+        assert csls_matrix(empty).shape == (0, 0)
+
+
+class TestMatching:
+    def test_top_k_indices_sorted(self):
+        row = np.array([0.1, 0.9, 0.5, 0.7])
+        assert list(top_k_indices(row, 3)) == [1, 3, 2]
+
+    def test_top_k_zero(self):
+        assert top_k_indices(np.array([0.3, 0.1]), 0).size == 0
+
+    def test_greedy_match_one_to_one(self):
+        similarity = np.array([[0.9, 0.2], [0.8, 0.7]])
+        matches = dict(greedy_match(similarity))
+        assert matches == {0: 0, 1: 1}
+
+    def test_greedy_match_rectangular(self):
+        similarity = np.array([[0.9, 0.1, 0.5]])
+        assert greedy_match(similarity) == [(0, 0)]
+
+    def test_mutual_nearest_pairs(self):
+        similarity = np.array([
+            [0.9, 0.1, 0.0],
+            [0.2, 0.8, 0.3],
+            [0.1, 0.6, 0.4],
+        ])
+        pairs = mutual_nearest_pairs(similarity)
+        assert (0, 0) in pairs
+        assert (1, 1) in pairs
+        assert all(pair[0] != 2 for pair in pairs)
+
+
+class TestNegativeSampling:
+    def test_uniform_corrupt_changes_one_side(self):
+        rng = np.random.default_rng(0)
+        heads = np.array([0, 1, 2, 3])
+        tails = np.array([4, 5, 6, 7])
+        negative_heads, negative_tails = uniform_corrupt(heads, tails, 100, rng, num_negatives=3)
+        assert negative_heads.shape == (12,)
+        original_heads = np.repeat(heads, 3)
+        original_tails = np.repeat(tails, 3)
+        changed_head = negative_heads != original_heads
+        changed_tail = negative_tails != original_tails
+        assert not np.any(changed_head & changed_tail)
+
+    def test_uniform_corrupt_requires_entities(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            uniform_corrupt(np.array([0]), np.array([1]), 1, rng)
+
+    def test_hard_sampler_requires_refresh(self):
+        sampler = HardNegativeSampler(truncation=3)
+        with pytest.raises(RuntimeError):
+            sampler.sample(np.array([0]))
+
+    def test_hard_sampler_returns_neighbors(self):
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(20, 8))
+        embeddings[1] = embeddings[0] + 0.001  # entity 1 is entity 0's nearest neighbour
+        sampler = HardNegativeSampler(truncation=1, seed=0)
+        sampler.refresh(embeddings)
+        samples = sampler.sample(np.array([0]), num_negatives=4)
+        assert np.all(samples == 1)
+
+    def test_hard_sampler_never_returns_self(self):
+        rng = np.random.default_rng(1)
+        embeddings = rng.normal(size=(15, 4))
+        sampler = HardNegativeSampler(truncation=5, seed=1)
+        sampler.refresh(embeddings)
+        ids = np.arange(15)
+        samples = sampler.sample(ids, num_negatives=3)
+        assert not np.any(samples == ids[:, None])
+
+    def test_truncation_validation(self):
+        with pytest.raises(ValueError):
+            HardNegativeSampler(truncation=0)
+
+
+class TestEvaluation:
+    def setup_method(self):
+        self.sources = ["s0", "s1", "s2"]
+        self.targets = ["t0", "t1", "t2"]
+        self.gold = AlignmentSet([("s0", "t0"), ("s1", "t1"), ("s2", "t2")])
+
+    def test_perfect_similarity(self):
+        similarity = np.eye(3)
+        metrics = ranking_metrics(similarity, self.sources, self.targets, self.gold)
+        assert metrics.hits_at_1 == 1.0
+        assert metrics.mrr == 1.0
+
+    def test_reversed_similarity(self):
+        similarity = np.array([
+            [0.0, 0.5, 1.0],
+            [0.0, 1.0, 0.5],
+            [1.0, 0.5, 0.0],
+        ])
+        metrics = ranking_metrics(similarity, self.sources, self.targets, self.gold)
+        assert metrics.hits_at_1 == pytest.approx(1 / 3)
+        assert 0.0 < metrics.mrr < 1.0
+
+    def test_greedy_alignment_allows_one_to_many(self):
+        similarity = np.array([
+            [0.9, 0.1, 0.1],
+            [0.8, 0.2, 0.1],
+            [0.1, 0.1, 0.9],
+        ])
+        predicted = greedy_alignment(similarity, self.sources, self.targets)
+        assert predicted.targets_of("s0") == {"t0"}
+        assert predicted.targets_of("s1") == {"t0"}
+        assert not predicted.is_one_to_one()
+
+    def test_no_gold_targets_in_columns(self):
+        gold = AlignmentSet([("s0", "missing")])
+        metrics = ranking_metrics(np.eye(3), self.sources, self.targets, gold)
+        assert metrics.num_evaluated == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(float, (4, 5), elements=st.floats(-1, 1)))
+def test_cosine_matrix_bounded(matrix):
+    similarity = cosine_matrix(matrix, matrix)
+    assert np.all(similarity <= 1.0 + 1e-9)
+    assert np.all(similarity >= -1.0 - 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(float, (5, 5), elements=st.floats(0, 1)))
+def test_greedy_match_is_one_to_one(similarity):
+    matches = greedy_match(similarity)
+    rows = [r for r, _ in matches]
+    cols = [c for _, c in matches]
+    assert len(rows) == len(set(rows))
+    assert len(cols) == len(set(cols))

@@ -1,0 +1,133 @@
+"""Tests for repro.kg.dataset, repro.kg.io and repro.kg.stats."""
+
+import pytest
+
+from repro.kg import (
+    AlignmentSet,
+    DatasetStats,
+    EADataset,
+    KGStats,
+    KnowledgeGraph,
+    Triple,
+    load_openea_dataset,
+    read_links,
+    read_triples,
+    save_openea_dataset,
+    split_alignment,
+    write_links,
+    write_triples,
+)
+
+
+@pytest.fixture
+def dataset():
+    kg1 = KnowledgeGraph([("a1", "r", "a2"), ("a2", "s", "a3"), ("a3", "r", "a1")], name="kg1")
+    kg2 = KnowledgeGraph([("b1", "r", "b2"), ("b2", "s", "b3"), ("b3", "r", "b1")], name="kg2")
+    train = AlignmentSet([("a1", "b1")])
+    test = AlignmentSet([("a2", "b2"), ("a3", "b3")])
+    return EADataset(kg1, kg2, train, test, name="toy")
+
+
+class TestEADataset:
+    def test_summary(self, dataset):
+        summary = dataset.summary()
+        assert summary["kg1_triples"] == 3
+        assert summary["train_pairs"] == 1
+        assert summary["test_pairs"] == 2
+
+    def test_all_alignment(self, dataset):
+        assert len(dataset.all_alignment()) == 3
+
+    def test_validate_passes(self, dataset):
+        dataset.validate()
+
+    def test_validate_rejects_missing_entity(self, dataset):
+        dataset.test_alignment.add("ghost", "b1")
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+    def test_validate_rejects_train_test_overlap(self, dataset):
+        dataset.test_alignment.add("a1", "b1")
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+    def test_with_noisy_seed_marks_metadata(self, dataset):
+        noisy = dataset.with_noisy_seed(1, seed=3)
+        assert noisy.metadata["seed_noise_pairs"] == 1
+        assert "Noise" in noisy.name
+        assert len(noisy.train_alignment) == len(dataset.train_alignment)
+
+    def test_without_triples(self, dataset):
+        reduced = dataset.without_triples(kg1_removed=[Triple("a1", "r", "a2")])
+        assert reduced.kg1.num_triples() == 2
+        assert reduced.kg2.num_triples() == 3
+        assert dataset.kg1.num_triples() == 3
+
+    def test_test_sources_targets(self, dataset):
+        assert dataset.test_sources() == {"a2", "a3"}
+        assert dataset.test_targets() == {"b2", "b3"}
+
+
+class TestSplitAlignment:
+    def test_split_sizes(self):
+        gold = AlignmentSet([(f"a{i}", f"b{i}") for i in range(100)])
+        train, test = split_alignment(gold, train_ratio=0.3, seed=1)
+        assert len(train) == 30
+        assert len(test) == 70
+        assert not (train.pairs & test.pairs)
+
+    def test_split_is_deterministic(self):
+        gold = AlignmentSet([(f"a{i}", f"b{i}") for i in range(50)])
+        assert split_alignment(gold, seed=7)[0] == split_alignment(gold, seed=7)[0]
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            split_alignment(AlignmentSet([("a", "b")]), train_ratio=1.5)
+
+
+class TestIO:
+    def test_triples_roundtrip(self, tmp_path):
+        triples = [Triple("a", "r", "b"), Triple("c", "s", "d")]
+        path = tmp_path / "rel_triples_1"
+        write_triples(triples, path)
+        assert set(read_triples(path)) == set(triples)
+
+    def test_links_roundtrip(self, tmp_path):
+        alignment = AlignmentSet([("a", "b"), ("c", "d")])
+        path = tmp_path / "ent_links"
+        write_links(alignment, path)
+        assert read_links(path) == alignment
+
+    def test_read_triples_rejects_bad_line(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("only\ttwo\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_triples(path)
+
+    def test_dataset_roundtrip_with_fold(self, dataset, tmp_path):
+        save_openea_dataset(dataset, tmp_path / "toy")
+        loaded = load_openea_dataset(tmp_path / "toy", fold="721_5fold/1")
+        assert loaded.kg1.triples == dataset.kg1.triples
+        assert loaded.kg2.triples == dataset.kg2.triples
+        assert loaded.train_alignment == dataset.train_alignment
+        assert loaded.test_alignment == dataset.test_alignment
+
+    def test_dataset_load_with_split(self, dataset, tmp_path):
+        save_openea_dataset(dataset, tmp_path / "toy")
+        loaded = load_openea_dataset(tmp_path / "toy", train_ratio=0.5, seed=0)
+        assert len(loaded.all_alignment()) == 3
+
+
+class TestStats:
+    def test_kg_stats(self, dataset):
+        stats = KGStats.of(dataset.kg1)
+        assert stats.num_entities == 3
+        assert stats.num_triples == 3
+        assert stats.average_degree == pytest.approx(2.0)
+        assert 0.0 < stats.average_functionality <= 1.0
+
+    def test_dataset_stats(self, dataset):
+        stats = DatasetStats.of(dataset)
+        assert stats.name == "toy"
+        assert stats.relation_overlap == 1.0
+        assert len(stats.as_rows()) >= 6

@@ -1,0 +1,97 @@
+"""Unit tests for repro.kg.triple."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kg import Triple, entities_of, make_triples, relations_of
+
+
+class TestTriple:
+    def test_fields(self):
+        triple = Triple("a", "r", "b")
+        assert triple.head == "a"
+        assert triple.relation == "r"
+        assert triple.tail == "b"
+
+    def test_is_hashable_and_equal_by_value(self):
+        assert Triple("a", "r", "b") == Triple("a", "r", "b")
+        assert len({Triple("a", "r", "b"), Triple("a", "r", "b")}) == 1
+
+    def test_reversed_swaps_head_and_tail(self):
+        assert Triple("a", "r", "b").reversed() == Triple("b", "r", "a")
+
+    def test_entities(self):
+        assert Triple("a", "r", "b").entities() == ("a", "b")
+
+    def test_contains_entity(self):
+        triple = Triple("a", "r", "b")
+        assert triple.contains_entity("a")
+        assert triple.contains_entity("b")
+        assert not triple.contains_entity("c")
+
+    def test_other_entity(self):
+        triple = Triple("a", "r", "b")
+        assert triple.other_entity("a") == "b"
+        assert triple.other_entity("b") == "a"
+
+    def test_other_entity_raises_for_stranger(self):
+        with pytest.raises(ValueError):
+            Triple("a", "r", "b").other_entity("c")
+
+    def test_as_tuple_and_iter(self):
+        triple = Triple("a", "r", "b")
+        assert triple.as_tuple() == ("a", "r", "b")
+        assert list(triple) == ["a", "r", "b"]
+
+    def test_immutability(self):
+        triple = Triple("a", "r", "b")
+        with pytest.raises(AttributeError):
+            triple.head = "x"
+
+
+class TestTripleHelpers:
+    def test_make_triples_from_tuples(self):
+        triples = make_triples([("a", "r", "b"), ("b", "s", "c")])
+        assert triples == [Triple("a", "r", "b"), Triple("b", "s", "c")]
+
+    def test_make_triples_passthrough(self):
+        original = Triple("a", "r", "b")
+        assert make_triples([original]) == [original]
+
+    def test_make_triples_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            make_triples([("a", "r")])
+
+    def test_entities_of_and_relations_of(self):
+        triples = make_triples([("a", "r", "b"), ("b", "s", "c")])
+        assert entities_of(triples) == {"a", "b", "c"}
+        assert relations_of(triples) == {"r", "s"}
+
+
+@given(
+    st.text(min_size=1, max_size=8),
+    st.text(min_size=1, max_size=8),
+    st.text(min_size=1, max_size=8),
+)
+def test_reversed_is_involution(head, relation, tail):
+    triple = Triple(head, relation, tail)
+    assert triple.reversed().reversed() == triple
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("abcdef"),
+            st.sampled_from("rs"),
+            st.sampled_from("abcdef"),
+        ),
+        max_size=30,
+    )
+)
+def test_entities_of_covers_all_heads_and_tails(raw):
+    triples = make_triples(raw)
+    entities = entities_of(triples)
+    for triple in triples:
+        assert triple.head in entities
+        assert triple.tail in entities

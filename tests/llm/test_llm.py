@@ -1,0 +1,160 @@
+"""Tests for the simulated ChatGPT oracle, LLM explainers and verification."""
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.core import ExEA
+from repro.kg import Triple
+from repro.llm import (
+    ChatGPTMatchExplainer,
+    ChatGPTPerturbExplainer,
+    ExEAVerifier,
+    FusedVerifier,
+    LLMVerifier,
+    SimulatedChatGPT,
+    name_similarity,
+    normalize_name,
+    strip_namespace,
+    verdicts_to_bool,
+)
+from repro.models import DualAMN, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(
+        SyntheticConfig(name="LLM", num_entities=90, avg_degree=4.5, seed=19, train_ratio=0.3)
+    )
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return DualAMN(TrainingConfig(dim=20, epochs=50, seed=4)).fit(dataset)
+
+
+class TestNameUtilities:
+    def test_strip_namespace(self):
+        assert strip_namespace("zh:foo_bar") == "foo_bar"
+        assert strip_namespace("plain") == "plain"
+
+    def test_normalize_name_numbers(self):
+        assert normalize_name("en:GeForce_400", ignore_numbers=True) == "geforce"
+        assert normalize_name("en:GeForce_400", ignore_numbers=False) == "geforce 400"
+
+    def test_number_blindness_confuses_versions(self):
+        blind = name_similarity("en:geforce_400", "zh:geforce_500", ignore_numbers=True)
+        sighted = name_similarity("en:geforce_400", "zh:geforce_500", ignore_numbers=False)
+        assert blind == pytest.approx(1.0)
+        assert sighted < 1.0
+
+
+class TestSimulatedChatGPT:
+    def test_deterministic_given_seed(self):
+        triples1 = [Triple("a:x_01", "r", "a:y_02")]
+        triples2 = [Triple("b:x_01", "r", "b:y_02"), Triple("b:z_03", "s", "b:w_04")]
+        first = SimulatedChatGPT(seed=7).match_triples(triples1, triples2)
+        second = SimulatedChatGPT(seed=7).match_triples(triples1, triples2)
+        assert first == second
+
+    def test_matches_similar_triples_without_hallucination(self):
+        llm = SimulatedChatGPT(hallucination_rate=0.0)
+        triples1 = [Triple("a:paris_01", "located_in", "a:france_02")]
+        triples2 = [
+            Triple("b:paris_01", "located_in", "b:france_02"),
+            Triple("b:oslo_07", "located_in", "b:norway_08"),
+        ]
+        matches = llm.match_triples(triples1, triples2)
+        assert len(matches) == 1
+        assert matches[0][1] == triples2[0]
+
+    def test_hallucination_rate_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedChatGPT(hallucination_rate=1.5)
+
+    def test_verify_pair_number_blindness(self, dataset):
+        llm = SimulatedChatGPT(hallucination_rate=0.0, number_blindness=True)
+        entities = sorted(dataset.kg1.entities)
+        sibling_pairs = [
+            (e, f"{e}2") for e in entities if f"{e}2" in dataset.kg1.entities
+        ]
+        if not sibling_pairs:
+            pytest.skip("no sibling entities in this draw")
+        original, sibling = sibling_pairs[0]
+        counterpart = original.replace("a:", "b:")
+        verdict_confusable, _ = llm.verify_pair(
+            sibling, counterpart,
+            sorted(dataset.kg1.triples_of(sibling)), sorted(dataset.kg2.triples_of(counterpart)),
+        )
+        assert verdict_confusable  # the LLM cannot tell the versions apart
+
+    def test_usage_tracking(self):
+        llm = SimulatedChatGPT(hallucination_rate=1.0)
+        llm.verify_pair("a:x_1", "b:y_2", [], [])
+        assert llm.usage.num_calls == 1
+        assert llm.usage.num_hallucinations >= 1
+
+
+class TestLLMExplainers:
+    def test_match_explainer_selects_matched_triples(self, model, dataset):
+        pair = sorted(p for p in model.predict() if p in dataset.test_alignment.pairs)[0]
+        explainer = ChatGPTMatchExplainer(model, dataset, llm=SimulatedChatGPT(hallucination_rate=0.0))
+        explanation = explainer.explain(*pair)
+        assert explanation.triples <= (
+            explanation.candidate_triples1 | explanation.candidate_triples2
+        )
+
+    def test_perturb_explainer_ranks_all_candidates(self, model, dataset):
+        pair = sorted(model.predict().pairs)[0]
+        explainer = ChatGPTPerturbExplainer(model, dataset)
+        candidates1, candidates2 = explainer.candidate_triples(*pair)
+        scores = explainer.rank_triples(pair[0], pair[1], candidates1, candidates2)
+        assert set(scores) == candidates1 | candidates2
+
+    def test_match_explainer_respects_budget(self, model, dataset):
+        pair = sorted(model.predict().pairs)[0]
+        explainer = ChatGPTMatchExplainer(model, dataset)
+        explanation = explainer.explain(pair[0], pair[1], num_triples=1)
+        assert len(explanation.triples) <= 1
+
+
+class TestVerification:
+    @pytest.fixture(scope="class")
+    def verification_setup(self, model, dataset):
+        exea = ExEA(model, dataset)
+        gold = dataset.test_alignment.pairs
+        predictions = sorted(model.predict())
+        correct = [p for p in predictions if p in gold][:10]
+        incorrect = [p for p in predictions if p not in gold][:10]
+        labels = {p: True for p in correct}
+        labels.update({p: False for p in incorrect})
+        return exea, labels
+
+    def test_all_verifiers_return_verdicts(self, model, dataset, verification_setup):
+        exea, labels = verification_setup
+        pairs = sorted(labels)
+        llm_verifier = LLMVerifier(dataset, SimulatedChatGPT(seed=1))
+        exea_verifier = ExEAVerifier(exea)
+        fused = FusedVerifier(llm_verifier, exea_verifier)
+        for verifier in (llm_verifier, exea_verifier, fused):
+            verdicts = verifier.verify_pairs(pairs)
+            assert set(verdicts) == set(pairs)
+            for verdict in verdicts.values():
+                assert 0.0 <= verdict.confidence <= 1.0
+            booleans = verdicts_to_bool(verdicts)
+            assert all(isinstance(v, bool) for v in booleans.values())
+
+    def test_exea_verifier_better_than_chance(self, model, dataset, verification_setup):
+        exea, labels = verification_setup
+        pairs = sorted(labels)
+        verdicts = verdicts_to_bool(ExEAVerifier(exea).verify_pairs(pairs))
+        correct_rate = sum(verdicts[p] == labels[p] for p in pairs) / len(pairs)
+        assert correct_rate > 0.5
+
+    def test_single_pair_verify(self, model, dataset, verification_setup):
+        exea, labels = verification_setup
+        pair = sorted(labels)[0]
+        assert isinstance(LLMVerifier(dataset).verify(*pair).accepted, bool)
+        assert isinstance(ExEAVerifier(exea).verify(*pair).accepted, bool)
+        llm_verifier = LLMVerifier(dataset)
+        fused = FusedVerifier(llm_verifier, ExEAVerifier(exea))
+        assert isinstance(fused.verify(*pair).accepted, bool)

@@ -1,0 +1,109 @@
+"""Tests for fidelity, sparsity and verification metrics."""
+
+import pytest
+
+from repro.core import ExEA
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.metrics import (
+    VerificationMetrics,
+    accuracy_of_verdicts,
+    fidelity_by_retraining,
+    fidelity_fast,
+    mean_sparsity,
+    verification_metrics,
+)
+from repro.models import MTransE, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(
+        SyntheticConfig(name="MET", num_entities=70, avg_degree=4.0, seed=29, train_ratio=0.3)
+    )
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return MTransE(TrainingConfig(dim=16, epochs=60, seed=5)).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def exea_explanations(model, dataset):
+    exea = ExEA(model, dataset)
+    correct = sorted(
+        pair for pair in model.predict() if pair in dataset.test_alignment.pairs
+    )[:10]
+    return exea.explain_predictions(correct)
+
+
+class TestFidelity:
+    def test_fast_fidelity_in_unit_interval(self, model, dataset, exea_explanations):
+        value = fidelity_fast(model, dataset, exea_explanations)
+        assert 0.0 <= value <= 1.0
+
+    def test_retraining_fidelity_in_unit_interval(self, model, dataset, exea_explanations):
+        value = fidelity_by_retraining(model, dataset, exea_explanations)
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_explanations(self, model, dataset):
+        assert fidelity_fast(model, dataset, {}) == 0.0
+        assert fidelity_by_retraining(model, dataset, {}) == 0.0
+        assert mean_sparsity({}) == 0.0
+
+    def test_full_candidate_explanations_have_high_fidelity(self, model, dataset):
+        """Keeping every candidate triple must preserve (almost) all predictions."""
+        from repro.baselines import BaselineExplanation
+
+        correct = sorted(
+            pair for pair in model.predict() if pair in dataset.test_alignment.pairs
+        )[:10]
+        explanations = {}
+        for source, target in correct:
+            candidates1 = dataset.kg1.triples_within_hops(source, 1)
+            candidates2 = dataset.kg2.triples_within_hops(target, 1)
+            explanations[(source, target)] = BaselineExplanation(
+                source=source,
+                target=target,
+                selected_triples1=set(candidates1),
+                selected_triples2=set(candidates2),
+                candidate_triples1=candidates1,
+                candidate_triples2=candidates2,
+            )
+        assert fidelity_by_retraining(model, dataset, explanations) >= 0.5
+
+    def test_mean_sparsity(self, exea_explanations):
+        value = mean_sparsity(exea_explanations)
+        assert 0.0 <= value <= 1.0
+
+
+class TestVerificationMetrics:
+    def test_perfect_verdicts(self):
+        labels = {("a", "b"): True, ("c", "d"): False}
+        metrics = verification_metrics(labels, labels)
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+        assert metrics.num_pairs == 2
+
+    def test_mixed_verdicts(self):
+        labels = {("a", "b"): True, ("c", "d"): False, ("e", "f"): True}
+        verdicts = {("a", "b"): True, ("c", "d"): True, ("e", "f"): False}
+        metrics = verification_metrics(verdicts, labels)
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.f1 == pytest.approx(0.5)
+
+    def test_missing_verdicts_are_skipped(self):
+        labels = {("a", "b"): True, ("c", "d"): True}
+        verdicts = {("a", "b"): True}
+        metrics = verification_metrics(verdicts, labels)
+        assert metrics.num_pairs == 1
+        assert metrics.recall == 1.0
+
+    def test_no_accepts(self):
+        labels = {("a", "b"): True}
+        metrics = verification_metrics({("a", "b"): False}, labels)
+        assert metrics == VerificationMetrics(0.0, 0.0, 0.0, 1)
+
+    def test_accuracy_of_verdicts(self):
+        labels = {("a", "b"): True, ("c", "d"): False}
+        assert accuracy_of_verdicts({("a", "b"): True, ("c", "d"): False}, labels) == 1.0
+        assert accuracy_of_verdicts({}, labels) == 0.0
