@@ -1,0 +1,234 @@
+"""Micro-benchmark: batched explanation engine vs the seed sequential path.
+
+Measures wall-clock of ``ExplanationGenerator.explain_pairs`` (the
+vectorized batch engine with shared embedding & neighborhood caches)
+against a faithful replica of the seed implementation (set-based BFS
+neighbourhoods, set-based DFS path enumeration, one-vector-at-a-time path
+embedding, per-pair cosine matrix — no caches of any kind) on the Fig. 4
+workload: Dual-AMN on ZH-EN with first- and second-order candidates.
+
+Results are written to ``BENCH_engine.json`` next to this file so future
+PRs can track the perf trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import ExplanationConfig, ExplanationGenerator
+from repro.core.explanation import RelationPath
+from repro.core.explanation.subgraph import Explanation, MatchedPath
+from repro.embedding import cosine_matrix, mutual_nearest_pairs
+from repro.experiments import sample_correct_pairs
+from repro.kg import EADataset
+
+ARTIFACT = Path(__file__).parent / "BENCH_engine.json"
+
+
+# ----------------------------------------------------------------------
+# Seed replica (the pre-engine hot path, kept cache-free on purpose)
+# ----------------------------------------------------------------------
+def _seed_neighborhood(kg, entity, max_hops):
+    frontier = {entity}
+    seen = {entity}
+    for _ in range(max_hops):
+        next_frontier = set()
+        for node in frontier:
+            found = set()
+            for triple in kg.outgoing(node):
+                found.add(triple.tail)
+            for triple in kg.incoming(node):
+                found.add(triple.head)
+            found.discard(node)
+            next_frontier |= found
+        next_frontier -= seen
+        seen |= next_frontier
+        frontier = next_frontier
+    return seen - {entity}
+
+
+def _seed_relation_paths(kg, source, target, max_length):
+    results = []
+
+    def extend(current, visited, path):
+        if len(path) >= max_length:
+            return
+        for triple in kg.triples_of(current):
+            nxt = triple.other_entity(current)
+            if nxt in visited:
+                continue
+            new_path = path + (triple,)
+            if nxt == target:
+                results.append(new_path)
+            else:
+                extend(nxt, visited | {nxt}, new_path)
+
+    extend(source, {source}, ())
+    return results
+
+
+def _seed_triples_within_hops(kg, entity, hops):
+    frontier = {entity}
+    seen_entities = {entity}
+    collected = set()
+    for _ in range(hops):
+        next_frontier = set()
+        for node in frontier:
+            for triple in kg.triples_of(node):
+                collected.add(triple)
+                other = triple.other_entity(node)
+                if other not in seen_entities:
+                    next_frontier.add(other)
+        seen_entities |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return collected
+
+
+def _seed_path_embedding(path, model):
+    entities = path.entities()
+    relations = path.relations()
+    n = len(relations)
+    entity_part = np.sum([model.entity_embedding(e) for e in entities[:-1]], axis=0) / n
+    relation_part = np.sum([model.relation_embedding(r) for r in relations], axis=0) / n
+    return np.concatenate([entity_part, relation_part])
+
+
+def seed_explain(model, dataset, config, source, target, alignment):
+    """The seed ``ExplanationGenerator.explain``, replicated cache-free."""
+    candidates1 = _seed_triples_within_hops(dataset.kg1, source, config.max_hops)
+    candidates2 = _seed_triples_within_hops(dataset.kg2, target, config.max_hops)
+    explanation = Explanation(
+        source=source,
+        target=target,
+        candidate_triples1=candidates1,
+        candidate_triples2=candidates2,
+    )
+    neighbors1 = _seed_neighborhood(dataset.kg1, source, config.max_hops)
+    neighbors2 = _seed_neighborhood(dataset.kg2, target, config.max_hops)
+    neighbor_pairs = []
+    for neighbor1 in sorted(neighbors1):
+        for neighbor2 in sorted(alignment.targets_of(neighbor1)):
+            if neighbor2 in neighbors2 and (neighbor1, neighbor2) != (source, target):
+                neighbor_pairs.append((neighbor1, neighbor2))
+    if not neighbor_pairs:
+        return explanation
+    paths1, paths2 = [], []
+    for neighbor1, neighbor2 in neighbor_pairs:
+        found1 = [
+            RelationPath(source=source, target=neighbor1, triples=p)
+            for p in _seed_relation_paths(dataset.kg1, source, neighbor1, config.max_hops)
+        ][: config.max_paths_per_neighbor]
+        found2 = [
+            RelationPath(source=target, target=neighbor2, triples=p)
+            for p in _seed_relation_paths(dataset.kg2, target, neighbor2, config.max_hops)
+        ][: config.max_paths_per_neighbor]
+        paths1.extend(found1)
+        paths2.extend(found2)
+    if not paths1 or not paths2:
+        return explanation
+    embeddings1 = np.stack([_seed_path_embedding(p, model) for p in paths1])
+    embeddings2 = np.stack([_seed_path_embedding(p, model) for p in paths2])
+    similarity = cosine_matrix(embeddings1, embeddings2)
+    neighbor_pair_set = set(neighbor_pairs)
+    for i, j in mutual_nearest_pairs(similarity):
+        path1, path2 = paths1[i], paths2[j]
+        if (path1.target, path2.target) not in neighbor_pair_set:
+            continue
+        score = float(similarity[i, j])
+        if score < config.min_path_similarity:
+            continue
+        explanation.matched_paths.append(MatchedPath(path1, path2, score))
+    explanation.matched_paths.sort(key=lambda m: -m.similarity)
+    return explanation
+
+
+@pytest.mark.parametrize("max_hops", [1, 2], ids=["ZH-EN-1", "ZH-EN-2"])
+def test_engine_speedup(benchmark, max_hops, dataset_cache, model_cache, bench_scale):
+    dataset = dataset_cache("ZH-EN")
+    model = model_cache("Dual-AMN", "ZH-EN")
+    pairs = sample_correct_pairs(
+        model, dataset, bench_scale.explanation_sample, seed=bench_scale.seed
+    )
+    config = ExplanationConfig(max_hops=max_hops)
+
+    def cold_dataset():
+        # Fresh graph copies per repetition so every KG-level memo (hop
+        # sets, walk cache) starts cold.  The CSR index itself is a
+        # per-graph artifact built once per graph lifetime (the seed's
+        # dict adjacency is likewise maintained eagerly at construction),
+        # so it is warmed outside the timed region.
+        copied = EADataset(
+            dataset.kg1.copy(),
+            dataset.kg2.copy(),
+            dataset.train_alignment,
+            dataset.test_alignment,
+            name=dataset.name,
+        )
+        copied.kg1.index().adjacency()
+        copied.kg2.index().adjacency()
+        return copied
+
+    repetitions = 5
+
+    def measure():
+        reference = ExplanationGenerator(model, dataset, config).reference_alignment()
+
+        sequential_seconds = float("inf")
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            sequential = {
+                pair: seed_explain(model, dataset, config, pair[0], pair[1], reference)
+                for pair in pairs
+            }
+            sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
+
+        batch_seconds = float("inf")
+        for _ in range(repetitions):
+            generator = ExplanationGenerator(model, cold_dataset(), config)
+            start = time.perf_counter()
+            batched = generator.explain_pairs(pairs, reference)
+            batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+        matching = sum(
+            1
+            for pair in pairs
+            if {(m.path1, m.path2) for m in batched[pair].matched_paths}
+            == {(m.path1, m.path2) for m in sequential[pair].matched_paths}
+        )
+        return {
+            "workload": f"ZH-EN-{max_hops}",
+            "model": model.name,
+            "num_pairs": len(pairs),
+            "repetitions": repetitions,
+            "sequential_seconds": sequential_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": sequential_seconds / max(batch_seconds, 1e-12),
+            "pairs_with_identical_matches": matching,
+        }
+
+    row = run_once(benchmark, measure)
+    print()
+    print(
+        f"[engine] {row['workload']}: sequential {row['sequential_seconds'] * 1000:.1f}ms, "
+        f"batch {row['batch_seconds'] * 1000:.1f}ms, speedup {row['speedup']:.2f}x "
+        f"({row['pairs_with_identical_matches']}/{row['num_pairs']} identical)"
+    )
+
+    existing = {}
+    if ARTIFACT.exists():
+        existing = json.loads(ARTIFACT.read_text())
+    existing[row["workload"]] = row
+    ARTIFACT.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+    assert row["pairs_with_identical_matches"] == row["num_pairs"]
+    # Acceptance: the batch engine beats the seed sequential path by >= 3x
+    # on the second-order workload (first-order neighbourhoods are tiny, so
+    # the fixed numpy overhead eats part of the win there).
+    if max_hops == 2:
+        assert row["speedup"] >= 3.0

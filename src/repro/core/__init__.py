@@ -2,6 +2,9 @@
 
 Sub-packages:
 
+* :mod:`repro.core.engine` — the vectorized batch explanation engine with
+  shared embedding & neighborhood caches (see its docstring for the
+  cache-invalidation contract).
 * :mod:`repro.core.explanation` — semantic matching subgraph generation.
 * :mod:`repro.core.adg` — alignment dependency graphs and confidence.
 * :mod:`repro.core.repair` — conflict detection and EA repair.
@@ -18,6 +21,7 @@ from .adg import (
     low_confidence_threshold,
     node_confidence,
 )
+from .engine import ExplanationEngine, PathEmbeddingStore
 from .explanation import (
     Explanation,
     ExplanationConfig,
@@ -46,7 +50,9 @@ __all__ = [
     "ExEAConfig",
     "Explanation",
     "ExplanationConfig",
+    "ExplanationEngine",
     "ExplanationGenerator",
+    "PathEmbeddingStore",
     "MatchedPath",
     "RelationPath",
     "RepairConfig",

@@ -1,0 +1,410 @@
+"""Vectorized batch explanation engine with shared embedding & neighborhood caches.
+
+The seed implementation explained every EA pair independently: each call
+re-derived neighbourhoods with set-based BFS, re-enumerated relation
+paths, embedded them one vector at a time through string-keyed dict
+lookups, and normalised a fresh little similarity matrix per pair.  The
+:class:`ExplanationEngine` below turns that hot path into an
+integer-indexed, NumPy-vectorized pipeline shared across pairs:
+
+1. neighbourhoods come from the KG-level memoized integer BFS
+   (:meth:`repro.kg.KnowledgeGraph.entities_within_hops`);
+2. relation paths come from one memoized grouped walk per central entity
+   (:meth:`repro.kg.KGIndex.walks_from`) — the DFS ball around an entity
+   is explored once no matter how many of its neighbours are queried —
+   and are cached per ``(entity, neighbour)`` endpoint pair together with
+   their integer entity/relation ids;
+3. the embeddings of *all* new paths in a batch are computed in one shot —
+   the precomputed ids are gathered into arrays grouped by path length,
+   summed with fancy indexing (Eq. 2), stacked into a single matrix, and
+   L2-normalised once;
+4. each pair's bidirectional (mutual nearest neighbour) matching is a
+   small dot product of pre-normalised rows — no per-pair re-embedding or
+   re-normalisation.
+
+``explain()`` is the batch-of-one case of ``explain_batch()``, so single
+and batched calls produce identical explanations.
+
+Cache-invalidation contract
+---------------------------
+
+* Everything the engine caches (endpoint path lists, embedding rows, id
+  maps, sorted neighbourhoods) is guarded by the two graphs'
+  :attr:`~repro.kg.KnowledgeGraph.version` counters and the model's
+  :attr:`~repro.models.EAModel.embedding_version`; a change of either
+  drops the derived state wholesale (the fidelity protocol removes
+  triples mid-experiment, so this is exercised in practice).
+* KG-level structural memos (adjacency index, hop sets, walk cache) live
+  on :class:`repro.kg.KnowledgeGraph` / :class:`repro.kg.KGIndex` and are
+  invalidated by the graph itself on mutation.
+* The engine never mutates the alignment it is given; alignment-dependent
+  state (the matched-neighbour lists) is recomputed per call, which is
+  cheap once neighbourhoods and the reverse alignment index are O(1)
+  lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding import mutual_nearest_pairs
+from ..kg import EADataset
+from ..models import EAModel
+from .explanation.paths import RelationPath
+from .explanation.subgraph import Explanation, MatchedPath
+
+_EPS = 1e-12
+
+#: Anything answering ``targets_of(source) -> set[str]`` — a full
+#: :class:`repro.kg.AlignmentSet` or a live :class:`repro.kg.AlignmentUnionView`.
+AlignmentLike = object
+
+
+class PathEmbeddingStore:
+    """One growing matrix of unit-normalised path embeddings (Eq. 2).
+
+    The engine appends the embeddings of new endpoint blocks (all paths of
+    one ``(central, neighbour)`` pair) in vectorised batches and addresses
+    them by row range afterwards — no per-path bookkeeping is needed
+    because a path's ``source``/``target`` fields tie it to exactly one
+    endpoint pair.  Rows are normalised exactly like
+    :func:`repro.embedding.cosine_matrix` normalises its inputs, so
+    gathered-row dot products reproduce its output bit-for-bit.  The
+    owning engine resets the store whenever the model's matrices or either
+    graph change version.
+    """
+
+    def __init__(self, model: EAModel) -> None:
+        self.model = model
+        self._unit: np.ndarray | None = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every stored row (model refit or graph mutation)."""
+        self._unit = None
+        self._size = 0
+
+    def unit_rows(self, row_ids: np.ndarray) -> np.ndarray:
+        """Gather unit-normalised embedding rows by id."""
+        assert self._unit is not None
+        return self._unit[row_ids]
+
+    def append(self, id_pairs: list[tuple[tuple[int, ...], tuple[int, ...]]]) -> int:
+        """Embed *id_pairs* in one vectorised batch; returns the base row id.
+
+        Each item is ``(entity_ids, relation_ids)`` already mapped into the
+        model's index (the engine precomputes them during path
+        enumeration), so embedding needs no string lookups.  Rows
+        ``base .. base + len(id_pairs) - 1`` follow input order.
+        """
+        raw = self._embed(id_pairs)
+        norms = np.maximum(np.linalg.norm(raw, axis=1, keepdims=True), _EPS)
+        unit = raw / norms
+        base = self._size
+        # Amortised append: double the backing capacity instead of
+        # re-concatenating the whole matrix on every small batch.
+        needed = base + len(id_pairs)
+        if self._unit is None:
+            capacity = max(needed, 256)
+            self._unit = np.zeros((capacity, unit.shape[1]))
+        elif needed > self._unit.shape[0]:
+            capacity = max(needed, 2 * self._unit.shape[0])
+            grown = np.zeros((capacity, self._unit.shape[1]))
+            grown[:base] = self._unit[:base]
+            self._unit = grown
+        self._unit[base:needed] = unit
+        self._size = needed
+        return base
+
+    # ------------------------------------------------------------------
+    def _embed(
+        self, id_pairs: list[tuple[tuple[int, ...], tuple[int, ...]]]
+    ) -> np.ndarray:
+        """Eq. 2 for a batch of paths, grouped by length for fancy indexing.
+
+        The entity part averages the source and intermediate entities (the
+        final neighbour is excluded), the relation part averages the
+        relation embeddings; the two halves are concatenated — exactly
+        :func:`repro.core.explanation.paths.path_embedding`, many rows at
+        a time over precomputed id tuples.
+        """
+        model = self.model
+        assert model.entity_matrix is not None
+        entity_matrix = model.entity_matrix
+        relation_matrix = model.relation_embedding_matrix()
+        dim = entity_matrix.shape[1]
+        out = np.zeros((len(id_pairs), 2 * dim))
+        by_length: dict[int, list[int]] = {}
+        for position, (_, relation_ids) in enumerate(id_pairs):
+            by_length.setdefault(len(relation_ids), []).append(position)
+        for length, positions in by_length.items():
+            entity_ids = np.array([id_pairs[i][0] for i in positions], dtype=np.int64)
+            relation_ids = np.array([id_pairs[i][1] for i in positions], dtype=np.int64)
+            entity_part = entity_matrix[entity_ids].sum(axis=1) / length
+            relation_part = relation_matrix[relation_ids].sum(axis=1) / length
+            out[positions] = np.concatenate([entity_part, relation_part], axis=1)
+        return out
+
+
+class ExplanationEngine:
+    """Batch explanation kernels + caches shared by generator and repairer."""
+
+    def __init__(self, model: EAModel, dataset: EADataset, config) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config
+        self.store = PathEmbeddingStore(model)
+        #: endpoint key -> (RelationPath tuple, (entity_ids, relation_ids) tuple)
+        self._path_lists: dict[
+            tuple[int, str, str],
+            tuple[tuple[RelationPath, ...], tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]],
+        ] = {}
+        #: endpoint key -> embedding row ids in the store
+        self._path_rows: dict[tuple[int, str, str], np.ndarray] = {}
+        #: per-side lookup tables: kg-local entity/relation id -> model id
+        self._id_maps: dict[int, tuple[list[int], list[int], bool]] = {}
+        #: per-side table: kg-local triple id -> model relation id
+        self._triple_relation_ids: dict[int, list[int]] = {}
+        #: (side, entity) -> sorted neighbourhood tuple
+        self._sorted_neighborhoods: dict[tuple[int, str], tuple[str, ...]] = {}
+        self._kg_versions = (dataset.kg1.version, dataset.kg2.version)
+        self._model_version = model.embedding_version
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _check_versions(self) -> None:
+        versions = (self.dataset.kg1.version, self.dataset.kg2.version)
+        stale = versions != self._kg_versions
+        if self.model.embedding_version != self._model_version:
+            stale = True
+            self._model_version = self.model.embedding_version
+        if stale:
+            self._path_lists.clear()
+            self._path_rows.clear()
+            self._id_maps.clear()
+            self._triple_relation_ids.clear()
+            self._sorted_neighborhoods.clear()
+            self.store.reset()
+            self._kg_versions = versions
+
+    def _maps(self, side: int) -> tuple[list[int], list[int], bool]:
+        """kg-local id -> model id lookup tables for KG *side* (1 or 2).
+
+        Entities/relations absent from the model's index map to ``-1``;
+        path construction rejects those with a KeyError exactly like the
+        string-keyed lookups used to.  The third element is True when both
+        tables are complete (no ``-1``), letting the hot path skip the
+        guard entirely.
+        """
+        cached = self._id_maps.get(side)
+        if cached is None:
+            kg = self.dataset.kg1 if side == 1 else self.dataset.kg2
+            kg_index = kg.index()
+            model_index = self.model.index
+            assert model_index is not None
+            entity_map = [model_index.entity_to_id.get(e, -1) for e in kg_index.entities]
+            relation_map = [model_index.relation_to_id.get(r, -1) for r in kg_index.relations]
+            clean = -1 not in entity_map and -1 not in relation_map
+            cached = (entity_map, relation_map, clean)
+            self._id_maps[side] = cached
+        return cached
+
+    def _triple_relations(self, side: int) -> list[int]:
+        """Per-triple model relation ids (kg triple id -> model relation id)."""
+        cached = self._triple_relation_ids.get(side)
+        if cached is None:
+            kg = self.dataset.kg1 if side == 1 else self.dataset.kg2
+            relation_map = self._maps(side)[1]
+            cached = [relation_map[r] for r in kg.index().relation_ids.tolist()]
+            self._triple_relation_ids[side] = cached
+        return cached
+
+    def neighborhood(self, side: int, entity: str) -> frozenset[str]:
+        """Entities within ``max_hops`` of *entity* in KG ``side`` (1 or 2)."""
+        kg = self.dataset.kg1 if side == 1 else self.dataset.kg2
+        return kg.entities_within_hops(entity, self.config.max_hops)
+
+    def _sorted_neighborhood(self, side: int, entity: str) -> tuple[str, ...]:
+        key = (side, entity)
+        cached = self._sorted_neighborhoods.get(key)
+        if cached is None:
+            cached = tuple(sorted(self.neighborhood(side, entity)))
+            self._sorted_neighborhoods[key] = cached
+        return cached
+
+    def _endpoint_paths(
+        self, side: int, source: str, neighbor: str
+    ) -> tuple[tuple[RelationPath, ...], tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]]:
+        """Capped paths plus their model-id tuples, cached per endpoint pair."""
+        key = (side, source, neighbor)
+        cached = self._path_lists.get(key)
+        if cached is None:
+            kg = self.dataset.kg1 if side == 1 else self.dataset.kg2
+            kg_index = kg.index()
+            source_id = kg_index.entity_to_id.get(source)
+            neighbor_id = kg_index.entity_to_id.get(neighbor)
+            if source_id is None or neighbor_id is None:
+                raw = []
+            else:
+                raw = kg_index.walks_from(source_id, self.config.max_hops).get(neighbor_id, [])
+            raw = raw[: self.config.max_paths_per_neighbor]
+            entity_map, _, clean = self._maps(side)
+            triple_relation_map = self._triple_relations(side)
+            triples_of_index = kg_index.triples
+            paths: list[RelationPath] = []
+            id_pairs: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+            for triple_ids, node_ids in raw:
+                path = RelationPath(
+                    source=source,
+                    target=neighbor,
+                    triples=tuple(map(triples_of_index.__getitem__, triple_ids)),
+                )
+                entity_ids = tuple(map(entity_map.__getitem__, node_ids))
+                relation_ids = tuple(map(triple_relation_map.__getitem__, triple_ids))
+                if not clean and (
+                    any(i < 0 for i in entity_ids) or any(i < 0 for i in relation_ids)
+                ):
+                    raise KeyError(
+                        f"path {path} mentions an entity/relation unknown to the model index"
+                    )
+                paths.append(path)
+                id_pairs.append((entity_ids, relation_ids))
+            cached = (tuple(paths), tuple(id_pairs))
+            self._path_lists[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Neighbour matching
+    # ------------------------------------------------------------------
+    def matched_neighbors(
+        self, source: str, target: str, alignment: AlignmentLike
+    ) -> list[tuple[str, str]]:
+        """Neighbour pairs of (source, target) aligned by *alignment*.
+
+        Sorted on both sides for determinism; the central pair itself is
+        never returned.
+        """
+        self._check_versions()
+        neighbors1 = self._sorted_neighborhood(1, source)
+        neighbors2 = self.neighborhood(2, target)
+        # Copy-free lookup when the alignment provides one (AlignmentSet and
+        # AlignmentUnionView both do); one lookup runs per neighbour per pair.
+        lookup = getattr(alignment, "targets_view", None) or alignment.targets_of
+        matched: list[tuple[str, str]] = []
+        for neighbor1 in neighbors1:
+            candidates = lookup(neighbor1)
+            if not candidates:
+                continue
+            for neighbor2 in sorted(candidates):
+                if neighbor2 in neighbors2 and (neighbor1, neighbor2) != (source, target):
+                    matched.append((neighbor1, neighbor2))
+        return matched
+
+    # ------------------------------------------------------------------
+    # Batch explanation
+    # ------------------------------------------------------------------
+    def explain_batch(
+        self,
+        pairs: list[tuple[str, str]],
+        alignment: AlignmentLike,
+        neighbor_pairs_by_pair: dict[tuple[str, str], list[tuple[str, str]]] | None = None,
+    ) -> dict[tuple[str, str], Explanation]:
+        """Explanations for *pairs* under one shared *alignment*.
+
+        Args:
+            pairs: EA pairs to explain (duplicates are collapsed).
+            alignment: the reference alignment for neighbour matching.
+            neighbor_pairs_by_pair: optional precomputed matched-neighbour
+                lists (the repair confidence oracle computes them anyway
+                for its cache key and passes them here to avoid repeating
+                the work).
+        """
+        self._check_versions()
+        config = self.config
+        kg1, kg2 = self.dataset.kg1, self.dataset.kg2
+        path_rows = self._path_rows
+
+        results: dict[tuple[str, str], Explanation] = {}
+        plans: list[tuple[Explanation, set[tuple[str, str]], list, list, list, list]] = []
+        #: endpoint blocks awaiting embedding, in discovery order
+        new_blocks: list[tuple[tuple[int, str, str], int]] = []
+        new_id_pairs: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        scheduled: set[tuple[int, str, str]] = set()
+
+        for source, target in dict.fromkeys(pairs):
+            explanation = Explanation(
+                source=source,
+                target=target,
+                candidate_triples1=kg1.triples_within_hops(source, config.max_hops),
+                candidate_triples2=kg2.triples_within_hops(target, config.max_hops),
+            )
+            results[(source, target)] = explanation
+            if neighbor_pairs_by_pair is not None and (source, target) in neighbor_pairs_by_pair:
+                neighbor_pairs = neighbor_pairs_by_pair[(source, target)]
+            else:
+                neighbor_pairs = self.matched_neighbors(source, target, alignment)
+            if not neighbor_pairs:
+                continue
+            paths1: list[RelationPath] = []
+            paths2: list[RelationPath] = []
+            keys1: list[tuple[int, str, str]] = []
+            keys2: list[tuple[int, str, str]] = []
+            for neighbor1, neighbor2 in neighbor_pairs:
+                key1 = (1, source, neighbor1)
+                found1, ids1 = self._endpoint_paths(1, source, neighbor1)
+                if found1:
+                    paths1.extend(found1)
+                    keys1.append(key1)
+                    if key1 not in path_rows and key1 not in scheduled:
+                        scheduled.add(key1)
+                        new_blocks.append((key1, len(ids1)))
+                        new_id_pairs.extend(ids1)
+                key2 = (2, target, neighbor2)
+                found2, ids2 = self._endpoint_paths(2, target, neighbor2)
+                if found2:
+                    paths2.extend(found2)
+                    keys2.append(key2)
+                    if key2 not in path_rows and key2 not in scheduled:
+                        scheduled.add(key2)
+                        new_blocks.append((key2, len(ids2)))
+                        new_id_pairs.extend(ids2)
+            if not paths1 or not paths2:
+                continue
+            plans.append((explanation, set(neighbor_pairs), paths1, paths2, keys1, keys2))
+
+        if not plans and not new_id_pairs:
+            return results
+
+        # One shot: embed + normalise every new path in the batch, then pin
+        # the row range of every new endpoint block (reused across pairs in
+        # this batch and across future calls).
+        if new_id_pairs:
+            base = self.store.append(new_id_pairs)
+            offset = base
+            for key, count in new_blocks:
+                path_rows[key] = np.arange(offset, offset + count, dtype=np.int64)
+                offset += count
+
+        # Per pair: a small dot product of pre-normalised rows and the
+        # mutual-nearest-neighbour pass of the paper's Section III-A.
+        for explanation, neighbor_pair_set, paths1, paths2, keys1, keys2 in plans:
+            rows1 = np.concatenate([path_rows[key] for key in keys1])
+            rows2 = np.concatenate([path_rows[key] for key in keys2])
+            unit1 = self.store.unit_rows(rows1)
+            unit2 = self.store.unit_rows(rows2)
+            similarity = unit1 @ unit2.T
+            for i, j in mutual_nearest_pairs(similarity):
+                path1, path2 = paths1[i], paths2[j]
+                # Only keep matches that actually connect a matched
+                # neighbour pair: a pair of mutually-nearest paths leading
+                # to unrelated neighbours is not semantic evidence.
+                if (path1.target, path2.target) not in neighbor_pair_set:
+                    continue
+                score = float(similarity[i, j])
+                if score < config.min_path_similarity:
+                    continue
+                explanation.matched_paths.append(MatchedPath(path1, path2, score))
+            explanation.matched_paths.sort(key=lambda m: -m.similarity)
+        return results

@@ -10,6 +10,15 @@ Given an EA pair ``(e1, e2)`` predicted by a model, the generator
 4. performs bidirectional (mutual nearest neighbour) matching over the path
    embeddings; the triples of mutually matched paths form the semantic
    matching subgraph, which is the explanation.
+
+Since the batch-engine refactor all of the heavy lifting happens inside
+:class:`repro.core.engine.ExplanationEngine`: path enumeration, embedding
+and normalisation are shared across pairs (and across calls, via
+version-guarded caches), and :meth:`ExplanationGenerator.explain` is just
+the batch-of-one case of :meth:`ExplanationGenerator.explain_pairs` — the
+two are guaranteed to produce identical explanations.
+:meth:`ExplanationGenerator.explain_sequential` preserves the original
+pair-at-a-time implementation as the equivalence/benchmark reference.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from dataclasses import dataclass
 from ...embedding import cosine_matrix, mutual_nearest_pairs
 from ...kg import AlignmentSet, EADataset
 from ...models import EAModel
+from ..engine import ExplanationEngine
 from .paths import RelationPath, enumerate_paths, path_embeddings
 from .subgraph import Explanation, MatchedPath
 
@@ -57,22 +67,14 @@ class ExplanationGenerator:
         if self.dataset is None:
             raise ValueError("a dataset is required (none attached to the model)")
         self.config = config or ExplanationConfig()
+        self.engine = ExplanationEngine(model, self.dataset, self.config)
 
     # ------------------------------------------------------------------
     # Neighbour matching
     # ------------------------------------------------------------------
     def _neighborhood(self, kg, entity: str) -> set[str]:
         """Entities within ``max_hops`` hops of *entity* (excluding itself)."""
-        frontier = {entity}
-        seen = {entity}
-        for _ in range(self.config.max_hops):
-            next_frontier: set[str] = set()
-            for node in frontier:
-                next_frontier |= kg.neighbors(node)
-            next_frontier -= seen
-            seen |= next_frontier
-            frontier = next_frontier
-        return seen - {entity}
+        return set(kg.entities_within_hops(entity, self.config.max_hops))
 
     def matched_neighbors(
         self, source: str, target: str, alignment: AlignmentSet
@@ -84,14 +86,7 @@ class ExplanationGenerator:
         model or are themselves in seed alignment").  The central pair
         itself is never returned.
         """
-        neighbors1 = self._neighborhood(self.dataset.kg1, source)
-        neighbors2 = self._neighborhood(self.dataset.kg2, target)
-        matched: list[tuple[str, str]] = []
-        for neighbor1 in sorted(neighbors1):
-            for neighbor2 in alignment.targets_of(neighbor1):
-                if neighbor2 in neighbors2 and (neighbor1, neighbor2) != (source, target):
-                    matched.append((neighbor1, neighbor2))
-        return matched
+        return self.engine.matched_neighbors(source, target, alignment)
 
     # ------------------------------------------------------------------
     # Explanation generation
@@ -112,6 +107,9 @@ class ExplanationGenerator:
     ) -> Explanation:
         """Generate the explanation for the EA pair ``(source, target)``.
 
+        This is the batch-of-one case of :meth:`explain_pairs`; both run
+        through the shared engine and produce identical results.
+
         Args:
             source: entity of the source KG.
             target: entity of the target KG.
@@ -119,6 +117,43 @@ class ExplanationGenerator:
                 the model's own predictions plus the seed alignment are used
                 (the standard post-hoc explanation setting); the repair
                 algorithms pass their current working alignment instead.
+        """
+        if alignment is None:
+            alignment = self.reference_alignment()
+        return self.engine.explain_batch([(source, target)], alignment)[(source, target)]
+
+    def explain_pairs(
+        self,
+        pairs: list[tuple[str, str]],
+        alignment: AlignmentSet | None = None,
+    ) -> dict[tuple[str, str], Explanation]:
+        """Generate explanations for several EA pairs with one shared alignment.
+
+        Batched: matched-neighbour pairs are gathered for every pair first,
+        paths are enumerated once per unique endpoint pair, all path
+        embeddings are stacked and normalised in one shot, and each pair's
+        mutual-nearest matching is a small dot product over the shared
+        matrix.
+        """
+        if alignment is None:
+            alignment = self.reference_alignment()
+        return self.engine.explain_batch(pairs, alignment)
+
+    # ------------------------------------------------------------------
+    # Sequential reference implementation
+    # ------------------------------------------------------------------
+    def explain_sequential(
+        self,
+        source: str,
+        target: str,
+        alignment: AlignmentSet | None = None,
+    ) -> Explanation:
+        """The original pair-at-a-time implementation, kept as a reference.
+
+        Used by the equivalence test suite and the engine speed-up
+        benchmark: it embeds and normalises each pair's paths from scratch
+        instead of going through the engine's shared caches.  Its output
+        must match :meth:`explain` exactly.
         """
         config = self.config
         if alignment is None:
@@ -133,7 +168,7 @@ class ExplanationGenerator:
             candidate_triples2=candidates2,
         )
 
-        neighbor_pairs = self.matched_neighbors(source, target, alignment)
+        neighbor_pairs = self.engine.matched_neighbors(source, target, alignment)
         if not neighbor_pairs:
             return explanation
 
@@ -154,12 +189,10 @@ class ExplanationGenerator:
         embeddings1 = path_embeddings(paths1, self.model)
         embeddings2 = path_embeddings(paths2, self.model)
         similarity = cosine_matrix(embeddings1, embeddings2)
+        neighbor_pair_set = set(neighbor_pairs)
         for i, j in mutual_nearest_pairs(similarity):
             path1, path2 = paths1[i], paths2[j]
-            # Only keep matches that actually connect a matched neighbour pair:
-            # bidirectional matching is done over all paths, but a pair of
-            # paths leading to unrelated neighbours is not semantic evidence.
-            if (path1.target, path2.target) not in neighbor_pairs:
+            if (path1.target, path2.target) not in neighbor_pair_set:
                 continue
             score = float(similarity[i, j])
             if score < config.min_path_similarity:
@@ -167,16 +200,3 @@ class ExplanationGenerator:
             explanation.matched_paths.append(MatchedPath(path1, path2, score))
         explanation.matched_paths.sort(key=lambda m: -m.similarity)
         return explanation
-
-    def explain_pairs(
-        self,
-        pairs: list[tuple[str, str]],
-        alignment: AlignmentSet | None = None,
-    ) -> dict[tuple[str, str], Explanation]:
-        """Generate explanations for several EA pairs with one shared alignment."""
-        if alignment is None:
-            alignment = self.reference_alignment()
-        return {
-            (source, target): self.explain(source, target, alignment)
-            for source, target in pairs
-        }

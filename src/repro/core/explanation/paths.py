@@ -41,6 +41,15 @@ class RelationPath:
     target: str
     triples: tuple[Triple, ...]
 
+    def __hash__(self) -> int:
+        # Paths are interned/deduplicated heavily on the explanation hot
+        # path; cache the (immutable) hash after first use.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.source, self.target, self.triples))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __len__(self) -> int:
         return len(self.triples)
 

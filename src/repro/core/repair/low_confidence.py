@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ...kg import AlignmentSet, EADataset
+from ...kg import AlignmentSet, AlignmentUnionView, EADataset
 
 #: ``confidence(source, target, alignment)`` oracle, as in Algorithm 1.
 ConfidenceFn = Callable[[str, str, AlignmentSet], float]
@@ -71,10 +71,9 @@ class LowConfidenceRepairer:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _reference(self, working: AlignmentSet) -> AlignmentSet:
-        combined = working.copy()
-        combined.update(self.seed_alignment.pairs)
-        return combined
+    def _reference(self, working: AlignmentSet) -> AlignmentUnionView:
+        """Live (working ∪ seed) view — no per-query alignment copying."""
+        return AlignmentUnionView(working, self.seed_alignment)
 
     def _low_confidence_pairs(
         self, working: AlignmentSet, protected: set[tuple[str, str]]
@@ -133,6 +132,7 @@ class LowConfidenceRepairer:
         unaligned: set[str] = set(unaligned_sources or set())
         result = LowConfidenceRepairResult(alignment=working)
         protected: set[tuple[str, str]] = set()
+        reference = self._reference(working)
 
         last_size = -1
         for iteration in range(self.max_iterations):
@@ -149,7 +149,6 @@ class LowConfidenceRepairer:
 
             still_unaligned: set[str] = set()
             for source in sorted(unaligned):
-                reference = self._reference(working)
                 candidates = self._candidates(source, working)
                 if not candidates:
                     still_unaligned.add(source)

@@ -15,10 +15,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ...kg import AlignmentSet
+from ...embedding import top_k_indices
+from ...kg import AlignmentSet, AlignmentUnionView
 
 #: Callable computing the explanation confidence of a candidate pair under
 #: the current working alignment: ``confidence(source, target, alignment)``.
+#: The alignment argument may be an :class:`AlignmentSet` or a live
+#: :class:`AlignmentUnionView` (working ∪ seed).
 ConfidenceFn = Callable[[str, str, AlignmentSet], float]
 
 
@@ -37,7 +40,7 @@ class OneToManyRepairResult:
 def resolve_to_one_to_one(
     predictions: AlignmentSet,
     confidence: ConfidenceFn,
-    reference_alignment: AlignmentSet,
+    reference_alignment: AlignmentSet | AlignmentUnionView,
 ) -> tuple[AlignmentSet, set[str], int]:
     """The ``OnetoOne`` step (line 1): keep the most confident pair per target.
 
@@ -95,17 +98,11 @@ def repair_one_to_many(
     def top_candidates(source: str) -> list[str]:
         if source not in top_k_cache:
             row = similarity[source_index[source]]
-            order = np.argsort(-row)[:k]
-            top_k_cache[source] = [target_entities[j] for j in order]
+            top_k_cache[source] = [target_entities[j] for j in top_k_indices(row, k)]
         return top_k_cache[source]
 
-    def reference(working: AlignmentSet) -> AlignmentSet:
-        combined = working.copy()
-        combined.update(seed_alignment.pairs)
-        return combined
-
     working, unaligned, num_conflicts = resolve_to_one_to_one(
-        predictions, confidence, reference(predictions)
+        predictions, confidence, AlignmentUnionView(predictions, seed_alignment)
     )
     result = OneToManyRepairResult(
         alignment=working,
@@ -113,6 +110,9 @@ def repair_one_to_many(
         num_conflicts=num_conflicts,
     )
 
+    # Live view of (working ∪ seed): confidence queries see every mutation
+    # of ``working`` immediately, with no per-query alignment copying.
+    reference = AlignmentUnionView(working, seed_alignment)
     iterations = 0
     while unaligned and iterations < max_iterations:
         iterations += 1
@@ -131,9 +131,8 @@ def repair_one_to_many(
                     aligned = True
                     break
                 current_holder = next(iter(holders))
-                ref = reference(working)
-                challenger_conf = confidence(source, target, ref)
-                holder_conf = confidence(current_holder, target, ref)
+                challenger_conf = confidence(source, target, reference)
+                holder_conf = confidence(current_holder, target, reference)
                 if challenger_conf > holder_conf:
                     working.remove(current_holder, target)
                     working.add(source, target)

@@ -93,6 +93,9 @@ class EARepairer:
         self._rules_kg2: NotSameAsRuleSet | None = None
         self._conflict_resolver: RelationConflictResolver | None = None
         self._similarity_cache: dict[tuple[str, str], float] = {}
+        #: key -> (confidence, relation conflicts resolved by that ADG build)
+        self._confidence_cache: dict[tuple, tuple[float, int]] = {}
+        self._confidence_token: tuple[int, int, int] | None = None
         self._num_relation_conflicts = 0
 
     # ------------------------------------------------------------------
@@ -148,9 +151,46 @@ class EARepairer:
         return graph
 
     def confidence(self, source: str, target: str, alignment: AlignmentSet) -> float:
-        """Explanation confidence of a candidate pair under *alignment*."""
-        explanation = self.explain(source, target, alignment)
-        return self.build_adg(explanation).confidence
+        """Explanation confidence of a candidate pair under *alignment* (memoized).
+
+        The explanation — and therefore its ADG and confidence — depends on
+        the alignment only through the matched-neighbour pairs of
+        ``(source, target)``, so results are memoized on the key
+        ``(pair, matched-neighbour fingerprint)``.  Repair iterations that
+        shuffle unrelated parts of the working alignment hit the cache
+        instead of rebuilding the same explanation and ADG.  The cache is
+        dropped whenever either KG or the model's embedding matrices
+        change version.
+
+        Each cache entry also remembers how many relation conflicts its
+        ADG build resolved, and replays that count on every hit, so the
+        per-run ``num_relation_conflicts`` statistic matches the uncached
+        implementation (which re-counted on every query).
+        """
+        token = (
+            self.dataset.kg1.version,
+            self.dataset.kg2.version,
+            self.model.embedding_version,
+        )
+        if token != self._confidence_token:
+            self._confidence_cache.clear()
+            self._confidence_token = token
+        neighbor_pairs = self.generator.matched_neighbors(source, target, alignment)
+        key = (source, target, tuple(neighbor_pairs))
+        cached = self._confidence_cache.get(key)
+        if cached is None:
+            explanation = self.generator.engine.explain_batch(
+                [(source, target)],
+                alignment,
+                neighbor_pairs_by_pair={(source, target): neighbor_pairs},
+            )[(source, target)]
+            conflicts_before = self._num_relation_conflicts
+            confidence = self.build_adg(explanation).confidence
+            cached = (confidence, self._num_relation_conflicts - conflicts_before)
+            self._confidence_cache[key] = cached
+        else:
+            self._num_relation_conflicts += cached[1]
+        return cached[0]
 
     def similarity(self, source: str, target: str) -> float:
         """Cached model similarity of a pair."""

@@ -56,9 +56,14 @@ def ranking_metrics(
         if not columns:
             continue
         evaluated += 1
-        order = np.argsort(-similarity[row])
-        ranks = {int(column): int(np.where(order == column)[0][0]) + 1 for column in columns}
-        best_rank = min(ranks.values())
+        # Optimistic rank: 1 + number of strictly better entries, no
+        # per-row sort.  On tied scores this credits the gold column,
+        # where the replaced argsort-position rank resolved ties in
+        # unstable sort order; tie-free rows (the norm for trained
+        # embeddings) are unaffected.
+        row_values = similarity[row]
+        best_value = row_values[columns].max()
+        best_rank = int(np.sum(row_values > best_value)) + 1
         hits1 += best_rank <= 1
         hits5 += best_rank <= 5
         hits10 += best_rank <= 10
@@ -85,13 +90,13 @@ def greedy_alignment(
     (and the one whose one-to-many conflicts ExEA repairs): different
     sources may select the same target.
     """
-    predicted = AlignmentSet()
     if similarity.size == 0:
-        return predicted
+        return AlignmentSet()
     best = similarity.argmax(axis=1)
-    for row, source in enumerate(source_entities):
-        predicted.add(source, target_entities[int(best[row])])
-    return predicted
+    return AlignmentSet(
+        (source, target_entities[int(column)])
+        for source, column in zip(source_entities, best)
+    )
 
 
 def alignment_accuracy(predicted: AlignmentSet, gold: AlignmentSet) -> float:

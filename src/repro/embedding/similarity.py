@@ -9,6 +9,8 @@ vectors, pairwise similarity of path embeddings).
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 
@@ -66,21 +68,50 @@ def greedy_match(similarity: np.ndarray) -> list[tuple[int, int]]:
     Pairs are selected in decreasing similarity order, skipping rows and
     columns already used.  This is the "greedy matching" the paper uses to
     align relations with the highest mutual embedding similarity.
+
+    Lazy selection instead of a flat ``argsort`` of the whole matrix
+    (O(nm·log nm)): every row keeps exactly one live candidate — its best
+    still-free column — in a max-heap.  A row's full column ordering is
+    only materialised (once, O(m·log m)) if its candidate loses a column
+    to an earlier match; rows that win their first candidate never sort at
+    all, so the common case is O(nm) for the per-row argmax plus heap
+    traffic.  Ties are broken deterministically by (row, column) order —
+    the flat ``argsort`` this replaces used a non-stable sort, so its tie
+    order was implementation-defined; on tie-free similarity matrices the
+    two produce identical matchings.
     """
     if similarity.size == 0:
         return []
-    order = np.dstack(np.unravel_index(np.argsort(-similarity, axis=None), similarity.shape))[0]
-    used_rows: set[int] = set()
-    used_cols: set[int] = set()
+    num_rows, num_cols = similarity.shape
+    used_cols = np.zeros(num_cols, dtype=bool)
+    orders: list[np.ndarray | None] = [None] * num_rows
+    positions = [0] * num_rows
+    best_cols = np.argmax(similarity, axis=1)
+    heap: list[tuple[float, int, int]] = [
+        (-float(similarity[row, best_cols[row]]), row, int(best_cols[row]))
+        for row in range(num_rows)
+    ]
+    heapq.heapify(heap)
     matches: list[tuple[int, int]] = []
-    for row, col in order:
-        if row in used_rows or col in used_cols:
+    target = min(num_rows, num_cols)
+    while heap and len(matches) < target:
+        _, row, col = heapq.heappop(heap)
+        if not used_cols[col]:
+            matches.append((row, col))
+            used_cols[col] = True
             continue
-        used_rows.add(int(row))
-        used_cols.add(int(col))
-        matches.append((int(row), int(col)))
-        if len(used_rows) == similarity.shape[0] or len(used_cols) == similarity.shape[1]:
-            break
+        # The candidate column was taken by an earlier match: walk this
+        # row's (lazily computed) ordering to its next free column.
+        if orders[row] is None:
+            orders[row] = np.argsort(-similarity[row], kind="stable")
+        order = orders[row]
+        position = positions[row]
+        while position < num_cols and used_cols[order[position]]:
+            position += 1
+        positions[row] = position
+        if position < num_cols:
+            next_col = int(order[position])
+            heapq.heappush(heap, (-float(similarity[row, next_col]), row, next_col))
     return matches
 
 

@@ -1,8 +1,8 @@
 """Knowledge-graph substrate: triples, graphs, alignments, datasets, I/O."""
 
-from .alignment import AlignmentSet, mapping_to_alignment
+from .alignment import AlignmentSet, AlignmentUnionView, mapping_to_alignment
 from .dataset import EADataset, split_alignment
-from .graph import KnowledgeGraph
+from .graph import KGIndex, KnowledgeGraph
 from .io import (
     load_openea_dataset,
     read_links,
@@ -16,8 +16,10 @@ from .triple import Triple, entities_of, make_triples, relations_of
 
 __all__ = [
     "AlignmentSet",
+    "AlignmentUnionView",
     "DatasetStats",
     "EADataset",
+    "KGIndex",
     "KGStats",
     "KnowledgeGraph",
     "Triple",

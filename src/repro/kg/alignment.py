@@ -16,6 +16,10 @@ from typing import Iterable, Iterator, Mapping
 
 EntityPair = tuple[str, str]
 
+#: Shared empty result of the copy-free lookup views (frozen so a caller
+#: mutating a miss result cannot poison every other alignment's lookups).
+_EMPTY_SET: frozenset[str] = frozenset()
+
 
 class AlignmentSet:
     """A collection of entity alignment pairs across two KGs.
@@ -29,12 +33,22 @@ class AlignmentSet:
         self._pairs: set[EntityPair] = set()
         self._by_source: dict[str, set[str]] = defaultdict(set)
         self._by_target: dict[str, set[str]] = defaultdict(set)
+        self._version = 0
         for source, target in pairs:
             self.add(source, target)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; increases whenever a pair is added or removed.
+
+        Lets derived caches (e.g. the repair confidence oracle) detect
+        staleness without copying the set.
+        """
+        return self._version
+
     def add(self, source: str, target: str) -> None:
         """Add an alignment pair ``(source, target)``."""
         pair = (source, target)
@@ -43,6 +57,7 @@ class AlignmentSet:
         self._pairs.add(pair)
         self._by_source[source].add(target)
         self._by_target[target].add(source)
+        self._version += 1
 
     def remove(self, source: str, target: str) -> None:
         """Remove an alignment pair if present."""
@@ -52,6 +67,7 @@ class AlignmentSet:
         self._pairs.discard(pair)
         self._by_source[source].discard(target)
         self._by_target[target].discard(source)
+        self._version += 1
 
     def update(self, pairs: Iterable[EntityPair]) -> None:
         """Add several pairs."""
@@ -93,6 +109,15 @@ class AlignmentSet:
     def targets_of(self, source: str) -> set[str]:
         """Target entities aligned to *source*."""
         return set(self._by_source.get(source, set()))
+
+    def targets_view(self, source: str) -> set[str] | frozenset[str]:
+        """Copy-free view of the targets aligned to *source* — do not mutate.
+
+        The explanation hot path performs one such lookup per neighbour per
+        pair; skipping the defensive copy of :meth:`targets_of` matters
+        there.  Misses return a shared frozen empty set.
+        """
+        return self._by_source.get(source, _EMPTY_SET)
 
     def sources_of(self, target: str) -> set[str]:
         """Source entities aligned to *target*."""
@@ -221,6 +246,48 @@ class AlignmentSet:
             noisy.remove(source, original_target)
             noisy.add(source, shuffled[position])
         return noisy
+
+
+class AlignmentUnionView:
+    """Read-only live union of two alignment sets.
+
+    The repair algorithms repeatedly need "the working alignment plus the
+    seed alignment" as the reference for neighbour matching.  Building that
+    union as a fresh :class:`AlignmentSet` copy per confidence query is
+    O(|alignment|); this view answers the only lookups explanation
+    generation performs (``targets_of`` / ``sources_of``) directly against
+    the two underlying sets, reflecting their mutations immediately.
+    """
+
+    __slots__ = ("primary", "secondary")
+
+    def __init__(self, primary: AlignmentSet, secondary: AlignmentSet) -> None:
+        self.primary = primary
+        self.secondary = secondary
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """Combined mutation counter of the two underlying sets."""
+        return (self.primary.version, self.secondary.version)
+
+    def targets_of(self, source: str) -> set[str]:
+        return self.primary.targets_of(source) | self.secondary.targets_of(source)
+
+    def targets_view(self, source: str) -> set[str] | frozenset[str]:
+        """Copy-free union lookup — do not mutate; copies only when both sides hit."""
+        primary = self.primary.targets_view(source)
+        secondary = self.secondary.targets_view(source)
+        if not secondary:
+            return primary
+        if not primary:
+            return secondary
+        return primary | secondary
+
+    def sources_of(self, target: str) -> set[str]:
+        return self.primary.sources_of(target) | self.secondary.sources_of(target)
+
+    def __contains__(self, pair: EntityPair) -> bool:
+        return pair in self.primary or pair in self.secondary
 
 
 def mapping_to_alignment(mapping: Mapping[str, str]) -> AlignmentSet:

@@ -5,6 +5,28 @@ maintains adjacency indexes (outgoing/incoming triples per entity,
 triples per relation) plus relation *functionality* statistics, which the
 ADG edge-weight computation of the paper (Section III-B, Eq. 3-5, following
 PARIS [2]) is built on.
+
+Cache architecture / invalidation contract
+------------------------------------------
+
+On top of the set-based adjacency dictionaries, the graph keeps an
+array-backed integer snapshot (:class:`KGIndex`, CSR-style incident-triple
+arrays keyed by an entity-id map) plus memo tables for the traversal
+queries on the explanation hot path:
+
+* ``neighbors(entity)`` — per-entity neighbour sets,
+* ``triples_within_hops(entity, h)`` — the candidate sets ``T_e``,
+* ``entities_within_hops(entity, h)`` — the matched-neighbour universe,
+* ``relation_paths(source, target, h)`` — path enumeration.
+
+All of these are built lazily on first use and dropped wholesale by
+:meth:`_invalidate_caches`, which every mutation (``add_triple``,
+``remove_triple``, ``add_entity``) funnels through; each invalidation also
+bumps the monotonically increasing :attr:`version` counter so that callers
+holding *derived* caches (the explanation engine, the repair confidence
+oracle) can detect staleness without subscribing to the graph.  The
+fidelity protocol mutates graphs mid-experiment, so correctness of this
+contract is covered by ``tests/core/test_engine.py``.
 """
 
 from __future__ import annotations
@@ -12,7 +34,160 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from .triple import Triple, make_triples
+
+
+class KGIndex:
+    """Array-backed integer adjacency snapshot of a :class:`KnowledgeGraph`.
+
+    The index maps entities/relations to dense integer ids (sorted order,
+    so ids are deterministic) and stores the incident triples of every
+    entity in CSR form: ``indptr[e]:indptr[e+1]`` delimits the slots of
+    entity ``e`` in the parallel ``incident_triples`` (triple ids) and
+    ``incident_others`` (opposite-endpoint entity ids) arrays.  Outgoing
+    slots precede incoming slots per entity, each in sorted-triple order,
+    which makes every traversal below deterministic.
+
+    Instances are immutable snapshots; the owning graph discards its index
+    whenever it mutates.
+    """
+
+    def __init__(self, kg: "KnowledgeGraph") -> None:
+        self.entities: list[str] = sorted(kg.entities)
+        self.entity_to_id: dict[str, int] = {e: i for i, e in enumerate(self.entities)}
+        self.relations: list[str] = sorted(kg.relations)
+        self.relation_to_id: dict[str, int] = {r: i for i, r in enumerate(self.relations)}
+        # key= builds each sort key once; dataclass __lt__ would rebuild
+        # field tuples per comparison.
+        self.triples: list[Triple] = sorted(kg.triples, key=Triple.as_tuple)
+        num_entities = len(self.entities)
+        num_triples = len(self.triples)
+        self.head_ids = np.fromiter(
+            (self.entity_to_id[t.head] for t in self.triples), dtype=np.int64, count=num_triples
+        )
+        self.tail_ids = np.fromiter(
+            (self.entity_to_id[t.tail] for t in self.triples), dtype=np.int64, count=num_triples
+        )
+        self.relation_ids = np.fromiter(
+            (self.relation_to_id[t.relation] for t in self.triples), dtype=np.int64, count=num_triples
+        )
+        endpoints = np.concatenate([self.head_ids, self.tail_ids])
+        triple_ids = np.concatenate([np.arange(num_triples, dtype=np.int64)] * 2)
+        others = np.concatenate([self.tail_ids, self.head_ids])
+        order = np.argsort(endpoints, kind="stable")
+        self.incident_triples = triple_ids[order]
+        self.incident_others = others[order]
+        counts = np.bincount(endpoints, minlength=num_entities)
+        self.indptr = np.zeros(num_entities + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        self._adjacency: list[list[tuple[int, int]]] | None = None
+        self._walk_cache: dict[tuple[int, int], dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]]] = {}
+
+    def adjacency(self) -> list[list[tuple[int, int]]]:
+        """Per-entity ``(other_id, triple_id)`` lists, derived from the CSR arrays.
+
+        Built lazily on the first traversal: plain-int adjacency lists make
+        the (recursive, tiny-frontier) BFS/DFS below several times faster
+        than per-slot numpy scalar indexing, while the CSR arrays stay the
+        canonical form for vectorised bulk operations.
+        """
+        if self._adjacency is None:
+            others = self.incident_others.tolist()
+            triple_ids = self.incident_triples.tolist()
+            bounds = self.indptr.tolist()
+            self._adjacency = [
+                list(zip(others[bounds[e]:bounds[e + 1]], triple_ids[bounds[e]:bounds[e + 1]]))
+                for e in range(len(self.entities))
+            ]
+        return self._adjacency
+
+    # ------------------------------------------------------------------
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    def num_triples(self) -> int:
+        return len(self.triples)
+
+    def _bfs(self, entity_id: int, hops: int) -> tuple[set[int], set[int]]:
+        """Breadth-first expansion; returns (seen entity ids, collected triple ids)."""
+        adjacency = self.adjacency()
+        seen = {entity_id}
+        collected: set[int] = set()
+        frontier = [entity_id]
+        for _ in range(hops):
+            next_frontier: list[int] = []
+            for node in frontier:
+                for other, triple_id in adjacency[node]:
+                    collected.add(triple_id)
+                    if other not in seen:
+                        seen.add(other)
+                        next_frontier.append(other)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return seen, collected
+
+    def triples_within_hops(self, entity_id: int, hops: int) -> set[int]:
+        """Triple ids within *hops* hops of *entity_id* (BFS over the adjacency)."""
+        _, triple_ids = self._bfs(entity_id, hops)
+        return triple_ids
+
+    def entities_within_hops(self, entity_id: int, hops: int) -> set[int]:
+        """Entity ids within *hops* hops of *entity_id*, excluding itself."""
+        seen, _ = self._bfs(entity_id, hops)
+        seen.discard(entity_id)
+        return seen
+
+    def walks_from(
+        self, source_id: int, max_length: int
+    ) -> dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]]:
+        """All simple walks up to *max_length* hops, grouped by terminal entity.
+
+        Returns ``{terminal_id: [(triple_ids, node_ids), ...]}`` where
+        ``node_ids`` is the walk's entity sequence *excluding* the terminal
+        (i.e. source plus intermediates — exactly the entities Eq. 2
+        averages).  One memoized walk per source replaces one full-ball DFS
+        per (source, neighbour) endpoint pair: the per-terminal lists are
+        identical — in content *and* order — to a per-target enumeration
+        that stops at the target, because a walk never revisits entities
+        and recursion follows the same deterministic slot order.
+
+        ``visited`` is a tuple since walks are at most ``max_length`` hops
+        deep — linear scans over <= 3 ints beat per-step set allocation.
+        """
+        key = (source_id, max_length)
+        cached = self._walk_cache.get(key)
+        if cached is None:
+            adjacency = self.adjacency()
+            found: dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]] = {}
+
+            def extend(current: int, visited: tuple[int, ...], path: tuple[int, ...]) -> None:
+                deeper = len(path) + 1 < max_length
+                for nxt, triple_id in adjacency[current]:
+                    if nxt in visited:
+                        continue
+                    found.setdefault(nxt, []).append((path + (triple_id,), visited))
+                    if deeper:
+                        extend(nxt, visited + (nxt,), path + (triple_id,))
+
+            extend(source_id, (source_id,), ())
+            cached = found
+            self._walk_cache[key] = cached
+        return cached
+
+    def relation_paths(
+        self, source_id: int, target_id: int, max_length: int
+    ) -> list[tuple[int, ...]]:
+        """Simple paths from *source_id* to *target_id* as tuples of triple ids.
+
+        Mirrors the path semantics of the paper (direction-agnostic walks,
+        no revisited entities, the target is never an intermediate node) in
+        deterministic slot order; served from the grouped walk cache.
+        """
+        walks = self.walks_from(source_id, max_length)
+        return [triple_ids for triple_ids, _ in walks.get(target_id, [])]
 
 
 class KnowledgeGraph:
@@ -40,6 +215,12 @@ class KnowledgeGraph:
         self._by_relation: dict[str, set[Triple]] = defaultdict(set)
         self._functionality_cache: dict[str, float] | None = None
         self._inverse_functionality_cache: dict[str, float] | None = None
+        self._version = 0
+        self._index: KGIndex | None = None
+        self._neighbor_cache: dict[str, frozenset[str]] = {}
+        self._hop_triples_cache: dict[tuple[str, int], frozenset[Triple]] = {}
+        self._hop_entities_cache: dict[tuple[str, int], frozenset[str]] = {}
+        self._path_cache: dict[tuple[str, str, int], tuple[tuple[Triple, ...], ...]] = {}
         for triple in make_triples(triples):
             self.add_triple(triple)
 
@@ -64,7 +245,10 @@ class KnowledgeGraph:
 
     def add_entity(self, entity: str) -> None:
         """Add an isolated entity (no triples required)."""
+        if entity in self._entities:
+            return
         self._entities.add(entity)
+        self._invalidate_caches()
 
     def remove_triple(self, triple: Triple) -> None:
         """Remove a triple from the graph.
@@ -88,12 +272,34 @@ class KnowledgeGraph:
             self.remove_triple(triple)
 
     def _invalidate_caches(self) -> None:
+        """Drop every derived structure and advance the mutation counter."""
         self._functionality_cache = None
         self._inverse_functionality_cache = None
+        self._index = None
+        self._neighbor_cache.clear()
+        self._hop_triples_cache.clear()
+        self._hop_entities_cache.clear()
+        self._path_cache.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; increases whenever the graph structure changes.
+
+        Derived caches outside the graph (explanation engine, confidence
+        oracle) key on this value to detect staleness.
+        """
+        return self._version
+
+    def index(self) -> KGIndex:
+        """The integer adjacency snapshot, built lazily and cached until mutation."""
+        if self._index is None:
+            self._index = KGIndex(self)
+        return self._index
+
     @property
     def entities(self) -> set[str]:
         """The entity set ``E`` (returned as a copy-free live set; do not mutate)."""
@@ -153,14 +359,18 @@ class KnowledgeGraph:
         return self._by_relation.get(relation, set())
 
     def neighbors(self, entity: str) -> set[str]:
-        """Entities directly connected to *entity* by any triple."""
-        found: set[str] = set()
-        for triple in self.outgoing(entity):
-            found.add(triple.tail)
-        for triple in self.incoming(entity):
-            found.add(triple.head)
-        found.discard(entity)
-        return found
+        """Entities directly connected to *entity* by any triple (memoized)."""
+        cached = self._neighbor_cache.get(entity)
+        if cached is None:
+            found: set[str] = set()
+            for triple in self.outgoing(entity):
+                found.add(triple.tail)
+            for triple in self.incoming(entity):
+                found.add(triple.head)
+            found.discard(entity)
+            cached = frozenset(found)
+            self._neighbor_cache[entity] = cached
+        return set(cached)
 
     def degree(self, entity: str) -> int:
         """Number of triples incident to *entity*."""
@@ -172,26 +382,44 @@ class KnowledgeGraph:
         This is the candidate set ``T_e`` of the paper (Section II-B): with
         ``hops=1`` it is exactly the triples incident to the entity, with
         ``hops=2`` it additionally contains the triples incident to the
-        entity's neighbours, and so on.
+        entity's neighbours, and so on.  Computed by an integer BFS over
+        the CSR index and memoized per ``(entity, hops)``.
         """
         if hops < 1:
             raise ValueError("hops must be >= 1")
-        frontier = {entity}
-        seen_entities = {entity}
-        collected: set[Triple] = set()
-        for _ in range(hops):
-            next_frontier: set[str] = set()
-            for node in frontier:
-                for triple in self.triples_of(node):
-                    collected.add(triple)
-                    other = triple.other_entity(node)
-                    if other not in seen_entities:
-                        next_frontier.add(other)
-            seen_entities |= next_frontier
-            frontier = next_frontier
-            if not frontier:
-                break
-        return collected
+        key = (entity, hops)
+        cached = self._hop_triples_cache.get(key)
+        if cached is None:
+            index = self.index()
+            entity_id = index.entity_to_id.get(entity)
+            if entity_id is None:
+                cached = frozenset()
+            else:
+                triple_ids = index.triples_within_hops(entity_id, hops)
+                cached = frozenset(index.triples[i] for i in triple_ids)
+            self._hop_triples_cache[key] = cached
+        return set(cached)
+
+    def entities_within_hops(self, entity: str, hops: int) -> frozenset[str]:
+        """Entities within *hops* hops of *entity*, excluding itself (memoized).
+
+        The returned frozenset is shared with the cache — treat it as
+        immutable.
+        """
+        if hops < 0:
+            raise ValueError("hops must be >= 0")
+        key = (entity, hops)
+        cached = self._hop_entities_cache.get(key)
+        if cached is None:
+            index = self.index()
+            entity_id = index.entity_to_id.get(entity)
+            if entity_id is None or hops == 0:
+                cached = frozenset()
+            else:
+                entity_ids = index.entities_within_hops(entity_id, hops)
+                cached = frozenset(index.entities[i] for i in entity_ids)
+            self._hop_entities_cache[key] = cached
+        return cached
 
     def relation_paths(
         self, source: str, target: str, max_length: int = 2
@@ -202,26 +430,26 @@ class KnowledgeGraph:
         entity with the previous one regardless of direction (the paper's
         relation paths ``p = (e1, r1, e1', ..., rn, en')`` also ignore
         direction when walking the graph).  Paths do not revisit entities.
+        Enumeration runs on the integer index in deterministic order and is
+        memoized per ``(source, target, max_length)``.
         """
         if max_length < 1:
             raise ValueError("max_length must be >= 1")
-        results: list[tuple[Triple, ...]] = []
-
-        def extend(current: str, visited: set[str], path: tuple[Triple, ...]) -> None:
-            if len(path) >= max_length:
-                return
-            for triple in self.triples_of(current):
-                nxt = triple.other_entity(current)
-                if nxt in visited:
-                    continue
-                new_path = path + (triple,)
-                if nxt == target:
-                    results.append(new_path)
-                else:
-                    extend(nxt, visited | {nxt}, new_path)
-
-        extend(source, {source}, ())
-        return results
+        key = (source, target, max_length)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            index = self.index()
+            source_id = index.entity_to_id.get(source)
+            target_id = index.entity_to_id.get(target)
+            if source_id is None or target_id is None:
+                cached = ()
+            else:
+                cached = tuple(
+                    tuple(index.triples[i] for i in path)
+                    for path in index.relation_paths(source_id, target_id, max_length)
+                )
+            self._path_cache[key] = cached
+        return list(cached)
 
     # ------------------------------------------------------------------
     # Relation functionality (PARIS-style)

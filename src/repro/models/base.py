@@ -22,8 +22,6 @@ import numpy as np
 
 from ..embedding import (
     RankingMetrics,
-    cosine,
-    cosine_matrix,
     csls_matrix,
     greedy_alignment,
     ranking_metrics,
@@ -61,7 +59,8 @@ class EntityIndex:
     def __init__(self, dataset: EADataset) -> None:
         entities1 = sorted(dataset.kg1.entities)
         entities2 = sorted(dataset.kg2.entities)
-        self.entities: list[str] = entities1 + [e for e in entities2 if e not in set(entities1)]
+        seen = set(entities1)
+        self.entities: list[str] = entities1 + [e for e in entities2 if e not in seen]
         self.entity_to_id: dict[str, int] = {e: i for i, e in enumerate(self.entities)}
         relations = sorted(dataset.kg1.relations | dataset.kg2.relations)
         self.relations: list[str] = relations
@@ -112,6 +111,9 @@ class EAModel:
         self.entity_matrix: np.ndarray | None = None
         self.relation_matrix: np.ndarray | None = None
         self._derived_relation_matrix: np.ndarray | None = None
+        self._entity_norms: np.ndarray | None = None
+        self._unit_entity_matrix: np.ndarray | None = None
+        self._embedding_version = 0
 
     # ------------------------------------------------------------------
     # Training
@@ -123,6 +125,9 @@ class EAModel:
         rng = np.random.default_rng(self.config.seed)
         self.entity_matrix, self.relation_matrix = self._train(dataset, self.index, rng)
         self._derived_relation_matrix = None
+        self._entity_norms = None
+        self._unit_entity_matrix = None
+        self._embedding_version += 1
         return self
 
     def _train(
@@ -150,6 +155,11 @@ class EAModel:
     @property
     def is_fitted(self) -> bool:
         return self.entity_matrix is not None
+
+    @property
+    def embedding_version(self) -> int:
+        """Counter bumped on every (re)fit; lets derived caches detect stale matrices."""
+        return self._embedding_version
 
     @property
     def embedding_dim(self) -> int:
@@ -192,28 +202,102 @@ class EAModel:
         return self._derived_relations()[relation_id]
 
     def _derived_relations(self) -> np.ndarray:
-        """Translation-derived relation embeddings (Eq. 1), cached after first use."""
+        """Translation-derived relation embeddings (Eq. 1), cached after first use.
+
+        Vectorised: the per-relation sums of ``e_head - e_tail`` are
+        accumulated with one ``np.add.at`` scatter per KG instead of a
+        Python loop over triples.
+        """
         assert self.index is not None and self.entity_matrix is not None and self.dataset is not None
         if self._derived_relation_matrix is None:
-            matrix = np.zeros((self.index.num_relations(), self.entity_matrix.shape[1]))
-            counts = np.zeros(self.index.num_relations())
+            num_relations = self.index.num_relations()
+            matrix = np.zeros((num_relations, self.entity_matrix.shape[1]))
+            counts = np.zeros(num_relations)
             for kg in (self.dataset.kg1, self.dataset.kg2):
-                for triple in kg.triples:
-                    relation_id = self.index.relation_to_id[triple.relation]
-                    head = self.entity_matrix[self.index.entity_to_id[triple.head]]
-                    tail = self.entity_matrix[self.index.entity_to_id[triple.tail]]
-                    matrix[relation_id] += head - tail
-                    counts[relation_id] += 1
+                ids = self.index.triples_to_ids(sorted(kg.triples, key=lambda t: t.as_tuple()))
+                if not len(ids):
+                    continue
+                differences = self.entity_matrix[ids[:, 0]] - self.entity_matrix[ids[:, 2]]
+                np.add.at(matrix, ids[:, 1], differences)
+                counts += np.bincount(ids[:, 1], minlength=num_relations)
             counts[counts == 0] = 1.0
             self._derived_relation_matrix = matrix / counts[:, None]
         return self._derived_relation_matrix
 
+    def relation_embedding_matrix(self) -> np.ndarray:
+        """The full relation-embedding matrix, indexed by relation id.
+
+        Learned embeddings when the architecture has them, otherwise the
+        translation-derived matrix of Eq. (1).  Lets batched code gather
+        many relation rows at once instead of looking them up one by one.
+        """
+        self._require_fitted()
+        if self.learns_relation_embeddings and self.relation_matrix is not None:
+            return self.relation_matrix
+        return self._derived_relations()
+
     # ------------------------------------------------------------------
     # Similarity & alignment inference
     # ------------------------------------------------------------------
+    def entity_norms(self) -> np.ndarray:
+        """L2 norm of every entity embedding row, computed once per fit."""
+        self._require_fitted()
+        assert self.entity_matrix is not None
+        if self._entity_norms is None:
+            self._entity_norms = np.linalg.norm(self.entity_matrix, axis=1)
+        return self._entity_norms
+
+    def unit_entity_matrix(self) -> np.ndarray:
+        """Row-L2-normalised entity matrix, computed once per fit.
+
+        Rows with (near-)zero norm are divided by ``1e-12`` exactly as
+        :func:`repro.embedding.cosine_matrix` does, so gathering rows from
+        this matrix and taking dot products reproduces its output.
+        """
+        self._require_fitted()
+        assert self.entity_matrix is not None
+        if self._unit_entity_matrix is None:
+            norms = np.maximum(self.entity_norms(), 1e-12)
+            self._unit_entity_matrix = self.entity_matrix / norms[:, None]
+        return self._unit_entity_matrix
+
     def similarity(self, entity1: str, entity2: str) -> float:
-        """Cosine similarity of two entities' embeddings."""
-        return cosine(self.entity_embedding(entity1), self.entity_embedding(entity2))
+        """Cosine similarity of two entities' embeddings.
+
+        A row dot product over cached ids and norms — equivalent to (and
+        bit-compatible with) ``cosine(entity_embedding(e1), entity_embedding(e2))``
+        without re-deriving either norm.
+        """
+        self._require_fitted()
+        assert self.index is not None and self.entity_matrix is not None
+        id1 = self.index.entity_to_id[entity1]
+        id2 = self.index.entity_to_id[entity2]
+        norms = self.entity_norms()
+        denominator = norms[id1] * norms[id2]
+        if denominator < 1e-12:
+            return 0.0
+        return float(np.dot(self.entity_matrix[id1], self.entity_matrix[id2]) / denominator)
+
+    def similarity_many(self, pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Cosine similarity of many ``(entity1, entity2)`` pairs at once.
+
+        Returns a ``(len(pairs),)`` array; entry *i* equals
+        ``similarity(pairs[i][0], pairs[i][1])``.
+        """
+        self._require_fitted()
+        assert self.index is not None and self.entity_matrix is not None
+        if not pairs:
+            return np.zeros(0)
+        ids1 = np.fromiter(
+            (self.index.entity_to_id[p[0]] for p in pairs), dtype=np.int64, count=len(pairs)
+        )
+        ids2 = np.fromiter(
+            (self.index.entity_to_id[p[1]] for p in pairs), dtype=np.int64, count=len(pairs)
+        )
+        dots = np.einsum("ij,ij->i", self.entity_matrix[ids1], self.entity_matrix[ids2])
+        norms = self.entity_norms()
+        denominators = norms[ids1] * norms[ids2]
+        return np.where(denominators < 1e-12, 0.0, dots / np.maximum(denominators, 1e-12))
 
     def similarity_matrix(
         self, sources: Sequence[str], targets: Sequence[str]
@@ -222,7 +306,9 @@ class EAModel:
 
         CSLS re-scaling is applied when the model's config requests it.
         """
-        matrix = cosine_matrix(self.entity_embeddings(sources), self.entity_embeddings(targets))
+        assert self.index is not None
+        unit = self.unit_entity_matrix()
+        matrix = unit[self.index.entity_ids(sources)] @ unit[self.index.entity_ids(targets)].T
         if self.config.use_csls:
             matrix = csls_matrix(matrix)
         return matrix
@@ -315,18 +401,17 @@ def build_adjacency(
     n = index.num_entities()
     adjacency = np.zeros((n, n))
     for kg in (kg1, kg2):
-        for triple in kg.triples:
-            i = index.entity_to_id[triple.head]
-            j = index.entity_to_id[triple.tail]
-            adjacency[i, j] = 1.0
-            adjacency[j, i] = 1.0
-    if seed_alignment is not None:
-        for source, target in seed_alignment:
-            i = index.entity_to_id[source]
-            j = index.entity_to_id[target]
-            adjacency[i, j] = 1.0
-            adjacency[j, i] = 1.0
-    adjacency += np.eye(n)
+        ids = index.triples_to_ids(list(kg.triples))
+        if len(ids):
+            adjacency[ids[:, 0], ids[:, 2]] = 1.0
+            adjacency[ids[:, 2], ids[:, 0]] = 1.0
+    if seed_alignment is not None and len(seed_alignment):
+        pairs = list(seed_alignment)
+        rows = index.entity_ids([source for source, _ in pairs])
+        cols = index.entity_ids([target for _, target in pairs])
+        adjacency[rows, cols] = 1.0
+        adjacency[cols, rows] = 1.0
+    adjacency[np.diag_indices(n)] += 1.0
     degrees = adjacency.sum(axis=1)
     inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
     return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
