@@ -17,6 +17,9 @@ The package is organised as:
 * :mod:`repro.metrics` — fidelity, sparsity, accuracy, precision/recall/F1.
 * :mod:`repro.experiments` — experiment configs, runners and table
   formatting used by the benchmark harness.
+* :mod:`repro.service` — explanation-as-a-service: micro-batching
+  scheduler, versioned result cache, worker pool, client facade and the
+  ``python -m repro.service`` traffic-replay CLI.
 """
 
 __version__ = "1.0.0"

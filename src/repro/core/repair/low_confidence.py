@@ -97,17 +97,36 @@ class LowConfidenceRepairer:
         These are the targets that can form an explanation with at least one
         matched neighbour, hence a confidence above 0.5 ("target entities
         with aligned neighbors" in the paper).
+
+        Runs on the integer :class:`~repro.kg.KGIndex` adjacency: the
+        neighbourhood walks are memoized sorted id lists instead of
+        per-call set builds + string sorts.  Ids follow sorted-entity
+        order, so the candidate order is identical to the former
+        sorted-string enumeration.
         """
         reference = self._reference(working)
+        index1 = self.dataset.kg1.index()
+        index2 = self.dataset.kg2.index()
+        source_id = index1.entity_to_id.get(source)
+        if source_id is None:
+            return []
         candidates: list[str] = []
-        seen: set[str] = set()
+        seen: set[int] = set()
         valid_targets = self.dataset.test_targets() | working.targets()
-        for neighbor1 in sorted(self.dataset.kg1.neighbors(source)):
-            for neighbor2 in sorted(reference.targets_of(neighbor1)):
-                for candidate in sorted(self.dataset.kg2.neighbors(neighbor2)):
-                    if candidate in seen or candidate not in valid_targets:
+        entities1 = index1.entities
+        entities2 = index2.entities
+        for neighbor1_id in index1.neighbor_ids(source_id):
+            for neighbor2 in sorted(reference.targets_of(entities1[neighbor1_id])):
+                neighbor2_id = index2.entity_to_id.get(neighbor2)
+                if neighbor2_id is None:
+                    continue
+                for candidate_id in index2.neighbor_ids(neighbor2_id):
+                    if candidate_id in seen:
                         continue
-                    seen.add(candidate)
+                    seen.add(candidate_id)
+                    candidate = entities2[candidate_id]
+                    if candidate not in valid_targets:
+                        continue
                     candidates.append(candidate)
                     if len(candidates) >= self.max_candidates:
                         return candidates

@@ -20,12 +20,14 @@ from .synthetic import (
     SyntheticConfig,
     generate_dataset,
 )
+from .workload import ReplayRequest, replay_workload, shard_workload
 
 __all__ = [
     "DATASET_NAMES",
     "DEFAULT_RELATIONS",
     "PAPER_SEED_NOISE_FRACTION",
     "RelationSpec",
+    "ReplayRequest",
     "SyntheticBenchmarkGenerator",
     "SyntheticConfig",
     "add_spurious_triples",
@@ -36,4 +38,6 @@ __all__ = [
     "generate_dataset",
     "load_all_benchmarks",
     "load_benchmark",
+    "replay_workload",
+    "shard_workload",
 ]

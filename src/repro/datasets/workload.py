@@ -1,0 +1,70 @@
+"""Scripted service traffic: deterministic skewed request replays.
+
+Serving benchmarks need reproducible traffic whose *shape* matches real
+query streams: a small set of hot pairs absorbs most requests (which is
+what makes result caching pay off) while the long tail keeps the engine
+honest.  :func:`replay_workload` generates such a stream from a pair
+population with a Zipf-like rank weighting, seeded so every run — CLI,
+benchmark, tests — sees the same request order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+#: One scripted request: (operation kind, source entity, target entity).
+ReplayRequest = tuple[str, str, str]
+
+
+def replay_workload(
+    pairs: Sequence[tuple[str, str]],
+    num_requests: int,
+    seed: int = 0,
+    skew: float = 1.0,
+    kinds: Sequence[str] = ("explain",),
+    kind_weights: Sequence[float] | None = None,
+) -> list[ReplayRequest]:
+    """Build a deterministic skewed request stream over *pairs*.
+
+    Args:
+        pairs: the pair population (rank order defines popularity: the
+            first pair is the hottest).
+        num_requests: length of the replay.
+        seed: RNG seed; same inputs -> same replay.
+        skew: Zipf exponent of the rank weighting ``1 / rank^skew``.
+            ``0`` gives uniform traffic, larger values concentrate it.
+        kinds: operation kinds to mix into the stream.
+        kind_weights: relative weight per kind (uniform when omitted).
+
+    Returns:
+        ``num_requests`` tuples of ``(kind, source, target)``.
+    """
+    if not pairs:
+        return []
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if kind_weights is not None and len(kind_weights) != len(kinds):
+        raise ValueError("kind_weights must match kinds in length")
+    rng = random.Random(seed)
+    pair_weights = [1.0 / (rank + 1) ** skew for rank in range(len(pairs))]
+    chosen_pairs = rng.choices(list(pairs), weights=pair_weights, k=num_requests)
+    chosen_kinds = rng.choices(list(kinds), weights=kind_weights, k=num_requests)
+    return [
+        (kind, source, target)
+        for kind, (source, target) in zip(chosen_kinds, chosen_pairs)
+    ]
+
+
+def shard_workload(workload: Sequence[ReplayRequest], num_shards: int) -> list[list[ReplayRequest]]:
+    """Round-robin split of a replay across *num_shards* concurrent clients.
+
+    Interleaving (rather than chunking) keeps the hot-pair mixture similar
+    across shards, which is how concurrent clients would actually see it.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    shards: list[list[ReplayRequest]] = [[] for _ in range(num_shards)]
+    for position, request in enumerate(workload):
+        shards[position % num_shards].append(request)
+    return shards

@@ -10,6 +10,7 @@ from .initializers import l2_normalize_rows, normal, uniform_unit, xavier_unifor
 from .negative_sampling import HardNegativeSampler, uniform_corrupt
 from .optimizers import SGD, Adagrad, Adam, Optimizer, make_optimizer
 from .similarity import (
+    SIMILARITY_BLOCK,
     cosine,
     cosine_matrix,
     csls_matrix,
@@ -25,6 +26,7 @@ __all__ = [
     "Optimizer",
     "RankingMetrics",
     "SGD",
+    "SIMILARITY_BLOCK",
     "alignment_accuracy",
     "cosine",
     "cosine_matrix",

@@ -34,23 +34,57 @@ def cosine_matrix(left: np.ndarray, right: np.ndarray, eps: float = 1e-12) -> np
     return left_norm @ right_norm.T
 
 
-def csls_matrix(similarity: np.ndarray, k: int = 10) -> np.ndarray:
+#: Row/column block size of the blocked similarity kernels.  Large enough
+#: that the per-block numpy overhead is negligible, small enough that the
+#: scratch buffers (one block of top-k copies) stay cache-friendly and the
+#: 15k-scale datasets never materialise a second full dense matrix.
+SIMILARITY_BLOCK = 1024
+
+
+def csls_matrix(
+    similarity: np.ndarray,
+    k: int = 10,
+    block: int = SIMILARITY_BLOCK,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Cross-domain similarity local scaling (CSLS) of a similarity matrix.
 
     CSLS penalises hub entities that are similar to everything:
     ``csls(x, y) = 2 * sim(x, y) - r_T(x) - r_S(y)`` where ``r`` is the mean
     similarity to the k nearest neighbours in the other domain.
+
+    Operates in fixed-size row/column blocks: the top-k scratch copies and
+    the rescaled output are produced ``block`` rows at a time, so the peak
+    extra memory is one block rather than a second full dense matrix.
+    Pass ``out=similarity`` to rescale fully in place.  Per-row (and
+    per-column) partial sorts are independent, so blocking does not change
+    the numerics.
     """
     if similarity.size == 0:
-        return similarity.copy()
-    k_rows = min(k, similarity.shape[1])
-    k_cols = min(k, similarity.shape[0])
-    # Mean of the top-k entries per row / per column.
-    row_topk = np.partition(similarity, -k_rows, axis=1)[:, -k_rows:]
-    col_topk = np.partition(similarity, -k_cols, axis=0)[-k_cols:, :]
-    r_source = row_topk.mean(axis=1, keepdims=True)
-    r_target = col_topk.mean(axis=0, keepdims=True)
-    return 2 * similarity - r_source - r_target
+        return similarity.copy() if out is None else out
+    num_rows, num_cols = similarity.shape
+    k_rows = min(k, num_cols)
+    k_cols = min(k, num_rows)
+    dtype = similarity.dtype if np.issubdtype(similarity.dtype, np.floating) else np.float64
+    # Mean of the top-k entries per row / per column, one block at a time.
+    r_source = np.empty((num_rows, 1), dtype=dtype)
+    for start in range(0, num_rows, block):
+        stop = start + block
+        row_topk = np.partition(similarity[start:stop], -k_rows, axis=1)[:, -k_rows:]
+        r_source[start:stop, 0] = row_topk.mean(axis=1)
+    r_target = np.empty((1, num_cols), dtype=dtype)
+    for start in range(0, num_cols, block):
+        stop = start + block
+        col_topk = np.partition(similarity[:, start:stop], -k_cols, axis=0)[-k_cols:, :]
+        r_target[0, start:stop] = col_topk.mean(axis=0)
+    if out is None:
+        out = np.empty_like(similarity, dtype=dtype)
+    for start in range(0, num_rows, block):
+        stop = start + block
+        np.multiply(similarity[start:stop], 2.0, out=out[start:stop])
+        out[start:stop] -= r_source[start:stop]
+        out[start:stop] -= r_target
+    return out
 
 
 def top_k_indices(similarity_row: np.ndarray, k: int) -> np.ndarray:

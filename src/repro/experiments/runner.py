@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from ..baselines import BASELINE_REGISTRY
 from ..core import ExEA, ExEAConfig, ExplanationConfig, RepairConfig
-from ..datasets import corrupt_seed_alignment, load_benchmark
+from ..datasets import corrupt_seed_alignment, load_benchmark, replay_workload
 from ..kg import EADataset
 from ..llm import (
     ChatGPTMatchExplainer,
@@ -32,6 +32,7 @@ from ..metrics import (
     verification_metrics,
 )
 from ..models import EAModel, make_model
+from ..service import ExplanationService, replay_concurrently
 from .config import ExperimentScale
 
 # ----------------------------------------------------------------------
@@ -83,6 +84,22 @@ class VerificationRow:
     precision: float
     recall: float
     f1: float
+
+
+@dataclass(frozen=True)
+class ServiceRow:
+    """One serving-throughput measurement (service-backed runner path)."""
+
+    dataset: str
+    model: str
+    num_requests: int
+    num_clients: int
+    seconds: float
+    requests_per_second: float
+    cache_hit_rate: float
+    mean_batch_occupancy: float
+    p50_ms: float
+    p95_ms: float
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +268,51 @@ def run_ablation_experiment(model: EAModel, dataset: EADataset) -> list[Ablation
             )
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Service-backed serving experiment (explanation-as-a-service layer)
+# ----------------------------------------------------------------------
+def run_service_experiment(
+    model: EAModel,
+    dataset: EADataset,
+    scale: ExperimentScale,
+    num_requests: int | None = None,
+    num_clients: int = 4,
+    skew: float = 1.0,
+    service_config=None,
+) -> ServiceRow:
+    """Replay skewed explain traffic through the explanation service.
+
+    Samples the fidelity protocol's pair population, builds a
+    deterministic Zipf replay over it and drives the service with
+    *num_clients* concurrent synchronous clients — the serving analogue of
+    :func:`run_explanation_experiment`.  Results are bit-identical to
+    direct engine calls (covered by the service test suite); this runner
+    measures the serving side: throughput, cache hit rate, batch occupancy
+    and latency percentiles.
+    """
+    pairs = sample_correct_pairs(model, dataset, scale.explanation_sample, seed=scale.seed)
+    if num_requests is None:
+        num_requests = 10 * len(pairs)
+    workload = replay_workload(pairs, num_requests, seed=scale.seed, skew=skew)
+
+    with ExplanationService(model, dataset, service_config) as service:
+        seconds = replay_concurrently(service, workload, num_clients)
+
+    stats = service.stats.snapshot()
+    return ServiceRow(
+        dataset=dataset.name,
+        model=model.name,
+        num_requests=len(workload),
+        num_clients=num_clients,
+        seconds=seconds,
+        requests_per_second=len(workload) / seconds if seconds > 0 else 0.0,
+        cache_hit_rate=stats["cache_hit_rate"],
+        mean_batch_occupancy=stats["mean_batch_occupancy"],
+        p50_ms=stats["p50_ms"],
+        p95_ms=stats["p95_ms"],
+    )
 
 
 # ----------------------------------------------------------------------

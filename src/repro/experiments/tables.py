@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .runner import AblationRow, ExplanationRow, RepairRow, VerificationRow
+from .runner import AblationRow, ExplanationRow, RepairRow, ServiceRow, VerificationRow
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
@@ -77,6 +77,28 @@ def format_verification_rows(rows: list[VerificationRow], title: str = "") -> st
         ["Dataset", "Model", "Method", "Prec.", "Recall", "F1"],
         [
             (r.dataset, r.model, r.method, _fmt(r.precision), _fmt(r.recall), _fmt(r.f1))
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def format_service_rows(rows: list[ServiceRow], title: str = "") -> str:
+    """Serving-throughput table (service-backed runner path)."""
+    return format_table(
+        ["Dataset", "Model", "Requests", "Clients", "req/s", "Hit rate", "Batch occ.", "p50 ms", "p95 ms"],
+        [
+            (
+                r.dataset,
+                r.model,
+                r.num_requests,
+                r.num_clients,
+                f"{r.requests_per_second:.0f}",
+                _fmt(r.cache_hit_rate),
+                f"{r.mean_batch_occupancy:.1f}",
+                f"{r.p50_ms:.2f}",
+                f"{r.p95_ms:.2f}",
+            )
             for r in rows
         ],
         title=title,

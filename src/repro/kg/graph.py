@@ -84,6 +84,7 @@ class KGIndex:
         np.cumsum(counts, out=self.indptr[1:])
         self._adjacency: list[list[tuple[int, int]]] | None = None
         self._walk_cache: dict[tuple[int, int], dict[int, list[tuple[tuple[int, ...], tuple[int, ...]]]]] = {}
+        self._neighbor_ids_cache: dict[int, list[int]] = {}
 
     def adjacency(self) -> list[list[tuple[int, int]]]:
         """Per-entity ``(other_id, triple_id)`` lists, derived from the CSR arrays.
@@ -109,6 +110,22 @@ class KGIndex:
 
     def num_triples(self) -> int:
         return len(self.triples)
+
+    def neighbor_ids(self, entity_id: int) -> list[int]:
+        """Sorted unique neighbour ids of *entity_id*, excluding itself (memoized).
+
+        Entity ids follow sorted-entity order, so ascending id order equals
+        the lexicographic order string-based callers used to sort into —
+        integer consumers (e.g. the low-confidence candidate generator)
+        inherit the same deterministic iteration for free.
+        """
+        cached = self._neighbor_ids_cache.get(entity_id)
+        if cached is None:
+            lo, hi = self.indptr[entity_id], self.indptr[entity_id + 1]
+            others = np.unique(self.incident_others[lo:hi])
+            cached = [i for i in others.tolist() if i != entity_id]
+            self._neighbor_ids_cache[entity_id] = cached
+        return cached
 
     def _bfs(self, entity_id: int, hops: int) -> tuple[set[int], set[int]]:
         """Breadth-first expansion; returns (seen entity ids, collected triple ids)."""

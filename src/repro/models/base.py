@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..embedding import (
+    SIMILARITY_BLOCK,
     RankingMetrics,
     csls_matrix,
     greedy_alignment,
@@ -300,17 +301,36 @@ class EAModel:
         return np.where(denominators < 1e-12, 0.0, dots / np.maximum(denominators, 1e-12))
 
     def similarity_matrix(
-        self, sources: Sequence[str], targets: Sequence[str]
+        self, sources: Sequence[str], targets: Sequence[str], block: int = SIMILARITY_BLOCK
     ) -> np.ndarray:
         """Pairwise similarity between *sources* (rows) and *targets* (columns).
 
         CSLS re-scaling is applied when the model's config requests it.
+
+        Computed in fixed-size row blocks: the source-row gather and the
+        gemm run ``block`` rows at a time into one preallocated output, and
+        the CSLS pass rescales that output in place — peak memory is the
+        result matrix plus one block of scratch, never two full dense
+        matrices, which is what keeps the 15k-scale datasets viable.
+
+        Beyond one block the per-call gemm shape changes, so BLAS may pick
+        different kernels than a single full-matrix call would — results
+        can differ from the unblocked product in the last ulp there.  Any
+        given matrix is still computed deterministically, and every
+        consumer in the repo (prediction, repair, the service reference
+        alignment) shares this one kernel, so all within-run equivalence
+        contracts (batch == sequential, service == direct) are unaffected.
         """
         assert self.index is not None
         unit = self.unit_entity_matrix()
-        matrix = unit[self.index.entity_ids(sources)] @ unit[self.index.entity_ids(targets)].T
+        source_ids = self.index.entity_ids(sources)
+        target_unit_t = unit[self.index.entity_ids(targets)].T
+        matrix = np.empty((len(source_ids), target_unit_t.shape[1]))
+        for start in range(0, len(source_ids), block):
+            stop = start + block
+            np.matmul(unit[source_ids[start:stop]], target_unit_t, out=matrix[start:stop])
         if self.config.use_csls:
-            matrix = csls_matrix(matrix)
+            csls_matrix(matrix, block=block, out=matrix)
         return matrix
 
     def predict(self, sources: Sequence[str] | None = None, targets: Sequence[str] | None = None) -> AlignmentSet:

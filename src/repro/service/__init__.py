@@ -1,0 +1,61 @@
+"""Explanation-as-a-service: micro-batching scheduler, versioned cache, worker pool.
+
+This package is the serving layer over the PR-1 batch engine (see
+ROADMAP.md, "Service architecture").  The pieces compose bottom-up:
+
+* :mod:`~repro.service.batching` — bounded :class:`RequestQueue`
+  (admission control / backpressure) + :class:`MicroBatcher` (coalescing
+  policy: max batch size, max added wait).
+* :mod:`~repro.service.cache` — :class:`ResultCache`, an LRU keyed on
+  ``(operation, pair)`` and invalidated wholesale by the KG / model
+  version counters.
+* :mod:`~repro.service.worker` — :class:`WorkerPool`, one engine backend
+  per thread.
+* :mod:`~repro.service.service` — :class:`ExplanationService` tying them
+  together and the synchronous :class:`ExEAClient` facade.
+* :mod:`~repro.service.stats` — :class:`ServiceStats` telemetry (hit
+  rate, batch occupancy, p50/p95 latency).
+
+``python -m repro.service`` serves a scripted traffic replay against a
+registry dataset end to end.
+"""
+
+from .batching import MicroBatcher, RequestQueue, ServiceRequest
+from .cache import ResultCache
+from .config import ServiceConfig
+from .errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from .service import (
+    CONFIDENCE,
+    EXPLAIN,
+    VERIFY,
+    ExEAClient,
+    ExplanationService,
+    replay_concurrently,
+)
+from .stats import ServiceStats
+from .worker import WorkerPool
+
+__all__ = [
+    "CONFIDENCE",
+    "DeadlineExceededError",
+    "EXPLAIN",
+    "ExEAClient",
+    "ExplanationService",
+    "MicroBatcher",
+    "RequestQueue",
+    "ResultCache",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceRequest",
+    "ServiceStats",
+    "VERIFY",
+    "WorkerPool",
+    "replay_concurrently",
+]

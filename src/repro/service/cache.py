@@ -1,0 +1,84 @@
+"""Versioned LRU result cache.
+
+Entries are keyed on ``(kind, pair)`` and guarded by a *generation token*
+— the tuple ``(kg1.version, kg2.version, model.embedding_version)`` the
+owning service derives from the PR-1 version counters.  Any KG mutation or
+model refit changes the token, and the first lookup under the new token
+drops the whole cache: results computed against the old graph/embeddings
+can never be served again.  This mirrors the wholesale invalidation the
+engine itself performs, so cached and freshly-computed results are always
+drawn from the same generation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from .stats import ServiceStats
+
+GenerationToken = tuple[int, ...]
+
+
+class ResultCache:
+    """Thread-safe LRU cache with generation-token invalidation.
+
+    ``capacity == 0`` disables caching entirely (every lookup misses and
+    :meth:`put` is a no-op), which gives benchmarks an uncached baseline
+    without a second code path.
+    """
+
+    def __init__(self, capacity: int, stats: ServiceStats | None = None) -> None:
+        self.capacity = capacity
+        self._stats = stats
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._token: GenerationToken | None = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _sync_token(self, token: GenerationToken) -> None:
+        """Drop everything when the generation changed (caller holds the lock)."""
+        if token != self._token:
+            if self._entries:
+                self._entries.clear()
+                if self._stats is not None:
+                    self._stats.record_invalidation()
+            self._token = token
+
+    def lookup(self, kind: str, pair: tuple[str, str], token: GenerationToken):
+        """Return ``(found, value)`` for the entry of *kind*/*pair* under *token*."""
+        if self.capacity == 0:
+            return False, None
+        key = (kind, pair)
+        with self._lock:
+            self._sync_token(token)
+            if key not in self._entries:
+                return False, None
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+
+    def put(self, kind: str, pair: tuple[str, str], token: GenerationToken, value) -> None:
+        """Store *value*, evicting least-recently-used entries beyond capacity."""
+        if self.capacity == 0:
+            return
+        key = (kind, pair)
+        with self._lock:
+            self._sync_token(token)
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            if evicted and self._stats is not None:
+                self._stats.record_eviction(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._token = None

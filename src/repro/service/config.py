@@ -1,0 +1,55 @@
+"""Configuration of the explanation service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the micro-batching explanation service.
+
+    Attributes:
+        max_batch_size: upper bound on the number of requests one worker
+            coalesces into a single engine call.
+        max_wait_ms: how long a worker keeps gathering extra requests
+            after the first one before dispatching a partial batch.  The
+            classic batching trade-off: higher values raise batch
+            occupancy (throughput), lower values cut queueing latency.
+            ``0`` still drains everything already queued, so concurrent
+            bursts batch up even with no added latency.
+        queue_capacity: admission-control bound on queued requests;
+            submissions beyond it fail fast with
+            :class:`~repro.service.errors.ServiceOverloadedError`.
+        num_workers: worker threads, each with its own engine backend
+            (the engine's caches are single-threaded by design).
+        cache_capacity: maximum number of entries in the versioned
+            result cache (LRU eviction).
+        default_deadline_ms: per-request deadline applied when a request
+            does not carry its own; ``None`` means no deadline.
+        latency_reservoir: how many of the most recent per-request
+            latencies the stats object retains (ring buffer) for the
+            percentile estimates.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 1024
+    num_workers: int = 2
+    cache_capacity: int = 4096
+    default_deadline_ms: float | None = None
+    latency_reservoir: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive when set")

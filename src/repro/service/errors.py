@@ -1,0 +1,30 @@
+"""Service-level error types.
+
+Admission control and deadline enforcement are part of the service
+contract, so their failures are first-class exceptions rather than bare
+``RuntimeError``s: callers (clients, the traffic replay, the benchmark)
+distinguish "the service is shedding load" from "the request was invalid".
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class of every error raised by the explanation service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded request queue is full; the request was rejected.
+
+    This is the backpressure signal of the admission controller: the
+    caller should retry later (or shed the request itself) instead of
+    queueing unboundedly.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been closed; no further requests are accepted."""
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed before a worker could serve it."""

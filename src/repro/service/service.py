@@ -1,0 +1,391 @@
+"""The explanation service: micro-batched explain / confidence / verify.
+
+:class:`ExplanationService` turns the PR-1 batch engine into serving
+infrastructure.  Callers submit single-pair operations; the service
+coalesces concurrent requests into :meth:`ExplanationEngine.explain_batch`
+calls, answers repeated traffic from a versioned LRU cache, and sheds load
+when the bounded queue fills up.  Results are *bit-identical* to direct
+engine calls: batching only changes how work is grouped (the engine
+guarantees batch == sequential), and the cache is invalidated wholesale
+whenever either KG or the model changes version, so a cached result is
+always exactly what a fresh computation would produce.
+
+Operations
+----------
+
+* ``explain``     — the semantic-matching-subgraph explanation of a pair.
+* ``confidence``  — the repair-confidence oracle (explanation -> ADG ->
+  confidence, with cr1 filtering per the repair config), memoized both in
+  the service cache and in the backend's fingerprint cache.
+* ``verify``      — confidence thresholded at the low-confidence bound
+  ``beta = sigmoid(theta)`` (the paper's EA-verification operation).
+
+Threading model
+---------------
+
+Workers are threads; each owns a private :class:`~repro.core.ExEA`
+backend because the engine's caches are single-threaded state.  Shared
+*read* state (the KG memo tables, the model matrices, the reference
+alignment) is safe under the GIL.  The reference alignment (model
+predictions ∪ seed) is computed once per generation under a lock and
+shared by all workers, so every request in a generation is answered
+against the same alignment — a prerequisite for determinism under
+concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+from ..core import ExEA, ExEAConfig
+from ..core.adg import low_confidence_threshold
+from ..datasets import shard_workload
+from ..kg import AlignmentSet, EADataset
+from ..models import EAModel
+from .batching import MicroBatcher, RequestQueue, ServiceRequest
+from .cache import GenerationToken, ResultCache
+from .config import ServiceConfig
+from .errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from .stats import ServiceStats
+from .worker import WorkerPool
+
+#: Operation kinds accepted by :meth:`ExplanationService.submit`.
+EXPLAIN = "explain"
+CONFIDENCE = "confidence"
+VERIFY = "verify"
+_KINDS = (EXPLAIN, CONFIDENCE, VERIFY)
+
+
+def _cache_kind(kind: str) -> str:
+    """verify is served from the confidence cache (it is a thresholding of it)."""
+    return CONFIDENCE if kind == VERIFY else kind
+
+
+class ExplanationService:
+    """Micro-batching, caching front-end over the batch explanation engine."""
+
+    def __init__(
+        self,
+        model: EAModel,
+        dataset: EADataset | None = None,
+        config: ServiceConfig | None = None,
+        exea_config: ExEAConfig | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("the EA model must be fitted before serving explanations")
+        self.model = model
+        self.dataset = dataset or model.dataset
+        if self.dataset is None:
+            raise ValueError("a dataset is required (none attached to the model)")
+        self.config = config or ServiceConfig()
+        self.exea_config = exea_config or ExEAConfig()
+        self.stats = ServiceStats(latency_reservoir=self.config.latency_reservoir)
+        self.cache = ResultCache(self.config.cache_capacity, stats=self.stats)
+        self.queue = RequestQueue(self.config.queue_capacity)
+        self.batcher = MicroBatcher(
+            self.queue,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_seconds=self.config.max_wait_ms / 1000.0,
+        )
+        #: one engine backend per worker — engine caches are single-threaded
+        self._backends = [
+            ExEA(model, self.dataset, self.exea_config)
+            for _ in range(self.config.num_workers)
+        ]
+        self.verify_threshold = low_confidence_threshold(self.exea_config.adg.theta)
+        self.pool = WorkerPool(self.config.num_workers, self.batcher, self._handle_batch)
+        self._reference_lock = threading.Lock()
+        self._reference_alignment: AlignmentSet | None = None
+        self._reference_token: GenerationToken | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ExplanationService":
+        """Start the worker threads (idempotent)."""
+        self.pool.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admitting requests; by default wait for queued work to finish."""
+        self.queue.close()
+        if drain:
+            self.pool.join()
+
+    def __enter__(self) -> "ExplanationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    def _token(self) -> GenerationToken:
+        """Generation token tying results to KG/model versions (PR-1 counters)."""
+        return (
+            self.dataset.kg1.version,
+            self.dataset.kg2.version,
+            self.model.embedding_version,
+        )
+
+    def reference_alignment(self) -> AlignmentSet:
+        """Model predictions ∪ seed alignment, recomputed once per generation."""
+        token = self._token()
+        with self._reference_lock:
+            if self._reference_alignment is None or self._reference_token != token:
+                self._reference_alignment = self._backends[0].generator.reference_alignment()
+                self._reference_token = token
+            return self._reference_alignment
+
+    # ------------------------------------------------------------------
+    # Request admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        source: str,
+        target: str,
+        deadline_ms: float | None = None,
+    ) -> Future:
+        """Submit one operation; returns a future resolving to its result.
+
+        Raises:
+            ServiceOverloadedError: the bounded queue is full (backpressure).
+            ServiceClosedError: the service no longer admits requests.
+            ValueError: unknown operation *kind*.
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"unknown operation {kind!r}; expected one of {_KINDS}")
+        self.stats.record_submitted()
+        pair = (source, target)
+        # Fast path: answer straight from the cache, no queueing at all.
+        found, value = self.cache.lookup(_cache_kind(kind), pair, self._token())
+        if found:
+            self.stats.record_hit()
+            future: Future = Future()
+            future.set_result(self._present(kind, value))
+            self.stats.record_completed(0.0)
+            return future
+        deadline_ms = deadline_ms if deadline_ms is not None else self.config.default_deadline_ms
+        request = ServiceRequest(
+            kind=kind,
+            pair=pair,
+            deadline=None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0,
+        )
+        try:
+            self.queue.put(request)
+        except ServiceOverloadedError:
+            self.stats.record_rejected()
+            raise
+        return request.future
+
+    # ------------------------------------------------------------------
+    # Batch execution (runs on worker threads)
+    # ------------------------------------------------------------------
+    def _present(self, kind: str, value):
+        """Map a cached/computed raw value to the operation's result type."""
+        if kind == VERIFY:
+            return bool(value > self.verify_threshold)
+        return value
+
+    def _complete(self, request: ServiceRequest, raw_value) -> None:
+        if not request.future.set_running_or_notify_cancel():
+            return
+        request.future.set_result(self._present(request.kind, raw_value))
+        self.stats.record_completed(time.monotonic() - request.enqueued_at)
+
+    def _fail(self, request: ServiceRequest, error: BaseException) -> None:
+        if not request.future.set_running_or_notify_cancel():
+            return
+        request.future.set_exception(error)
+        if isinstance(error, DeadlineExceededError):
+            self.stats.record_expired()
+        else:
+            self.stats.record_failed()
+
+    def _handle_batch(self, worker_id: int, batch: list[ServiceRequest]) -> None:
+        backend = self._backends[worker_id]
+        token = self._token()
+        reference = self.reference_alignment()
+        self.stats.record_batch(len(batch))
+
+        now = time.monotonic()
+        live: list[ServiceRequest] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                self._fail(
+                    request,
+                    DeadlineExceededError(
+                        f"{request.kind}{request.pair} expired after "
+                        f"{(now - request.enqueued_at) * 1000:.1f}ms in queue"
+                    ),
+                )
+                continue
+            # Re-check the cache: an earlier batch (or another worker) may
+            # have computed this pair while the request sat in the queue.
+            found, value = self.cache.lookup(_cache_kind(request.kind), request.pair, token)
+            if found:
+                self.stats.record_hit()
+                self._complete(request, value)
+                continue
+            live.append(request)
+
+        explain_requests = [r for r in live if r.kind == EXPLAIN]
+        if explain_requests:
+            self._run_explains(backend, explain_requests, reference, token)
+
+        confidence_requests = [r for r in live if r.kind in (CONFIDENCE, VERIFY)]
+        if confidence_requests:
+            self._run_confidences(backend, confidence_requests, reference, token)
+
+    def _run_explains(self, backend: ExEA, requests, reference, token) -> None:
+        """One coalesced ``explain_batch`` call for every live explain request."""
+        pairs = list(dict.fromkeys(request.pair for request in requests))
+        try:
+            results = backend.generator.engine.explain_batch(pairs, reference)
+        except Exception:
+            # Isolate the poisonous pair: retry one by one so a single bad
+            # request (e.g. an entity unknown to the model) fails alone.
+            results = None
+        if results is None:
+            for request in requests:
+                try:
+                    value = backend.generator.engine.explain_batch([request.pair], reference)[
+                        request.pair
+                    ]
+                except Exception as error:  # noqa: BLE001 - per-request isolation
+                    self._fail(request, error)
+                    continue
+                self.cache.put(EXPLAIN, request.pair, token, value)
+                self.stats.record_miss()
+                self._complete(request, value)
+            return
+        for request in requests:
+            value = results[request.pair]
+            self.cache.put(EXPLAIN, request.pair, token, value)
+            self.stats.record_miss()
+            self._complete(request, value)
+
+    def _run_confidences(self, backend: ExEA, requests, reference, token) -> None:
+        """Repair-confidence oracle per unique pair (fingerprint-memoized inside)."""
+        computed: dict[tuple[str, str], float] = {}
+        for request in requests:
+            pair = request.pair
+            if pair not in computed:
+                try:
+                    computed[pair] = backend.repairer.confidence(pair[0], pair[1], reference)
+                except Exception as error:  # noqa: BLE001 - per-request isolation
+                    self._fail(request, error)
+                    continue
+                self.cache.put(CONFIDENCE, pair, token, computed[pair])
+            self.stats.record_miss()
+            self._complete(request, computed[pair])
+
+
+class ExEAClient:
+    """Synchronous in-process facade over an :class:`ExplanationService`.
+
+    Callers that think in terms of single requests use this; concurrent
+    clients each hold one (it is stateless) and the service's micro-batcher
+    does the coalescing underneath.
+    """
+
+    def __init__(self, service: ExplanationService) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------
+    def explain(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None):
+        return self.service.submit(EXPLAIN, source, target, deadline_ms).result(timeout)
+
+    def confidence(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None) -> float:
+        return self.service.submit(CONFIDENCE, source, target, deadline_ms).result(timeout)
+
+    def verify(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None) -> bool:
+        return self.service.submit(VERIFY, source, target, deadline_ms).result(timeout)
+
+    # ------------------------------------------------------------------
+    def explain_many(
+        self, pairs: list[tuple[str, str]], timeout: float | None = None
+    ) -> dict[tuple[str, str], object]:
+        """Submit every pair first, then gather — this drives the batcher."""
+        futures = {pair: self.service.submit(EXPLAIN, *pair) for pair in dict.fromkeys(pairs)}
+        return {pair: future.result(timeout) for pair, future in futures.items()}
+
+    def replay(
+        self, workload: list[tuple[str, str, str]], timeout: float | None = None
+    ) -> list[object]:
+        """Run a scripted ``(kind, source, target)`` traffic replay in order.
+
+        Requests are submitted as fast as admission control allows and
+        gathered afterwards; overloaded submissions are retried after a
+        short backoff so the replay exerts sustained pressure without
+        dropping requests.
+        """
+        futures: list[Future] = []
+        for kind, source, target in workload:
+            while True:
+                try:
+                    futures.append(self.service.submit(kind, source, target))
+                    break
+                except ServiceOverloadedError:
+                    time.sleep(0.0005)
+        return [future.result(timeout) for future in futures]
+
+
+def replay_concurrently(
+    service: ExplanationService,
+    workload: list[tuple[str, str, str]],
+    num_clients: int,
+    timeout: float | None = 120.0,
+) -> float:
+    """Drive a scripted replay through *num_clients* concurrent clients.
+
+    Shards the workload round-robin, runs one :class:`ExEAClient` per
+    shard on its own thread, and returns the elapsed wall-clock seconds.
+    Client failures are collected and re-raised — a replay that dropped
+    requests must never be mistaken for a fast one (its timing would be
+    meaningless).
+    """
+    shards = [shard for shard in shard_workload(workload, num_clients) if shard]
+    errors: list[BaseException] = []
+
+    def run_shard(shard: list[tuple[str, str, str]]) -> None:
+        try:
+            ExEAClient(service).replay(shard, timeout=timeout)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=run_shard, args=(shard,), daemon=True) for shard in shards
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+__all__ = [
+    "CONFIDENCE",
+    "EXPLAIN",
+    "VERIFY",
+    "ExEAClient",
+    "ExplanationService",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "replay_concurrently",
+]

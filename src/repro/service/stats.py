@@ -1,0 +1,124 @@
+"""Service telemetry: counters, cache hit rate, batch occupancy, latency percentiles."""
+
+from __future__ import annotations
+
+import threading
+
+
+def _percentile(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    position = int(round(quantile * (len(sorted_values) - 1)))
+    return sorted_values[position]
+
+
+class ServiceStats:
+    """Thread-safe counters describing one service's traffic.
+
+    Everything is recorded under one lock; reads go through
+    :meth:`snapshot`, which derives the aggregate figures (hit rate, mean
+    batch occupancy, p50/p95 latency) from the raw counters so the hot
+    path only ever increments integers.
+    """
+
+    def __init__(self, latency_reservoir: int = 100_000) -> None:
+        self._lock = threading.Lock()
+        self._latency_reservoir = latency_reservoir
+        self._latency_position = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.cache_invalidations = 0
+        self.num_batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.cache_misses += 1
+
+    def record_eviction(self, count: int = 1) -> None:
+        with self._lock:
+            self.cache_evictions += count
+
+    def record_invalidation(self) -> None:
+        with self._lock:
+            self.cache_invalidations += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.num_batches += 1
+            self.batched_requests += size
+            if size > self.max_batch_size:
+                self.max_batch_size = size
+
+    def record_completed(self, latency_seconds: float) -> None:
+        """Count a completion; latencies go into a ring of the most recent N.
+
+        A ring buffer (not a first-N truncation) so the percentile
+        estimates track *current* traffic on long-lived services —
+        warm-up latencies age out instead of dominating forever.
+        """
+        with self._lock:
+            self.completed += 1
+            if len(self._latencies) < self._latency_reservoir:
+                self._latencies.append(latency_seconds)
+            else:
+                self._latencies[self._latency_position] = latency_seconds
+                self._latency_position = (self._latency_position + 1) % self._latency_reservoir
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Aggregate view of the counters (safe to call while serving)."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            lookups = self.cache_hits + self.cache_misses
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
+                "cache_invalidations": self.cache_invalidations,
+                "cache_hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                "num_batches": self.num_batches,
+                "batched_requests": self.batched_requests,
+                "max_batch_size": self.max_batch_size,
+                "mean_batch_occupancy": (
+                    self.batched_requests / self.num_batches if self.num_batches else 0.0
+                ),
+                "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+                "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+                "latency_samples": len(latencies),
+            }

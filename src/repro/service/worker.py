@@ -1,0 +1,63 @@
+"""Thread-based worker pool driving the micro-batcher.
+
+Each worker owns one engine backend (index ``worker_id`` into the
+service's backend list) because the engine's caches are deliberately
+single-threaded; sharing read-only state (KG memo tables, the model's
+matrices) across workers is safe, mutating engine state is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from .batching import MicroBatcher, ServiceRequest
+
+BatchHandler = Callable[[int, list[ServiceRequest]], None]
+
+
+class WorkerPool:
+    """Fixed pool of daemon threads, each looping batcher -> handler."""
+
+    def __init__(self, num_workers: int, batcher: MicroBatcher, handler: BatchHandler) -> None:
+        self.num_workers = num_workers
+        self.batcher = batcher
+        self.handler = handler
+        self._threads: list[threading.Thread] = []
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for worker_id in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._run,
+                args=(worker_id,),
+                name=f"repro-service-worker-{worker_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self, worker_id: int) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if not batch:
+                return
+            try:
+                self.handler(worker_id, batch)
+            except BaseException as error:  # noqa: BLE001 - must not kill the worker
+                # The handler resolves futures itself; anything escaping it
+                # is a bug or a systemic failure — fail the whole batch so
+                # no client blocks forever, then keep serving.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for every worker to exit (the queue must be closed first)."""
+        for thread in self._threads:
+            thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)

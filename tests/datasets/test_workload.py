@@ -1,0 +1,47 @@
+"""Tests of the scripted traffic-replay generator."""
+
+import pytest
+
+from repro.datasets import replay_workload, shard_workload
+
+PAIRS = [(f"s{i}", f"t{i}") for i in range(10)]
+
+
+class TestReplayWorkload:
+    def test_deterministic_for_same_seed(self):
+        first = replay_workload(PAIRS, 50, seed=3, skew=1.0)
+        second = replay_workload(PAIRS, 50, seed=3, skew=1.0)
+        assert first == second
+        assert len(first) == 50
+        assert all(kind == "explain" for kind, _, _ in first)
+
+    def test_skew_concentrates_on_hot_pairs(self):
+        skewed = replay_workload(PAIRS, 400, seed=0, skew=2.0)
+        hot = sum(1 for _, source, _ in skewed if source == "s0")
+        cold = sum(1 for _, source, _ in skewed if source == "s9")
+        assert hot > cold
+
+    def test_kind_mix(self):
+        mixed = replay_workload(PAIRS, 100, seed=1, kinds=("explain", "confidence"))
+        kinds = {kind for kind, _, _ in mixed}
+        assert kinds == {"explain", "confidence"}
+
+    def test_empty_population(self):
+        assert replay_workload([], 10) == []
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            replay_workload(PAIRS, 10, kinds=("explain",), kind_weights=(1.0, 2.0))
+
+
+class TestShardWorkload:
+    def test_round_robin_preserves_all_requests(self):
+        workload = replay_workload(PAIRS, 23, seed=5)
+        shards = shard_workload(workload, 4)
+        assert len(shards) == 4
+        assert sorted(request for shard in shards for request in shard) == sorted(workload)
+        assert {len(shard) for shard in shards} == {5, 6}
+
+    def test_single_shard_is_identity(self):
+        workload = replay_workload(PAIRS, 9, seed=5)
+        assert shard_workload(workload, 1) == [workload]

@@ -10,6 +10,7 @@ from repro.experiments import (
     format_ablation_rows,
     format_explanation_rows,
     format_repair_rows,
+    format_service_rows,
     format_table,
     format_timing_rows,
     format_verification_rows,
@@ -18,6 +19,7 @@ from repro.experiments import (
     run_explanation_experiment,
     run_llm_explanation_experiment,
     run_repair_experiment,
+    run_service_experiment,
     run_verification_experiment,
     sample_correct_pairs,
     sample_verification_pairs,
@@ -104,6 +106,15 @@ class TestRunners:
         assert {row.method for row in rows} == {"ChatGPT", "ExEA", "ChatGPT + ExEA"}
         for row in rows:
             assert 0.0 <= row.f1 <= 1.0
+
+    def test_service_experiment_row(self, model, dataset, scale):
+        row = run_service_experiment(model, dataset, scale, num_requests=60, num_clients=3)
+        assert row.dataset == dataset.name
+        assert row.num_requests == 60
+        assert row.requests_per_second > 0
+        # Zipf replay repeats hot pairs, so the cache must see real hits.
+        assert row.cache_hit_rate > 0.0
+        assert "Hit rate" in format_service_rows([row], title="svc")
 
 
 class TestTables:

@@ -1,0 +1,38 @@
+"""Shared fixtures for the service-layer tests.
+
+One session-scoped dataset + fitted model backs the read-only tests; the
+cache-invalidation test builds its own private copies (it mutates the KG
+and refits the model, which must not leak into other tests).
+"""
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_dataset
+from repro.kg import EADataset
+from repro.models import MTransE, TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def service_dataset():
+    return generate_dataset(
+        SyntheticConfig(name="SVC", num_entities=100, avg_degree=4.5, seed=7, train_ratio=0.3)
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_model(service_dataset):
+    return MTransE(TrainingConfig(dim=24, epochs=120, seed=2)).fit(service_dataset)
+
+
+@pytest.fixture()
+def private_copy(service_dataset):
+    """A structurally identical dataset + model this test may mutate freely."""
+    dataset = EADataset(
+        service_dataset.kg1.copy(),
+        service_dataset.kg2.copy(),
+        service_dataset.train_alignment,
+        service_dataset.test_alignment,
+        name=service_dataset.name,
+    )
+    model = MTransE(TrainingConfig(dim=16, epochs=60, seed=3)).fit(dataset)
+    return dataset, model
