@@ -39,6 +39,24 @@ LLM_DATASETS = ("ZH-EN", "DBP-WD")
 LLM_MODELS = ("MTransE", "Dual-AMN")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "benchmark smoke mode: tiny workloads, no numeric assertions, "
+            "no artifact writes (used by the CI smoke job)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True when the harness runs in --quick smoke mode."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
     return BENCH_SCALE

@@ -1,8 +1,17 @@
-"""ADG construction from explanations (Section III-B)."""
+"""ADG construction from explanations (Section III-B).
+
+:meth:`ADGBuilder.build_many` is the batched construction path used by the
+repair-confidence oracle and the serving layer: node influences are
+computed once per unique entity pair across the whole batch (central pairs
+and neighbour pairs repeat heavily between related explanations) and each
+graph is then assembled exactly as the scalar :meth:`ADGBuilder.build`
+would.  ``build()`` is the batch-of-one case — outputs are bit-identical.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ...kg import EADataset
 from ...models import EAModel
@@ -54,42 +63,75 @@ class ADGBuilder:
 
     # ------------------------------------------------------------------
     def build(self, explanation: Explanation) -> AlignmentDependencyGraph:
-        """Construct the ADG of *explanation* and compute its confidence."""
-        config = self.config
-        central = ADGNode(
-            source=explanation.source,
-            target=explanation.target,
-            influence=self.model.similarity(explanation.source, explanation.target),
-            is_central=True,
-        )
-        graph = AlignmentDependencyGraph(central=central)
+        """Construct the ADG of *explanation* and compute its confidence.
 
-        neighbor_nodes: dict[tuple[str, str], ADGNode] = {}
-        for match in explanation.matched_paths[: config.max_edges]:
-            pair = match.neighbor_pair
-            if pair not in neighbor_nodes:
-                neighbor_nodes[pair] = ADGNode(
-                    source=pair[0],
-                    target=pair[1],
-                    influence=self.model.similarity(pair[0], pair[1]),
-                )
-            edge_type, weight = edge_weight(
-                match,
-                self.dataset.kg1,
-                self.dataset.kg2,
-                alpha=config.alpha,
-                weak_weight=config.weak_weight,
+        The batch-of-one case of :meth:`build_many` — single and batched
+        construction produce identical graphs.
+        """
+        return self.build_many([explanation])[0]
+
+    def build_many(
+        self, explanations: Sequence[Explanation]
+    ) -> list[AlignmentDependencyGraph]:
+        """Construct the ADGs of *explanations* in one pass.
+
+        Node influences (the model similarity of an entity pair) are
+        memoized across the batch: the central pair of one explanation is
+        routinely a neighbour pair of another, and hot neighbour pairs
+        recur in many ADGs, so the batch computes each unique similarity
+        once.  Every influence comes from the same scalar
+        :meth:`~repro.models.EAModel.similarity` call the unbatched builder
+        made, so graphs — and therefore confidences — are bit-identical to
+        sequential :meth:`build` calls.
+        """
+        config = self.config
+        influences: dict[tuple[str, str], float] = {}
+
+        def influence(source: str, target: str) -> float:
+            key = (source, target)
+            cached = influences.get(key)
+            if cached is None:
+                cached = self.model.similarity(source, target)
+                influences[key] = cached
+            return cached
+
+        graphs: list[AlignmentDependencyGraph] = []
+        for explanation in explanations:
+            central = ADGNode(
+                source=explanation.source,
+                target=explanation.target,
+                influence=influence(explanation.source, explanation.target),
+                is_central=True,
             )
-            graph.edges.append(
-                ADGEdge(
-                    neighbor=neighbor_nodes[pair],
-                    matched_path=match,
-                    edge_type=edge_type,
-                    weight=weight,
+            graph = AlignmentDependencyGraph(central=central)
+
+            neighbor_nodes: dict[tuple[str, str], ADGNode] = {}
+            for match in explanation.matched_paths[: config.max_edges]:
+                pair = match.neighbor_pair
+                if pair not in neighbor_nodes:
+                    neighbor_nodes[pair] = ADGNode(
+                        source=pair[0],
+                        target=pair[1],
+                        influence=influence(pair[0], pair[1]),
+                    )
+                edge_type, weight = edge_weight(
+                    match,
+                    self.dataset.kg1,
+                    self.dataset.kg2,
+                    alpha=config.alpha,
+                    weak_weight=config.weak_weight,
                 )
-            )
-        self.refresh_confidence(graph)
-        return graph
+                graph.edges.append(
+                    ADGEdge(
+                        neighbor=neighbor_nodes[pair],
+                        matched_path=match,
+                        edge_type=edge_type,
+                        weight=weight,
+                    )
+                )
+            self.refresh_confidence(graph)
+            graphs.append(graph)
+        return graphs
 
     def refresh_confidence(self, graph: AlignmentDependencyGraph) -> float:
         """Recompute and store the central-node confidence of *graph*.

@@ -84,6 +84,25 @@ class ExEA:
         """Explanation confidence of an EA pair."""
         return self.build_adg(self.explain(source, target, alignment)).confidence
 
+    def confidence_many(
+        self,
+        pairs: list[tuple[str, str]],
+        alignment: AlignmentSet | None = None,
+    ) -> dict[tuple[str, str], float]:
+        """Explanation confidences of many EA pairs in one batched pass.
+
+        Explanations are generated through the engine's shared batch path
+        and the ADGs are constructed with :meth:`ADGBuilder.build_many`, so
+        each value is bit-identical to the corresponding
+        :meth:`confidence` call.
+        """
+        explanations = self.generator.explain_pairs(
+            pairs, alignment or self.reference_alignment()
+        )
+        ordered = list(explanations)
+        graphs = self.adg_builder.build_many([explanations[pair] for pair in ordered])
+        return {pair: graph.confidence for pair, graph in zip(ordered, graphs)}
+
     def explain_predictions(
         self, pairs: list[tuple[str, str]] | None = None, limit: int | None = None
     ) -> dict[tuple[str, str], Explanation]:
@@ -110,11 +129,8 @@ class ExEA:
         """
         if threshold is None:
             threshold = low_confidence_threshold(self.config.adg.theta)
-        reference = self.reference_alignment()
-        return {
-            (source, target): self.confidence(source, target, reference) > threshold
-            for source, target in pairs
-        }
+        confidences = self.confidence_many(pairs, self.reference_alignment())
+        return {pair: confidences[pair] > threshold for pair in confidences}
 
     def repair(self, predictions: AlignmentSet | None = None) -> RepairResult:
         """Run the full conflict-resolution pipeline on the model's predictions."""

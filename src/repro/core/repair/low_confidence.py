@@ -14,9 +14,7 @@ aligned at the end are greedily matched with the remaining free targets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
-
-import numpy as np
+from typing import Callable
 
 from ...kg import AlignmentSet, AlignmentUnionView, EADataset
 

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ...kg import AlignmentSet, EADataset
 from ...models import EAModel
 from ..adg import ADGBuilder, ADGConfig, AlignmentDependencyGraph, low_confidence_threshold
@@ -153,8 +151,21 @@ class EARepairer:
     def confidence(self, source: str, target: str, alignment: AlignmentSet) -> float:
         """Explanation confidence of a candidate pair under *alignment* (memoized).
 
+        The batch-of-one case of :meth:`confidence_batch` — single and
+        batched queries run through the same gather / explain / build path
+        and produce bit-identical confidences.
+        """
+        return self.confidence_batch([(source, target)], alignment)[(source, target)]
+
+    def confidence_batch(
+        self,
+        pairs: list[tuple[str, str]],
+        alignment: AlignmentSet,
+    ) -> dict[tuple[str, str], float]:
+        """Explanation confidences of many candidate pairs under one *alignment*.
+
         The explanation — and therefore its ADG and confidence — depends on
-        the alignment only through the matched-neighbour pairs of
+        the alignment only through the matched-neighbour pairs of each
         ``(source, target)``, so results are memoized on the key
         ``(pair, matched-neighbour fingerprint)``.  Repair iterations that
         shuffle unrelated parts of the working alignment hit the cache
@@ -162,10 +173,20 @@ class EARepairer:
         dropped whenever either KG or the model's embedding matrices
         change version.
 
+        Batching happens at three levels for the pairs that miss the
+        cache: their matched-neighbour sets are gathered first, one
+        :meth:`~repro.core.engine.ExplanationEngine.explain_batch` call
+        embeds every new relation path through the engine's shared
+        path-embedding store, and :meth:`~repro.core.adg.ADGBuilder.build_many`
+        constructs the ADGs with node influences deduplicated across the
+        batch.  Each step preserves bit-identity with the scalar path, so
+        ``confidence_batch(pairs)[p] == confidence(*p)`` exactly.
+
         Each cache entry also remembers how many relation conflicts its
         ADG build resolved, and replays that count on every hit, so the
         per-run ``num_relation_conflicts`` statistic matches the uncached
-        implementation (which re-counted on every query).
+        implementation (which re-counted on every query).  Duplicate pairs
+        collapse: each unique pair is counted once per call.
         """
         token = (
             self.dataset.kg1.version,
@@ -175,22 +196,43 @@ class EARepairer:
         if token != self._confidence_token:
             self._confidence_cache.clear()
             self._confidence_token = token
-        neighbor_pairs = self.generator.matched_neighbors(source, target, alignment)
-        key = (source, target, tuple(neighbor_pairs))
-        cached = self._confidence_cache.get(key)
-        if cached is None:
-            explanation = self.generator.engine.explain_batch(
-                [(source, target)],
+
+        unique_pairs = list(dict.fromkeys(pairs))
+        fingerprints: dict[tuple[str, str], list[tuple[str, str]]] = {}
+        keys: dict[tuple[str, str], tuple] = {}
+        for source, target in unique_pairs:
+            neighbor_pairs = self.generator.matched_neighbors(source, target, alignment)
+            fingerprints[(source, target)] = neighbor_pairs
+            keys[(source, target)] = (source, target, tuple(neighbor_pairs))
+
+        missing = [pair for pair in unique_pairs if keys[pair] not in self._confidence_cache]
+        if missing:
+            explanations = self.generator.engine.explain_batch(
+                missing,
                 alignment,
-                neighbor_pairs_by_pair={(source, target): neighbor_pairs},
-            )[(source, target)]
-            conflicts_before = self._num_relation_conflicts
-            confidence = self.build_adg(explanation).confidence
-            cached = (confidence, self._num_relation_conflicts - conflicts_before)
-            self._confidence_cache[key] = cached
-        else:
-            self._num_relation_conflicts += cached[1]
-        return cached[0]
+                neighbor_pairs_by_pair={pair: fingerprints[pair] for pair in missing},
+            )
+            graphs = self.adg_builder.build_many([explanations[pair] for pair in missing])
+            resolve = self.config.enable_relation_conflicts
+            for pair, graph in zip(missing, graphs):
+                conflicts_before = self._num_relation_conflicts
+                if resolve and graph.edges:
+                    conflicts = self.conflict_resolver.resolve(graph, self.adg_builder)
+                    self._num_relation_conflicts += len(conflicts)
+                self._confidence_cache[keys[pair]] = (
+                    graph.confidence,
+                    self._num_relation_conflicts - conflicts_before,
+                )
+
+        missing_set = set(missing)
+        results: dict[tuple[str, str], float] = {}
+        for pair in unique_pairs:
+            confidence, conflict_count = self._confidence_cache[keys[pair]]
+            if pair not in missing_set:
+                # Cache hits replay the conflict count their build contributed.
+                self._num_relation_conflicts += conflict_count
+            results[pair] = confidence
+        return results
 
     def similarity(self, source: str, target: str) -> float:
         """Cached model similarity of a pair."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from ..baselines import BASELINE_REGISTRY
 from ..core import ExEA, ExEAConfig, ExplanationConfig, RepairConfig
@@ -32,7 +32,7 @@ from ..metrics import (
     verification_metrics,
 )
 from ..models import EAModel, make_model
-from ..service import ExplanationService, replay_concurrently
+from ..service import ServiceConfig, ShardedExplanationService, replay_concurrently
 from .config import ExperimentScale
 
 # ----------------------------------------------------------------------
@@ -100,6 +100,7 @@ class ServiceRow:
     mean_batch_occupancy: float
     p50_ms: float
     p95_ms: float
+    num_shards: int = 1
 
 
 # ----------------------------------------------------------------------
@@ -281,26 +282,33 @@ def run_service_experiment(
     num_clients: int = 4,
     skew: float = 1.0,
     service_config=None,
+    num_shards: int | None = None,
 ) -> ServiceRow:
-    """Replay skewed explain traffic through the explanation service.
+    """Replay skewed explain traffic through the (sharded) explanation service.
 
     Samples the fidelity protocol's pair population, builds a
-    deterministic Zipf replay over it and drives the service with
-    *num_clients* concurrent synchronous clients — the serving analogue of
-    :func:`run_explanation_experiment`.  Results are bit-identical to
-    direct engine calls (covered by the service test suite); this runner
-    measures the serving side: throughput, cache hit rate, batch occupancy
-    and latency percentiles.
+    deterministic Zipf replay over it and drives the sharded service
+    front door with *num_clients* concurrent synchronous clients — the
+    serving analogue of :func:`run_explanation_experiment`.  Results are
+    bit-identical to direct engine calls at any shard count (covered by
+    the service test suite); this runner measures the serving side:
+    throughput, overall cache hit rate, batch occupancy and latency
+    percentiles.  *num_shards* overrides the config's shard count; the
+    reported figures merge every shard's stats.
     """
     pairs = sample_correct_pairs(model, dataset, scale.explanation_sample, seed=scale.seed)
     if num_requests is None:
         num_requests = 10 * len(pairs)
     workload = replay_workload(pairs, num_requests, seed=scale.seed, skew=skew)
 
-    with ExplanationService(model, dataset, service_config) as service:
+    config = service_config or ServiceConfig()
+    if num_shards is not None and num_shards != config.num_shards:
+        config = replace(config, num_shards=num_shards)
+
+    with ShardedExplanationService(model, dataset, config) as service:
         seconds = replay_concurrently(service, workload, num_clients)
 
-    stats = service.stats.snapshot()
+    stats = service.stats_snapshot()["overall"]
     return ServiceRow(
         dataset=dataset.name,
         model=model.name,
@@ -312,6 +320,7 @@ def run_service_experiment(
         mean_batch_occupancy=stats["mean_batch_occupancy"],
         p50_ms=stats["p50_ms"],
         p95_ms=stats["p95_ms"],
+        num_shards=config.num_shards,
     )
 
 

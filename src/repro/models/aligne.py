@@ -22,7 +22,7 @@ import numpy as np
 
 from ..embedding import HardNegativeSampler, make_optimizer, uniform_unit
 from ..kg import EADataset
-from .base import EAModel, EntityIndex, TrainingConfig
+from .base import EAModel, EntityIndex
 from .translational import apply_limit_loss
 
 

@@ -1,28 +1,37 @@
-"""Explanation-as-a-service: micro-batching scheduler, versioned cache, worker pool.
+"""Explanation-as-a-service: sharded operation pipeline over the batch engine.
 
 This package is the serving layer over the PR-1 batch engine (see
 ROADMAP.md, "Service architecture").  The pieces compose bottom-up:
 
 * :mod:`~repro.service.batching` — bounded :class:`RequestQueue`
-  (admission control / backpressure) + :class:`MicroBatcher` (coalescing
-  policy: max batch size, max added wait).
+  (admission control / backpressure) + :class:`MicroBatcher` (the PR-2
+  per-worker coalescing policy, kept as the benchmark baseline).
 * :mod:`~repro.service.cache` — :class:`ResultCache`, an LRU keyed on
   ``(operation, pair)`` and invalidated wholesale by the KG / model
   version counters.
-* :mod:`~repro.service.worker` — :class:`WorkerPool`, one engine backend
-  per thread.
+* :mod:`~repro.service.worker` — :class:`WorkerPool`, pure executor
+  threads with one engine backend each (+ :class:`MicroBatchWorkerPool`,
+  the PR-2 pull-based pool).
+* :mod:`~repro.service.dispatch` — :class:`Dispatcher`, the central
+  scheduler packing cross-worker, operation-homogeneous batches.
 * :mod:`~repro.service.service` — :class:`ExplanationService` tying them
   together and the synchronous :class:`ExEAClient` facade.
+* :mod:`~repro.service.sharding` — :class:`ShardRouter` +
+  :class:`ShardedExplanationService` / :class:`ShardedExEAClient`:
+  hash-partitioned shard groups, each with its own dispatcher, worker
+  pool, cache and generation token.
 * :mod:`~repro.service.stats` — :class:`ServiceStats` telemetry (hit
-  rate, batch occupancy, p50/p95 latency).
+  rate, per-operation attribution, batch occupancy, p50/p95 latency) and
+  :func:`merge_stats` for overall-across-shards reporting.
 
 ``python -m repro.service`` serves a scripted traffic replay against a
-registry dataset end to end.
+registry dataset end to end (``--shards N`` fans the pipeline out).
 """
 
 from .batching import MicroBatcher, RequestQueue, ServiceRequest
 from .cache import ResultCache
 from .config import ServiceConfig
+from .dispatch import Dispatcher
 from .errors import (
     DeadlineExceededError,
     ServiceClosedError,
@@ -37,15 +46,18 @@ from .service import (
     ExplanationService,
     replay_concurrently,
 )
-from .stats import ServiceStats
-from .worker import WorkerPool
+from .sharding import ShardedExEAClient, ShardedExplanationService, ShardRouter
+from .stats import ServiceStats, merge_stats
+from .worker import MicroBatchWorkerPool, WorkerPool
 
 __all__ = [
     "CONFIDENCE",
     "DeadlineExceededError",
+    "Dispatcher",
     "EXPLAIN",
     "ExEAClient",
     "ExplanationService",
+    "MicroBatchWorkerPool",
     "MicroBatcher",
     "RequestQueue",
     "ResultCache",
@@ -55,7 +67,11 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceRequest",
     "ServiceStats",
+    "ShardRouter",
+    "ShardedExEAClient",
+    "ShardedExplanationService",
     "VERIFY",
     "WorkerPool",
+    "merge_stats",
     "replay_concurrently",
 ]

@@ -3,11 +3,15 @@
 Example::
 
     PYTHONPATH=src python -m repro.service --dataset ZH-EN --model Dual-AMN \\
-        --requests 400 --clients 8 --workers 2 --max-batch-size 16
+        --requests 400 --clients 8 --workers 2 --shards 4 --mix mixed
 
 Prints a JSON report with throughput, cache hit rate, batch occupancy and
-latency percentiles.  The replay is deterministic (seeded Zipf traffic
-over the model's predicted pairs), so repeated runs are comparable.
+latency percentiles (overall and per shard).  The replay is deterministic
+(seeded Zipf traffic over the model's predicted pairs), so repeated runs
+are comparable — and results are bit-identical at any ``--shards`` /
+``--scheduler`` setting.  ``--stats-json PATH`` dumps the raw
+:class:`~repro.service.stats.ServiceStats` snapshot (including the
+per-shard rows) for benchmark tooling, so nothing needs to parse stdout.
 """
 
 from __future__ import annotations
@@ -19,13 +23,8 @@ import sys
 from ..datasets import load_benchmark, replay_workload
 from ..models import TrainingConfig, make_model
 from .config import ServiceConfig
-from .service import (
-    CONFIDENCE,
-    EXPLAIN,
-    VERIFY,
-    ExplanationService,
-    replay_concurrently,
-)
+from .service import CONFIDENCE, EXPLAIN, VERIFY, replay_concurrently
+from .sharding import ShardedExplanationService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,7 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["explain", "mixed"],
         help="request mix: explain-only or explain+confidence+verify",
     )
-    parser.add_argument("--workers", type=int, default=2, help="service worker threads")
+    parser.add_argument("--workers", type=int, default=2, help="worker threads per shard")
+    parser.add_argument(
+        "--shards", type=int, default=1, help="shard groups the pair space partitions into"
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="dispatcher",
+        choices=["dispatcher", "per-worker"],
+        help="central cross-worker dispatcher (default) or the PR-2 per-worker baseline",
+    )
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--queue-capacity", type=int, default=1024)
@@ -56,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=None, help="per-request deadline (default: none)"
     )
     parser.add_argument("--json", dest="json_path", default=None, help="also write the report here")
+    parser.add_argument(
+        "--stats-json",
+        dest="stats_json_path",
+        default=None,
+        help="write the raw ServiceStats snapshot (overall + per-shard rows) here",
+    )
     return parser
 
 
@@ -80,15 +94,19 @@ def main(argv: list[str] | None = None) -> int:
         num_workers=args.workers,
         cache_capacity=args.cache_capacity,
         default_deadline_ms=args.deadline_ms,
+        scheduler=args.scheduler,
+        num_shards=args.shards,
     )
 
     print(
-        f"[service] replaying {len(workload)} requests over {args.clients} clients ...",
+        f"[service] replaying {len(workload)} requests over {args.clients} clients "
+        f"({args.shards} shard(s), {args.scheduler} scheduler) ...",
         file=sys.stderr,
     )
-    with ExplanationService(model, dataset, config) as service:
+    with ShardedExplanationService(model, dataset, config) as service:
         elapsed = replay_concurrently(service, workload, args.clients)
 
+    stats = service.stats_snapshot()
     report = {
         "dataset": dataset.name,
         "model": model.name,
@@ -96,13 +114,16 @@ def main(argv: list[str] | None = None) -> int:
         "num_clients": args.clients,
         "seconds": elapsed,
         "requests_per_second": len(workload) / elapsed if elapsed > 0 else 0.0,
-        "service": service.stats.snapshot(),
+        "service": stats["overall"],
+        "num_shards": stats["num_shards"],
         "config": {
             "max_batch_size": config.max_batch_size,
             "max_wait_ms": config.max_wait_ms,
             "queue_capacity": config.queue_capacity,
             "num_workers": config.num_workers,
             "cache_capacity": config.cache_capacity,
+            "scheduler": config.scheduler,
+            "num_shards": config.num_shards,
         },
     }
     text = json.dumps(report, indent=2, sort_keys=True)
@@ -110,6 +131,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+    if args.stats_json_path:
+        with open(args.stats_json_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(stats, indent=2, sort_keys=True) + "\n")
     return 0
 
 

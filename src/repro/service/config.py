@@ -10,11 +10,12 @@ class ServiceConfig:
     """Tuning knobs of the micro-batching explanation service.
 
     Attributes:
-        max_batch_size: upper bound on the number of requests one worker
-            coalesces into a single engine call.
-        max_wait_ms: how long a worker keeps gathering extra requests
-            after the first one before dispatching a partial batch.  The
-            classic batching trade-off: higher values raise batch
+        max_batch_size: upper bound on the number of requests the
+            dispatcher gathers into one cycle (and therefore on the size
+            of any batch handed to a worker).
+        max_wait_ms: how long the dispatcher keeps gathering extra
+            requests after the first one before packing a partial cycle.
+            The classic batching trade-off: higher values raise batch
             occupancy (throughput), lower values cut queueing latency.
             ``0`` still drains everything already queued, so concurrent
             bursts batch up even with no added latency.
@@ -30,6 +31,16 @@ class ServiceConfig:
         latency_reservoir: how many of the most recent per-request
             latencies the stats object retains (ring buffer) for the
             percentile estimates.
+        scheduler: ``"dispatcher"`` (default) runs the central
+            cross-worker dispatcher with per-operation batch packing and
+            the batched ADG/confidence path; ``"per-worker"`` keeps the
+            PR-2 model (each worker micro-batches the shared queue and
+            confidence runs pair-at-a-time) as a benchmark baseline.
+        num_shards: how many shard groups
+            :class:`~repro.service.sharding.ShardedExplanationService`
+            partitions the pair space into; each shard gets its own
+            dispatcher, worker pool and result cache.  Plain
+            :class:`~repro.service.service.ExplanationService` ignores it.
     """
 
     max_batch_size: int = 32
@@ -39,6 +50,8 @@ class ServiceConfig:
     cache_capacity: int = 4096
     default_deadline_ms: float | None = None
     latency_reservoir: int = 100_000
+    scheduler: str = "dispatcher"
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -53,3 +66,7 @@ class ServiceConfig:
             raise ValueError("cache_capacity must be >= 0")
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
             raise ValueError("default_deadline_ms must be positive when set")
+        if self.scheduler not in ("dispatcher", "per-worker"):
+            raise ValueError('scheduler must be "dispatcher" or "per-worker"')
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")

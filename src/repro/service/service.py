@@ -1,14 +1,18 @@
-"""The explanation service: micro-batched explain / confidence / verify.
+"""The explanation service: dispatcher-batched explain / confidence / verify.
 
 :class:`ExplanationService` turns the PR-1 batch engine into serving
-infrastructure.  Callers submit single-pair operations; the service
-coalesces concurrent requests into :meth:`ExplanationEngine.explain_batch`
-calls, answers repeated traffic from a versioned LRU cache, and sheds load
-when the bounded queue fills up.  Results are *bit-identical* to direct
-engine calls: batching only changes how work is grouped (the engine
-guarantees batch == sequential), and the cache is invalidated wholesale
-whenever either KG or the model changes version, so a cached result is
-always exactly what a fresh computation would produce.
+infrastructure.  Callers submit single-pair operations; the central
+:class:`~repro.service.dispatch.Dispatcher` packs concurrent requests into
+operation-homogeneous cross-worker batches, explain batches run through
+:meth:`ExplanationEngine.explain_batch`, confidence/verify batches run
+through the batched ADG path
+(:meth:`~repro.core.repair.EARepairer.confidence_batch`), repeated traffic
+is answered from a versioned LRU cache, and the bounded queue sheds load
+when it fills up.  Results are *bit-identical* to direct engine calls:
+batching only changes how work is grouped (the engine and the confidence
+oracle both guarantee batch == sequential), and the cache is invalidated
+wholesale whenever either KG or the model changes version, so a cached
+result is always exactly what a fresh computation would produce.
 
 Operations
 ----------
@@ -19,18 +23,23 @@ Operations
   the service cache and in the backend's fingerprint cache.
 * ``verify``      — confidence thresholded at the low-confidence bound
   ``beta = sigmoid(theta)`` (the paper's EA-verification operation).
+  Served from the confidence cache; such answers are counted as cache
+  hits under the ``verify`` per-operation counter.
 
 Threading model
 ---------------
 
-Workers are threads; each owns a private :class:`~repro.core.ExEA`
+One dispatcher thread owns the queue and the batching policy; workers are
+pure executor threads, each owning a private :class:`~repro.core.ExEA`
 backend because the engine's caches are single-threaded state.  Shared
 *read* state (the KG memo tables, the model matrices, the reference
 alignment) is safe under the GIL.  The reference alignment (model
 predictions ∪ seed) is computed once per generation under a lock and
 shared by all workers, so every request in a generation is answered
 against the same alignment — a prerequisite for determinism under
-concurrency.
+concurrency.  ``ServiceConfig(scheduler="per-worker")`` restores the PR-2
+model (per-worker micro-batchers, pair-at-a-time confidence) as a
+benchmark baseline.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
+from typing import Callable
 
 from ..core import ExEA, ExEAConfig
 from ..core.adg import low_confidence_threshold
@@ -47,6 +57,7 @@ from ..models import EAModel
 from .batching import MicroBatcher, RequestQueue, ServiceRequest
 from .cache import GenerationToken, ResultCache
 from .config import ServiceConfig
+from .dispatch import Dispatcher
 from .errors import (
     DeadlineExceededError,
     ServiceClosedError,
@@ -54,7 +65,7 @@ from .errors import (
     ServiceOverloadedError,
 )
 from .stats import ServiceStats
-from .worker import WorkerPool
+from .worker import MicroBatchWorkerPool, WorkerPool
 
 #: Operation kinds accepted by :meth:`ExplanationService.submit`.
 EXPLAIN = "explain"
@@ -69,7 +80,7 @@ def _cache_kind(kind: str) -> str:
 
 
 class ExplanationService:
-    """Micro-batching, caching front-end over the batch explanation engine."""
+    """Dispatcher-batching, caching front-end over the batch explanation engine."""
 
     def __init__(
         self,
@@ -77,6 +88,7 @@ class ExplanationService:
         dataset: EADataset | None = None,
         config: ServiceConfig | None = None,
         exea_config: ExEAConfig | None = None,
+        reference_provider: Callable[[], AlignmentSet] | None = None,
     ) -> None:
         if not model.is_fitted:
             raise ValueError("the EA model must be fitted before serving explanations")
@@ -89,18 +101,38 @@ class ExplanationService:
         self.stats = ServiceStats(latency_reservoir=self.config.latency_reservoir)
         self.cache = ResultCache(self.config.cache_capacity, stats=self.stats)
         self.queue = RequestQueue(self.config.queue_capacity)
-        self.batcher = MicroBatcher(
-            self.queue,
-            max_batch_size=self.config.max_batch_size,
-            max_wait_seconds=self.config.max_wait_ms / 1000.0,
-        )
         #: one engine backend per worker — engine caches are single-threaded
         self._backends = [
             ExEA(model, self.dataset, self.exea_config)
             for _ in range(self.config.num_workers)
         ]
         self.verify_threshold = low_confidence_threshold(self.exea_config.adg.theta)
-        self.pool = WorkerPool(self.config.num_workers, self.batcher, self._handle_batch)
+        #: per-worker mode = the PR-2 baseline: workers micro-batch the
+        #: shared queue themselves and the confidence oracle runs
+        #: pair-at-a-time.  Both modes expose `batcher` and `pool`.
+        self._per_worker = self.config.scheduler == "per-worker"
+        self.batcher = MicroBatcher(
+            self.queue,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_seconds=self.config.max_wait_ms / 1000.0,
+        )
+        if self._per_worker:
+            self.pool = MicroBatchWorkerPool(
+                self.config.num_workers, self.batcher, self._handle_batch
+            )
+            self._scheduler = self.pool
+        else:
+            self.pool = WorkerPool(self.config.num_workers, self._handle_batch)
+            self._scheduler = Dispatcher(
+                self.batcher,
+                self.pool,
+                group_of=_cache_kind,
+                precheck=self._precheck,
+                on_gather=self.stats.record_batch,
+            )
+        #: when set, replaces the per-service reference-alignment compute —
+        #: the sharded service shares one reference across its shards
+        self._reference_provider = reference_provider
         self._reference_lock = threading.Lock()
         self._reference_alignment: AlignmentSet | None = None
         self._reference_token: GenerationToken | None = None
@@ -109,15 +141,15 @@ class ExplanationService:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ExplanationService":
-        """Start the worker threads (idempotent)."""
-        self.pool.start()
+        """Start the dispatcher and worker threads (idempotent)."""
+        self._scheduler.start()
         return self
 
     def close(self, drain: bool = True) -> None:
         """Stop admitting requests; by default wait for queued work to finish."""
         self.queue.close()
         if drain:
-            self.pool.join()
+            self._scheduler.join()
 
     def __enter__(self) -> "ExplanationService":
         return self.start()
@@ -138,6 +170,8 @@ class ExplanationService:
 
     def reference_alignment(self) -> AlignmentSet:
         """Model predictions ∪ seed alignment, recomputed once per generation."""
+        if self._reference_provider is not None:
+            return self._reference_provider()
         token = self._token()
         with self._reference_lock:
             if self._reference_alignment is None or self._reference_token != token:
@@ -167,9 +201,11 @@ class ExplanationService:
         self.stats.record_submitted()
         pair = (source, target)
         # Fast path: answer straight from the cache, no queueing at all.
+        # verify lookups read the confidence cache but are attributed to
+        # their own per-operation hit counter.
         found, value = self.cache.lookup(_cache_kind(kind), pair, self._token())
         if found:
-            self.stats.record_hit()
+            self.stats.record_hit(kind)
             future: Future = Future()
             future.set_result(self._present(kind, value))
             self.stats.record_completed(0.0)
@@ -211,32 +247,45 @@ class ExplanationService:
         else:
             self.stats.record_failed()
 
+    def _try_resolve(self, request: ServiceRequest, token: GenerationToken) -> bool:
+        """Resolve a request without engine work, if possible.
+
+        Fails it when its deadline lapsed in the queue, completes it when
+        an earlier batch (or another worker) cached its pair while it
+        waited.  Returns True when the request is done.
+        """
+        now = time.monotonic()
+        if request.deadline is not None and now > request.deadline:
+            self._fail(
+                request,
+                DeadlineExceededError(
+                    f"{request.kind}{request.pair} expired after "
+                    f"{(now - request.enqueued_at) * 1000:.1f}ms in queue"
+                ),
+            )
+            return True
+        found, value = self.cache.lookup(_cache_kind(request.kind), request.pair, token)
+        if found:
+            self.stats.record_hit(request.kind)
+            self._complete(request, value)
+            return True
+        return False
+
+    def _precheck(self, request: ServiceRequest) -> bool:
+        """Dispatcher-side resolve-before-routing (cache hits, lapsed deadlines)."""
+        return self._try_resolve(request, self._token())
+
     def _handle_batch(self, worker_id: int, batch: list[ServiceRequest]) -> None:
         backend = self._backends[worker_id]
         token = self._token()
         reference = self.reference_alignment()
-        self.stats.record_batch(len(batch))
+        if self._per_worker:
+            # Dispatcher mode already counted this cycle via on_gather;
+            # both modes therefore record the raw gathered size, keeping
+            # the occupancy metric comparable across schedulers.
+            self.stats.record_batch(len(batch))
 
-        now = time.monotonic()
-        live: list[ServiceRequest] = []
-        for request in batch:
-            if request.deadline is not None and now > request.deadline:
-                self._fail(
-                    request,
-                    DeadlineExceededError(
-                        f"{request.kind}{request.pair} expired after "
-                        f"{(now - request.enqueued_at) * 1000:.1f}ms in queue"
-                    ),
-                )
-                continue
-            # Re-check the cache: an earlier batch (or another worker) may
-            # have computed this pair while the request sat in the queue.
-            found, value = self.cache.lookup(_cache_kind(request.kind), request.pair, token)
-            if found:
-                self.stats.record_hit()
-                self._complete(request, value)
-                continue
-            live.append(request)
+        live = [request for request in batch if not self._try_resolve(request, token)]
 
         explain_requests = [r for r in live if r.kind == EXPLAIN]
         if explain_requests:
@@ -265,29 +314,54 @@ class ExplanationService:
                     self._fail(request, error)
                     continue
                 self.cache.put(EXPLAIN, request.pair, token, value)
-                self.stats.record_miss()
+                self.stats.record_miss(EXPLAIN)
                 self._complete(request, value)
             return
         for request in requests:
             value = results[request.pair]
             self.cache.put(EXPLAIN, request.pair, token, value)
-            self.stats.record_miss()
+            self.stats.record_miss(EXPLAIN)
             self._complete(request, value)
 
     def _run_confidences(self, backend: ExEA, requests, reference, token) -> None:
-        """Repair-confidence oracle per unique pair (fingerprint-memoized inside)."""
-        computed: dict[tuple[str, str], float] = {}
+        """Batched repair-confidence oracle over the live confidence/verify requests.
+
+        One :meth:`~repro.core.repair.EARepairer.confidence_batch` call
+        gathers matched-neighbour sets, explains every cache-missing pair
+        through the engine's shared path-embedding store and constructs
+        the ADGs in one pass — bit-identical to pair-at-a-time oracle
+        calls (which remain the fallback when a batch contains a
+        poisonous pair, and the only path in ``per-worker`` mode).
+        """
+        computed: dict[tuple[str, str], float] | None = None
+        if not self._per_worker:
+            pairs = list(dict.fromkeys(request.pair for request in requests))
+            try:
+                computed = backend.repairer.confidence_batch(pairs, reference)
+            except Exception:
+                # Isolate the poisonous pair: fall back to one-by-one so a
+                # single bad request (e.g. an entity unknown to the model)
+                # fails alone.
+                computed = None
+        if computed is not None:
+            for pair, value in computed.items():
+                self.cache.put(CONFIDENCE, pair, token, value)
+            for request in requests:
+                self.stats.record_miss(request.kind)
+                self._complete(request, computed[request.pair])
+            return
+        done: dict[tuple[str, str], float] = {}
         for request in requests:
             pair = request.pair
-            if pair not in computed:
+            if pair not in done:
                 try:
-                    computed[pair] = backend.repairer.confidence(pair[0], pair[1], reference)
+                    done[pair] = backend.repairer.confidence(pair[0], pair[1], reference)
                 except Exception as error:  # noqa: BLE001 - per-request isolation
                     self._fail(request, error)
                     continue
-                self.cache.put(CONFIDENCE, pair, token, computed[pair])
-            self.stats.record_miss()
-            self._complete(request, computed[pair])
+                self.cache.put(CONFIDENCE, pair, token, done[pair])
+            self.stats.record_miss(request.kind)
+            self._complete(request, done[pair])
 
 
 class ExEAClient:

@@ -1,0 +1,218 @@
+"""Sharded serving: hash-partitioned shard groups of the explanation service.
+
+Scaling past one dispatcher/worker-pool/cache triplet is a routing
+problem: the dataset's alignment pairs hash-partition across ``N`` shard
+groups, each a full :class:`~repro.service.service.ExplanationService`
+(own bounded queue, dispatcher, worker pool with private engine backends,
+versioned result cache and generation token).  The
+:class:`ShardRouter` makes the partition deterministic — CRC-32 of the
+pair, not Python's per-process salted ``hash`` — so a pair is served by
+the same shard in every run and every process, which keeps results
+bit-identical at any shard count and lets future remote transports place
+shards in separate processes without re-routing.
+
+Admission control, deadlines and cache invalidation are all *per shard*:
+one hot shard sheds load while the others keep serving, and a KG/model
+version bump invalidates every shard's cache independently through the
+same generation-token mechanism.  The reference alignment is computed
+once per generation and shared by all shards (it depends only on the
+model and seed alignment, not on the shard), so a request is answered
+against the same alignment regardless of which shard serves it.
+
+:class:`ShardedExEAClient` is the synchronous facade; the plain
+:class:`~repro.service.service.ExEAClient` also works because routing
+happens inside :meth:`ShardedExplanationService.submit`.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from concurrent.futures import Future
+
+from ..core import ExEAConfig
+from ..kg import AlignmentSet, EADataset
+from ..models import EAModel
+from .cache import GenerationToken
+from .config import ServiceConfig
+from .service import ExEAClient, ExplanationService
+from .stats import merge_stats
+
+
+class ShardRouter:
+    """Deterministic hash partition of alignment pairs across shard groups."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, source: str, target: str) -> int:
+        """Shard index of a pair — stable across runs and processes."""
+        if self.num_shards == 1:
+            return 0
+        key = f"{source}\x1f{target}".encode("utf-8")
+        return zlib.crc32(key) % self.num_shards
+
+    def partition(
+        self, pairs: list[tuple[str, str]]
+    ) -> dict[int, list[tuple[str, str]]]:
+        """Group *pairs* by shard (insertion order preserved per shard)."""
+        shards: dict[int, list[tuple[str, str]]] = {}
+        for source, target in pairs:
+            shards.setdefault(self.shard_of(source, target), []).append((source, target))
+        return shards
+
+
+class ShardedExplanationService:
+    """N shard groups of the explanation service behind one submit() front door.
+
+    ``config.num_shards`` controls the fan-out; every shard runs the full
+    service stack (dispatcher, workers, cache, stats) and requests route
+    by :class:`ShardRouter`.  With ``num_shards=1`` this is exactly one
+    :class:`ExplanationService` plus a constant-time route, so results are
+    bit-identical across shard counts by construction: the same pair
+    always reaches the same kind of engine path, only *which* cache and
+    worker pool serve it changes.
+    """
+
+    def __init__(
+        self,
+        model: EAModel,
+        dataset: EADataset | None = None,
+        config: ServiceConfig | None = None,
+        exea_config: ExEAConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or ServiceConfig()
+        self.router = ShardRouter(self.config.num_shards)
+        self._reference_lock = threading.Lock()
+        self._reference_alignment: AlignmentSet | None = None
+        self._reference_token: GenerationToken | None = None
+        self.shards = [
+            ExplanationService(
+                model,
+                dataset,
+                self.config,
+                exea_config=exea_config,
+                reference_provider=self._shared_reference,
+            )
+            for _ in range(self.config.num_shards)
+        ]
+        self.dataset = self.shards[0].dataset
+        self.verify_threshold = self.shards[0].verify_threshold
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedExplanationService":
+        """Start every shard's dispatcher and worker pool (idempotent)."""
+        for shard in self.shards:
+            shard.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Close every shard; by default wait for admitted work to finish."""
+        for shard in self.shards:
+            shard.queue.close()
+        if drain:
+            for shard in self.shards:
+                shard.close()
+
+    def __enter__(self) -> "ShardedExplanationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shared generation state
+    # ------------------------------------------------------------------
+    def _token(self) -> GenerationToken:
+        return (
+            self.dataset.kg1.version,
+            self.dataset.kg2.version,
+            self.model.embedding_version,
+        )
+
+    def _shared_reference(self) -> AlignmentSet:
+        """One reference alignment per generation, shared by every shard.
+
+        The reference (model predictions ∪ seed) is independent of the
+        shard, so computing it N times would waste N-1 prediction passes
+        and — worse — allow shards to momentarily disagree mid-refit.
+        """
+        token = self._token()
+        with self._reference_lock:
+            if self._reference_alignment is None or self._reference_token != token:
+                self._reference_alignment = (
+                    self.shards[0]._backends[0].generator.reference_alignment()
+                )
+                self._reference_token = token
+            return self._reference_alignment
+
+    # ------------------------------------------------------------------
+    # Request admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        source: str,
+        target: str,
+        deadline_ms: float | None = None,
+    ) -> Future:
+        """Route one operation to its shard; returns the shard's future.
+
+        Backpressure and deadlines are enforced by the owning shard: a
+        full shard queue raises
+        :class:`~repro.service.errors.ServiceOverloadedError` even while
+        other shards have capacity (load shedding is per partition, as it
+        would be across processes).
+        """
+        shard = self.shards[self.router.shard_of(source, target)]
+        return shard.submit(kind, source, target, deadline_ms)
+
+    def shard_of(self, source: str, target: str) -> int:
+        """Shard index that serves the given pair."""
+        return self.router.shard_of(source, target)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """Per-shard :class:`ServiceStats` objects (index = shard id)."""
+        return [shard.stats for shard in self.shards]
+
+    def stats_snapshot(self) -> dict:
+        """Aggregate + per-shard telemetry.
+
+        ``overall`` merges every shard's counters and pools their latency
+        reservoirs; ``per_shard`` keeps one full snapshot per shard so
+        imbalanced partitions (hit rate, occupancy, p50/p95 skew) stay
+        visible.
+        """
+        return {
+            "num_shards": len(self.shards),
+            "overall": merge_stats(shard.stats for shard in self.shards),
+            "per_shard": [shard.stats.snapshot() for shard in self.shards],
+        }
+
+
+class ShardedExEAClient(ExEAClient):
+    """Synchronous facade over a :class:`ShardedExplanationService`.
+
+    Identical call surface to :class:`ExEAClient` (routing happens inside
+    the sharded service's ``submit``), plus shard introspection helpers.
+    """
+
+    def __init__(self, service: ShardedExplanationService) -> None:
+        super().__init__(service)
+
+    def shard_of(self, source: str, target: str) -> int:
+        """Which shard serves this pair."""
+        return self.service.shard_of(source, target)
+
+    def stats_snapshot(self) -> dict:
+        """Aggregate + per-shard telemetry of the backing service."""
+        return self.service.stats_snapshot()

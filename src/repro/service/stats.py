@@ -1,8 +1,21 @@
-"""Service telemetry: counters, cache hit rate, batch occupancy, latency percentiles."""
+"""Service telemetry: counters, cache hit rate, batch occupancy, latency percentiles.
+
+Cache hits and misses are additionally attributed to the *operation* that
+made them (explain / confidence / verify).  This is what makes a
+``verify`` answered from the confidence cache visible: it is counted as a
+cache hit under its own ``verify`` counter even though the cached raw
+value lives under the ``confidence`` cache key.
+
+:func:`merge_stats` combines the stats of several shards into one overall
+snapshot — counters are summed, the latency reservoirs are pooled before
+the percentiles are taken — which is how the sharded service reports
+"overall" figures next to its per-shard rows.
+"""
 
 from __future__ import annotations
 
 import threading
+from typing import Iterable
 
 
 def _percentile(sorted_values: list[float], quantile: float) -> float:
@@ -38,6 +51,9 @@ class ServiceStats:
         self.num_batches = 0
         self.batched_requests = 0
         self.max_batch_size = 0
+        #: operation kind -> cache hits / misses attributed to that kind
+        self.hits_by_kind: dict[str, int] = {}
+        self.misses_by_kind: dict[str, int] = {}
         self._latencies: list[float] = []
 
     # ------------------------------------------------------------------
@@ -57,13 +73,17 @@ class ServiceStats:
         with self._lock:
             self.failed += 1
 
-    def record_hit(self) -> None:
+    def record_hit(self, kind: str | None = None) -> None:
         with self._lock:
             self.cache_hits += 1
+            if kind is not None:
+                self.hits_by_kind[kind] = self.hits_by_kind.get(kind, 0) + 1
 
-    def record_miss(self) -> None:
+    def record_miss(self, kind: str | None = None) -> None:
         with self._lock:
             self.cache_misses += 1
+            if kind is not None:
+                self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
 
     def record_eviction(self, count: int = 1) -> None:
         with self._lock:
@@ -96,12 +116,10 @@ class ServiceStats:
                 self._latency_position = (self._latency_position + 1) % self._latency_reservoir
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Aggregate view of the counters (safe to call while serving)."""
+    def _raw(self) -> tuple[dict, list[float]]:
+        """Copy of the raw counters and latency samples (caller gets fresh objects)."""
         with self._lock:
-            latencies = sorted(self._latencies)
-            lookups = self.cache_hits + self.cache_misses
-            return {
+            counters = {
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "failed": self.failed,
@@ -111,14 +129,80 @@ class ServiceStats:
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
                 "cache_invalidations": self.cache_invalidations,
-                "cache_hit_rate": self.cache_hits / lookups if lookups else 0.0,
                 "num_batches": self.num_batches,
                 "batched_requests": self.batched_requests,
                 "max_batch_size": self.max_batch_size,
-                "mean_batch_occupancy": (
-                    self.batched_requests / self.num_batches if self.num_batches else 0.0
-                ),
-                "p50_ms": _percentile(latencies, 0.50) * 1000.0,
-                "p95_ms": _percentile(latencies, 0.95) * 1000.0,
-                "latency_samples": len(latencies),
+                "hits_by_kind": dict(self.hits_by_kind),
+                "misses_by_kind": dict(self.misses_by_kind),
             }
+            return counters, list(self._latencies)
+
+    def snapshot(self) -> dict:
+        """Aggregate view of the counters (safe to call while serving)."""
+        counters, latencies = self._raw()
+        return _derive_snapshot(counters, latencies)
+
+
+def _derive_snapshot(counters: dict, latencies: list[float]) -> dict:
+    """Turn raw counters + latency samples into the reported snapshot."""
+    latencies = sorted(latencies)
+    lookups = counters["cache_hits"] + counters["cache_misses"]
+    kinds = sorted(set(counters["hits_by_kind"]) | set(counters["misses_by_kind"]))
+    per_operation = {
+        kind: {
+            "cache_hits": counters["hits_by_kind"].get(kind, 0),
+            "cache_misses": counters["misses_by_kind"].get(kind, 0),
+        }
+        for kind in kinds
+    }
+    snapshot = {
+        key: value
+        for key, value in counters.items()
+        if key not in ("hits_by_kind", "misses_by_kind")
+    }
+    snapshot.update(
+        {
+            "cache_hit_rate": counters["cache_hits"] / lookups if lookups else 0.0,
+            "mean_batch_occupancy": (
+                counters["batched_requests"] / counters["num_batches"]
+                if counters["num_batches"]
+                else 0.0
+            ),
+            "per_operation": per_operation,
+            "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+            "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+            "latency_samples": len(latencies),
+        }
+    )
+    return snapshot
+
+
+def merge_stats(stats: Iterable[ServiceStats]) -> dict:
+    """One overall snapshot across several :class:`ServiceStats` objects.
+
+    Counters are summed, the per-operation attribution is merged, and the
+    latency reservoirs are pooled so the overall p50/p95 reflect every
+    shard's requests (``max_batch_size`` takes the max, as it is a high
+    watermark rather than a sum).
+    """
+    total: dict | None = None
+    all_latencies: list[float] = []
+    for shard_stats in stats:
+        counters, latencies = shard_stats._raw()
+        all_latencies.extend(latencies)
+        if total is None:
+            total = counters
+            continue
+        for key, value in counters.items():
+            if key in ("hits_by_kind", "misses_by_kind"):
+                merged = total[key]
+                for kind, count in value.items():
+                    merged[kind] = merged.get(kind, 0) + count
+            elif key == "max_batch_size":
+                total[key] = max(total[key], value)
+            else:
+                total[key] += value
+    if total is None:
+        empty = ServiceStats(latency_reservoir=1)
+        total, all_latencies = empty._raw()
+    return _derive_snapshot(total, all_latencies)

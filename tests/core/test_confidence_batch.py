@@ -1,0 +1,162 @@
+"""Batched ADG / confidence path: batch ≡ sequential, cache invalidation.
+
+The repair-confidence oracle's batched entry point
+(:meth:`EARepairer.confidence_batch`) must be bit-identical to sequential
+scalar :meth:`EARepairer.confidence` calls — including on the ZH-EN
+second-order workload the serving benchmarks replay — and its
+fingerprint memo must drop whenever a KG mutation or a model refit bumps
+the generation token.
+"""
+
+import pytest
+
+from repro.core import ExplanationConfig
+from repro.core.adg import ADGBuilder
+from repro.core.explanation import ExplanationGenerator
+from repro.core.repair import EARepairer, RepairConfig
+from repro.datasets import load_benchmark, replay_workload
+from repro.kg import Triple
+from repro.models import MTransE, TrainingConfig
+
+
+def second_order_repairer(model, dataset):
+    """A repairer on the heavier max_hops=2 (second-order) configuration."""
+    return EARepairer(
+        model, dataset, RepairConfig(explanation=ExplanationConfig(max_hops=2))
+    )
+
+
+# ----------------------------------------------------------------------
+# build_many ≡ build
+# ----------------------------------------------------------------------
+class TestBuildMany:
+    def test_build_many_matches_sequential_build(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        reference = generator.reference_alignment()
+        pairs = sorted(core_dataset.test_alignment)[:12]
+        explanations = [generator.explain(*pair, reference) for pair in pairs]
+
+        batched = ADGBuilder(fitted_mtranse, core_dataset).build_many(explanations)
+        sequential_builder = ADGBuilder(fitted_mtranse, core_dataset)
+        for explanation, graph in zip(explanations, batched):
+            expected = sequential_builder.build(explanation)
+            assert graph.central == expected.central
+            assert graph.edges == expected.edges
+            assert graph.confidence == expected.confidence  # bit-identical
+
+    def test_build_is_batch_of_one(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        pair = sorted(core_dataset.test_alignment)[0]
+        explanation = generator.explain(*pair)
+        builder = ADGBuilder(fitted_mtranse, core_dataset)
+        assert builder.build(explanation).confidence == builder.build_many([explanation])[0].confidence
+
+
+# ----------------------------------------------------------------------
+# confidence_batch ≡ sequential confidence
+# ----------------------------------------------------------------------
+class TestConfidenceBatchEquivalence:
+    @pytest.mark.parametrize("max_hops", [1, 2])
+    def test_batch_matches_sequential(self, fitted_mtranse, core_dataset, max_hops):
+        config = RepairConfig(explanation=ExplanationConfig(max_hops=max_hops))
+        sequential = EARepairer(fitted_mtranse, core_dataset, config)
+        batched = EARepairer(fitted_mtranse, core_dataset, config)
+        reference = sequential.generator.reference_alignment()
+        pairs = sorted(core_dataset.test_alignment)[:15]
+
+        expected = {pair: sequential.confidence(*pair, reference) for pair in pairs}
+        results = batched.confidence_batch(pairs, reference)
+        assert results == expected  # bit-identical, not approx
+        # The two oracles resolved the same relation conflicts.
+        assert batched._num_relation_conflicts == sequential._num_relation_conflicts
+
+    def test_scalar_is_batch_of_one(self, fitted_mtranse, core_dataset):
+        repairer = EARepairer(fitted_mtranse, core_dataset)
+        reference = repairer.generator.reference_alignment()
+        pairs = sorted(core_dataset.test_alignment)[:6]
+        batch = repairer.confidence_batch(pairs, reference)
+        for pair in pairs:
+            # Scalar queries hit the same fingerprint cache entries.
+            assert repairer.confidence(*pair, reference) == batch[pair]
+
+    def test_duplicates_collapse(self, fitted_mtranse, core_dataset):
+        repairer = EARepairer(fitted_mtranse, core_dataset)
+        reference = repairer.generator.reference_alignment()
+        pair = sorted(core_dataset.test_alignment)[0]
+        results = repairer.confidence_batch([pair, pair, pair], reference)
+        assert list(results) == [pair]
+
+    def test_cache_hits_replay_conflict_counts(self, fitted_mtranse, core_dataset):
+        repairer = EARepairer(fitted_mtranse, core_dataset)
+        reference = repairer.generator.reference_alignment()
+        pairs = sorted(core_dataset.test_alignment)[:10]
+        repairer.confidence_batch(pairs, reference)
+        first_total = repairer._num_relation_conflicts
+        repairer.confidence_batch(pairs, reference)  # pure cache hits
+        assert repairer._num_relation_conflicts == 2 * first_total
+
+
+# ----------------------------------------------------------------------
+# ZH-EN second-order workload (the serving benchmark's population)
+# ----------------------------------------------------------------------
+class TestZhEnSecondOrderWorkload:
+    @pytest.fixture(scope="class")
+    def zh_en(self):
+        dataset = load_benchmark("ZH-EN", scale=0.12)
+        model = MTransE(TrainingConfig(dim=16, epochs=80, seed=1)).fit(dataset)
+        return dataset, model
+
+    def test_batch_matches_sequential_on_replayed_traffic(self, zh_en):
+        dataset, model = zh_en
+        population = sorted(model.predict().pairs)[:25]
+        workload = replay_workload(
+            population, 120, seed=1, skew=1.0, kinds=("confidence",)
+        )
+        pairs = [(source, target) for _, source, target in workload]
+
+        sequential = second_order_repairer(model, dataset)
+        batched = second_order_repairer(model, dataset)
+        reference = sequential.generator.reference_alignment()
+
+        expected = {}
+        for pair in pairs:  # scalar oracle over the replay, duplicates and all
+            expected[pair] = sequential.confidence(*pair, reference)
+        results = batched.confidence_batch(pairs, reference)
+        assert results == expected
+
+    def test_invalidation_after_add_triple_and_refit(self, zh_en):
+        dataset, model = zh_en
+        pairs = sorted(model.predict().pairs)[:8]
+        repairer = second_order_repairer(model, dataset)
+        reference = repairer.generator.reference_alignment()
+        before = repairer.confidence_batch(pairs, reference)
+
+        # A KG mutation bumps kg1.version: the fingerprint memo must drop
+        # and recomputation must agree with a fresh (uncached) oracle.
+        # The new triple reuses a relation the model was trained on, so it
+        # is explainable; the constructed edge must not already exist.
+        relation = sorted(dataset.kg1.relations)[0]
+        added = next(
+            triple
+            for other, _ in pairs[1:]
+            for triple in [Triple(pairs[0][0], relation, other)]
+            if triple not in dataset.kg1.triples
+        )
+        dataset.kg1.add_triple(added)
+        try:
+            mutated = repairer.confidence_batch(pairs, reference)
+            fresh = second_order_repairer(model, dataset).confidence_batch(pairs, reference)
+            assert mutated == fresh
+        finally:
+            dataset.kg1.remove_triple(added)
+
+        # Removal restored the structure (another version bump): the
+        # original answers must be recomputed bit-identically.
+        assert repairer.confidence_batch(pairs, reference) == before
+
+        # A refit bumps embedding_version: the memo must drop again.
+        model.fit(dataset)
+        refit_reference = repairer.generator.reference_alignment()
+        refit = repairer.confidence_batch(pairs, refit_reference)
+        fresh = second_order_repairer(model, dataset).confidence_batch(pairs, refit_reference)
+        assert refit == fresh
