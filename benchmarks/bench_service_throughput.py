@@ -14,9 +14,16 @@ Two measurements, both on the ZH-EN second-order workload:
   (``ServiceConfig(scheduler="per-worker")``), cold and warm, best of
   ``REPEATS`` runs each.  Results must be bit-identical across modes and
   the dispatcher must win on both cold and warm replays.
+* ``test_service_remote_vs_inprocess`` — the PR-4 transport row: the same
+  replay served by the in-process sharded service vs a process-per-shard
+  cluster (real ``python -m repro.service serve`` subprocesses fed a
+  pickled snapshot of the same model) at the same shard count.  Results
+  must be bit-identical across transports; the recorded row carries the
+  cold/warm remote throughput next to the in-process figures so the wire
+  overhead stays visible over time.
 
 Results are written to ``BENCH_service.json`` next to this file (keys
-``ZH-EN`` and ``ZH-EN-mixed``).
+``ZH-EN``, ``ZH-EN-mixed`` and ``ZH-EN-remote``).
 
 Run directly (``python bench_service_throughput.py [--quick]``) or via
 pytest.  ``--quick`` is the CI smoke mode: tiny workloads, no numeric
@@ -37,8 +44,12 @@ from repro.service import (
     EXPLAIN,
     ExEAClient,
     ExplanationService,
+    LocalShardCluster,
     ServiceConfig,
+    ShardedExEAClient,
+    ShardedExplanationService,
     replay_concurrently,
+    replay_remote_concurrently,
 )
 
 ARTIFACT = Path(__file__).parent / "BENCH_service.json"
@@ -243,6 +254,100 @@ def test_service_mixed_dispatcher_vs_per_worker(
     # warm bound keeps a small margin for pure scheduling noise.
     assert row["dispatcher_vs_per_worker_cold_speedup"] >= 1.0
     assert row["dispatcher_vs_per_worker_warm_speedup"] >= 0.95
+
+
+def test_service_remote_vs_inprocess(benchmark, dataset_cache, model_cache, bench_scale, quick):
+    """Mixed replay, in-process sharded service vs a process-per-shard cluster."""
+    dataset = dataset_cache("ZH-EN")
+    model = model_cache("Dual-AMN", "ZH-EN")
+    pairs = sample_correct_pairs(
+        model, dataset, bench_scale.explanation_sample, seed=bench_scale.seed
+    )
+    num_requests = 200 if quick else NUM_REQUESTS
+    num_shards = 2
+    workload = replay_workload(
+        pairs, num_requests, seed=bench_scale.seed, skew=SKEW, kinds=(EXPLAIN, CONFIDENCE)
+    )
+    unique_pairs = sorted({(source, target) for _, source, target in workload})
+    exea_config = ExEAConfig(explanation=ExplanationConfig(max_hops=MAX_HOPS))
+    config = ServiceConfig(
+        max_batch_size=32, max_wait_ms=2.0, num_workers=2, num_shards=num_shards
+    )
+
+    def measure():
+        # In-process sharded baseline: same shard count, same router.
+        local = ShardedExplanationService(model, dataset, config, exea_config=exea_config)
+        with local:
+            local_cold = replay_concurrently(local, workload, NUM_CLIENTS)
+            local_warm = replay_concurrently(local, workload, NUM_CLIENTS)
+            client = ShardedExEAClient(local)
+            local_explains = {pair: client.explain(*pair) for pair in unique_pairs}
+            local_confidences = {pair: client.confidence(*pair) for pair in unique_pairs}
+
+        # Remote: one real server subprocess per shard, same model bytes
+        # (pickled snapshot), same CRC-32 routing, traffic over TCP.
+        with LocalShardCluster(
+            model, dataset, num_shards=num_shards, service_config=config,
+            exea_config=exea_config,
+        ) as cluster:
+            remote_cold = replay_remote_concurrently(cluster.client, workload, NUM_CLIENTS)
+            remote_warm = replay_remote_concurrently(cluster.client, workload, NUM_CLIENTS)
+            remote_explains = cluster.client.explain_many(unique_pairs)
+            remote_confidences = {
+                pair: cluster.client.confidence(*pair) for pair in unique_pairs
+            }
+
+        matching = sum(
+            1
+            for pair in unique_pairs
+            if remote_explains[pair] == local_explains[pair]
+            and remote_confidences[pair] == local_confidences[pair]
+        )
+        return {
+            "workload": "ZH-EN-remote",
+            "max_hops": MAX_HOPS,
+            "model": model.name,
+            "kinds": [EXPLAIN, CONFIDENCE],
+            "num_requests": len(workload),
+            "num_unique_pairs": len(unique_pairs),
+            "num_clients": NUM_CLIENTS,
+            "num_shards": num_shards,
+            "skew": SKEW,
+            "inprocess_cold_seconds": local_cold,
+            "inprocess_warm_seconds": local_warm,
+            "inprocess_cold_rps": len(workload) / local_cold,
+            "inprocess_warm_rps": len(workload) / local_warm,
+            "remote_cold_seconds": remote_cold,
+            "remote_warm_seconds": remote_warm,
+            "remote_cold_rps": len(workload) / remote_cold,
+            "remote_warm_rps": len(workload) / remote_warm,
+            "remote_vs_inprocess_cold": local_cold / max(remote_cold, 1e-12),
+            "remote_vs_inprocess_warm": local_warm / max(remote_warm, 1e-12),
+            "pairs_with_identical_results": matching,
+        }
+
+    row = run_once(benchmark, measure)
+    print()
+    print(
+        f"[service-remote] in-process cold {row['inprocess_cold_rps']:.0f} req/s / "
+        f"warm {row['inprocess_warm_rps']:.0f} req/s; "
+        f"remote cold {row['remote_cold_rps']:.0f} req/s / "
+        f"warm {row['remote_warm_rps']:.0f} req/s "
+        f"(remote/in-process cold {row['remote_vs_inprocess_cold']:.2f}x, "
+        f"warm {row['remote_vs_inprocess_warm']:.2f}x; "
+        f"{row['pairs_with_identical_results']}/{row['num_unique_pairs']} identical)"
+    )
+
+    # The hard invariant at any speed: crossing the process boundary must
+    # not change a single result bit.
+    assert row["pairs_with_identical_results"] == row["num_unique_pairs"]
+    if quick:
+        return  # smoke mode: no numeric assertions, no artifact writes
+    _write_row(row["workload"], row)
+    # No throughput gate on the remote path: the row records the wire
+    # overhead so its trajectory is tracked, but localhost TCP timings are
+    # too machine-dependent to assert on.
+    assert row["remote_cold_rps"] > 0 and row["remote_warm_rps"] > 0
 
 
 if __name__ == "__main__":

@@ -32,7 +32,13 @@ from ..metrics import (
     verification_metrics,
 )
 from ..models import EAModel, make_model
-from ..service import ServiceConfig, ShardedExplanationService, replay_concurrently
+from ..service import (
+    LocalShardCluster,
+    ServiceConfig,
+    ShardedExplanationService,
+    replay_concurrently,
+    replay_remote_concurrently,
+)
 from .config import ExperimentScale
 
 # ----------------------------------------------------------------------
@@ -101,6 +107,7 @@ class ServiceRow:
     p50_ms: float
     p95_ms: float
     num_shards: int = 1
+    transport: str = "local"
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +290,7 @@ def run_service_experiment(
     skew: float = 1.0,
     service_config=None,
     num_shards: int | None = None,
+    transport: str = "local",
 ) -> ServiceRow:
     """Replay skewed explain traffic through the (sharded) explanation service.
 
@@ -295,7 +303,17 @@ def run_service_experiment(
     throughput, overall cache hit rate, batch occupancy and latency
     percentiles.  *num_shards* overrides the config's shard count; the
     reported figures merge every shard's stats.
+
+    *transport* selects the deployment axis: ``"local"`` drives the
+    in-process :class:`ShardedExplanationService`; ``"remote"`` spawns
+    one real server subprocess per shard
+    (:class:`~repro.service.LocalShardCluster`, fed a pickled snapshot of
+    this exact model) and replays over the wire — same workload, same
+    routing, bit-identical results, so the two rows isolate the transport
+    cost.
     """
+    if transport not in ("local", "remote"):
+        raise ValueError(f'transport must be "local" or "remote", got {transport!r}')
     pairs = sample_correct_pairs(model, dataset, scale.explanation_sample, seed=scale.seed)
     if num_requests is None:
         num_requests = 10 * len(pairs)
@@ -305,10 +323,16 @@ def run_service_experiment(
     if num_shards is not None and num_shards != config.num_shards:
         config = replace(config, num_shards=num_shards)
 
-    with ShardedExplanationService(model, dataset, config) as service:
-        seconds = replay_concurrently(service, workload, num_clients)
-
-    stats = service.stats_snapshot()["overall"]
+    if transport == "remote":
+        with LocalShardCluster(
+            model, dataset, num_shards=config.num_shards, service_config=config
+        ) as cluster:
+            seconds = replay_remote_concurrently(cluster.client, workload, num_clients)
+            stats = cluster.client.stats_snapshot()["overall"]
+    else:
+        with ShardedExplanationService(model, dataset, config) as service:
+            seconds = replay_concurrently(service, workload, num_clients)
+        stats = service.stats_snapshot()["overall"]
     return ServiceRow(
         dataset=dataset.name,
         model=model.name,
@@ -321,6 +345,7 @@ def run_service_experiment(
         p50_ms=stats["p50_ms"],
         p95_ms=stats["p95_ms"],
         num_shards=config.num_shards,
+        transport=transport,
     )
 
 

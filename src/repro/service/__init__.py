@@ -22,10 +22,18 @@ ROADMAP.md, "Service architecture").  The pieces compose bottom-up:
   pool, cache and generation token.
 * :mod:`~repro.service.stats` — :class:`ServiceStats` telemetry (hit
   rate, per-operation attribution, batch occupancy, p50/p95 latency) and
-  :func:`merge_stats` for overall-across-shards reporting.
+  :func:`merge_stats` / :func:`merge_raw` for overall-across-shards
+  reporting.
+* :mod:`~repro.service.transport` — the process boundary:
+  :class:`ShardServer` hosts one shard group per server process and
+  :class:`RemoteShardedClient` speaks the same client facade to a
+  cluster of them over length-prefixed JSON frames
+  (:class:`LocalShardCluster` spawns such a cluster locally).
 
 ``python -m repro.service`` serves a scripted traffic replay against a
-registry dataset end to end (``--shards N`` fans the pipeline out).
+registry dataset end to end (``--shards N`` fans the pipeline out);
+``python -m repro.service serve`` / ``connect`` run the remote transport
+(see ``docs/OPERATIONS.md``).
 """
 
 from .batching import MicroBatcher, RequestQueue, ServiceRequest
@@ -34,6 +42,8 @@ from .config import ServiceConfig
 from .dispatch import Dispatcher
 from .errors import (
     DeadlineExceededError,
+    RemoteOperationError,
+    RemoteTransportError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -47,7 +57,14 @@ from .service import (
     replay_concurrently,
 )
 from .sharding import ShardedExEAClient, ShardedExplanationService, ShardRouter
-from .stats import ServiceStats, merge_stats
+from .stats import ServiceStats, merge_raw, merge_stats
+from .transport import (
+    LocalShardCluster,
+    RemoteShardClient,
+    RemoteShardedClient,
+    ShardServer,
+    replay_remote_concurrently,
+)
 from .worker import MicroBatchWorkerPool, WorkerPool
 
 __all__ = [
@@ -57,8 +74,13 @@ __all__ = [
     "EXPLAIN",
     "ExEAClient",
     "ExplanationService",
+    "LocalShardCluster",
     "MicroBatchWorkerPool",
     "MicroBatcher",
+    "RemoteOperationError",
+    "RemoteShardClient",
+    "RemoteShardedClient",
+    "RemoteTransportError",
     "RequestQueue",
     "ResultCache",
     "ServiceClosedError",
@@ -68,10 +90,13 @@ __all__ = [
     "ServiceRequest",
     "ServiceStats",
     "ShardRouter",
+    "ShardServer",
     "ShardedExEAClient",
     "ShardedExplanationService",
     "VERIFY",
     "WorkerPool",
+    "merge_raw",
     "merge_stats",
     "replay_concurrently",
+    "replay_remote_concurrently",
 ]

@@ -1,17 +1,35 @@
-"""CLI: load a registry dataset, fit a model, serve a scripted traffic replay.
+"""CLI of the service stack: in-process replay, shard serving, remote replay.
 
-Example::
+Three subcommands (see ``docs/OPERATIONS.md`` for the full reference):
 
-    PYTHONPATH=src python -m repro.service --dataset ZH-EN --model Dual-AMN \\
-        --requests 400 --clients 8 --workers 2 --shards 4 --mix mixed
+* ``replay`` (the default when no subcommand is given, preserving the
+  historic invocation) — load a registry dataset, fit a model, serve a
+  scripted Zipf traffic replay through the in-process sharded service::
 
-Prints a JSON report with throughput, cache hit rate, batch occupancy and
-latency percentiles (overall and per shard).  The replay is deterministic
-(seeded Zipf traffic over the model's predicted pairs), so repeated runs
-are comparable — and results are bit-identical at any ``--shards`` /
-``--scheduler`` setting.  ``--stats-json PATH`` dumps the raw
-:class:`~repro.service.stats.ServiceStats` snapshot (including the
-per-shard rows) for benchmark tooling, so nothing needs to parse stdout.
+      PYTHONPATH=src python -m repro.service --dataset ZH-EN --model Dual-AMN \\
+          --requests 400 --clients 8 --workers 2 --shards 4 --mix mixed
+
+* ``serve`` — host ONE shard group in THIS process behind a TCP/Unix
+  socket (run one such process per shard)::
+
+      PYTHONPATH=src python -m repro.service serve --dataset ZH-EN \\
+          --shard-id 0 --num-shards 2 --listen 127.0.0.1:7401
+
+  Prints ``READY {json}`` (including the resolved ephemeral port for
+  ``--listen host:0``) once accepting, then serves until a ``shutdown``
+  request or SIGTERM.  ``--snapshot PATH`` serves a pickled model/dataset
+  snapshot instead of refitting (what tests and benchmarks use).
+
+* ``connect`` — replay scripted traffic against running shard servers::
+
+      PYTHONPATH=src python -m repro.service connect \\
+          --endpoints 127.0.0.1:7401,127.0.0.1:7402 --requests 400 --clients 8
+
+All three print a JSON report; ``--stats-json PATH`` additionally dumps
+the raw :class:`~repro.service.stats.ServiceStats` snapshot (overall +
+per-shard rows) for machine consumption.  Replays are deterministic
+(seeded Zipf traffic over the model's predicted pairs) and results are
+bit-identical across ``--shards`` / ``--scheduler`` / transport choices.
 """
 
 from __future__ import annotations
@@ -25,31 +43,32 @@ from ..models import TrainingConfig, make_model
 from .config import ServiceConfig
 from .service import CONFIDENCE, EXPLAIN, VERIFY, replay_concurrently
 from .sharding import ShardedExplanationService
+from .transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    RemoteShardedClient,
+    ShardServer,
+    read_snapshot,
+    replay_remote_concurrently,
+)
+
+SUBCOMMANDS = ("replay", "serve", "connect")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service",
-        description="Serve EA explanations for a registry dataset and replay scripted traffic.",
-    )
+# ----------------------------------------------------------------------
+# Shared argument groups
+# ----------------------------------------------------------------------
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    """Dataset/model spec shared by ``replay`` and spec-mode ``serve``."""
     parser.add_argument("--dataset", default="ZH-EN", help="registry dataset name (default: ZH-EN)")
     parser.add_argument("--model", default="Dual-AMN", help="base EA model name (default: Dual-AMN)")
     parser.add_argument("--scale", type=float, default=0.3, help="dataset scale factor")
     parser.add_argument("--dim", type=int, default=24, help="embedding dimensionality")
     parser.add_argument("--seed", type=int, default=1, help="training / traffic seed")
-    parser.add_argument("--requests", type=int, default=400, help="replay length")
-    parser.add_argument("--clients", type=int, default=8, help="concurrent replay clients")
-    parser.add_argument("--skew", type=float, default=1.0, help="Zipf skew of the traffic")
-    parser.add_argument(
-        "--mix",
-        default="explain",
-        choices=["explain", "mixed"],
-        help="request mix: explain-only or explain+confidence+verify",
-    )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """ServiceConfig knobs shared by every subcommand that builds a service."""
     parser.add_argument("--workers", type=int, default=2, help="worker threads per shard")
-    parser.add_argument(
-        "--shards", type=int, default=1, help="shard groups the pair space partitions into"
-    )
     parser.add_argument(
         "--scheduler",
         default="dispatcher",
@@ -63,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--deadline-ms", type=float, default=None, help="per-request deadline (default: none)"
     )
+
+
+def _add_traffic_arguments(parser: argparse.ArgumentParser) -> None:
+    """Replay-traffic knobs shared by ``replay`` and ``connect``."""
+    parser.add_argument("--requests", type=int, default=400, help="replay length")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent replay clients")
+    parser.add_argument("--skew", type=float, default=1.0, help="Zipf skew of the traffic")
+    parser.add_argument(
+        "--mix",
+        default="explain",
+        choices=["explain", "mixed"],
+        help="request mix: explain-only or explain+confidence+verify",
+    )
     parser.add_argument("--json", dest="json_path", default=None, help="also write the report here")
     parser.add_argument(
         "--stats-json",
@@ -70,24 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the raw ServiceStats snapshot (overall + per-shard rows) here",
     )
-    return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-
-    print(f"[service] loading {args.dataset} (scale {args.scale}) ...", file=sys.stderr)
-    dataset = load_benchmark(args.dataset, scale=args.scale)
-    print(f"[service] fitting {args.model} (dim {args.dim}) ...", file=sys.stderr)
-    model = make_model(args.model, TrainingConfig(dim=args.dim, seed=args.seed)).fit(dataset)
-
-    pairs = sorted(model.predict().pairs)
-    kinds = (EXPLAIN,) if args.mix == "explain" else (EXPLAIN, CONFIDENCE, VERIFY)
-    workload = replay_workload(
-        pairs, args.requests, seed=args.seed, skew=args.skew, kinds=kinds
-    )
-
-    config = ServiceConfig(
+def _service_config(args: argparse.Namespace, num_shards: int = 1) -> ServiceConfig:
+    """Build the ServiceConfig from parsed CLI knobs."""
+    return ServiceConfig(
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         queue_capacity=args.queue_capacity,
@@ -95,8 +114,74 @@ def main(argv: list[str] | None = None) -> int:
         cache_capacity=args.cache_capacity,
         default_deadline_ms=args.deadline_ms,
         scheduler=args.scheduler,
-        num_shards=args.shards,
+        num_shards=num_shards,
     )
+
+
+def _fit_model(args: argparse.Namespace):
+    """Load the registry dataset and fit the base model per the CLI spec."""
+    print(f"[service] loading {args.dataset} (scale {args.scale}) ...", file=sys.stderr)
+    dataset = load_benchmark(args.dataset, scale=args.scale)
+    print(f"[service] fitting {args.model} (dim {args.dim}) ...", file=sys.stderr)
+    model = make_model(args.model, TrainingConfig(dim=args.dim, seed=args.seed)).fit(dataset)
+    return model, dataset
+
+
+def _workload(args: argparse.Namespace, pairs: list[tuple[str, str]]):
+    """Deterministic Zipf replay over *pairs* per the traffic knobs."""
+    kinds = (EXPLAIN,) if args.mix == "explain" else (EXPLAIN, CONFIDENCE, VERIFY)
+    return replay_workload(pairs, args.requests, seed=args.seed, skew=args.skew, kinds=kinds)
+
+
+def _emit_report(report: dict, stats: dict, args: argparse.Namespace) -> None:
+    """Print the JSON report and honour ``--json`` / ``--stats-json``."""
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if args.stats_json_path:
+        with open(args.stats_json_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# replay — the in-process sharded replay (historic default)
+# ----------------------------------------------------------------------
+def build_replay_parser() -> argparse.ArgumentParser:
+    """Parser of the (default) in-process ``replay`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=(
+            "Serve EA explanations for a registry dataset and replay scripted traffic "
+            "(the `replay` subcommand, and the default when no subcommand is given)."
+        ),
+        epilog=(
+            "other subcommands: `serve` hosts one shard group behind a TCP/Unix socket "
+            "(one process per shard); `connect` replays traffic against running shard "
+            "servers. Run `python -m repro.service serve --help` / `connect --help`, "
+            "or see docs/OPERATIONS.md."
+        ),
+    )
+    _add_model_arguments(parser)
+    _add_traffic_arguments(parser)
+    _add_service_arguments(parser)
+    parser.add_argument(
+        "--shards", type=int, default=1, help="shard groups the pair space partitions into"
+    )
+    return parser
+
+
+#: Back-compat alias — the historic module exposed ``build_parser``.
+build_parser = build_replay_parser
+
+
+def replay_main(argv: list[str]) -> int:
+    """Fit a model and replay traffic through the in-process sharded service."""
+    args = build_replay_parser().parse_args(argv)
+    model, dataset = _fit_model(args)
+    workload = _workload(args, sorted(model.predict().pairs))
+    config = _service_config(args, num_shards=args.shards)
 
     print(
         f"[service] replaying {len(workload)} requests over {args.clients} clients "
@@ -110,6 +195,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "dataset": dataset.name,
         "model": model.name,
+        "transport": "local",
         "num_requests": len(workload),
         "num_clients": args.clients,
         "seconds": elapsed,
@@ -126,15 +212,181 @@ def main(argv: list[str] | None = None) -> int:
             "num_shards": config.num_shards,
         },
     }
-    text = json.dumps(report, indent=2, sort_keys=True)
-    print(text)
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-    if args.stats_json_path:
-        with open(args.stats_json_path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    _emit_report(report, stats, args)
     return 0
+
+
+# ----------------------------------------------------------------------
+# serve — one shard group behind a socket, in this process
+# ----------------------------------------------------------------------
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of the ``serve`` subcommand (one shard server process)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Host one shard group of the explanation service behind a socket.",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        help=(
+            "serve a pickled model/dataset snapshot instead of fitting from the spec below; "
+            "a service config embedded in the snapshot takes precedence over the CLI service flags"
+        ),
+    )
+    _add_model_arguments(parser)
+    _add_service_arguments(parser)
+    parser.add_argument("--shard-id", type=int, default=0, help="this process's shard index")
+    parser.add_argument("--num-shards", type=int, default=1, help="total shard processes")
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help="host:port or unix:/path to listen on (port 0 = ephemeral, reported via READY)",
+    )
+    parser.add_argument(
+        "--max-frame-kb",
+        type=int,
+        default=DEFAULT_MAX_FRAME_BYTES // 1024,
+        help="largest accepted request/response frame, in KiB",
+    )
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    """Run one shard server until shutdown is requested."""
+    args = build_serve_parser().parse_args(argv)
+
+    exea_config = None
+    if args.snapshot:
+        snapshot = read_snapshot(args.snapshot)
+        model, dataset = snapshot["model"], snapshot["dataset"]
+        config = snapshot.get("service_config")
+        exea_config = snapshot.get("exea_config")
+        if config is not None:
+            # The snapshot's embedded config wins so every shard of a
+            # cluster serves under identical tuning; say so instead of
+            # silently discarding the CLI flags.
+            print(
+                "[service] using the service config embedded in the snapshot "
+                "(CLI service flags ignored)",
+                file=sys.stderr,
+            )
+        else:
+            config = _service_config(args)
+    else:
+        model, dataset = _fit_model(args)
+        config = _service_config(args)
+
+    # Each server process hosts exactly ONE shard group; cross-process
+    # sharding is the client's CRC-32 routing over --num-shards endpoints.
+    from .service import ExplanationService
+
+    service = ExplanationService(model, dataset, config, exea_config=exea_config)
+    server = ShardServer(
+        service,
+        shard_id=args.shard_id,
+        num_shards=args.num_shards,
+        max_frame_bytes=args.max_frame_kb * 1024,
+    )
+    address = server.bind(args.listen)
+    service.start()
+    ready = {
+        "shard_id": args.shard_id,
+        "num_shards": args.num_shards,
+        "address": address,
+        "dataset": dataset.name,
+        "model": model.name,
+    }
+    print("READY " + json.dumps(ready, sort_keys=True), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        service.close(drain=False)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# connect — remote replay against running shard servers
+# ----------------------------------------------------------------------
+def build_connect_parser() -> argparse.ArgumentParser:
+    """Parser of the ``connect`` subcommand (remote traffic replay)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service connect",
+        description="Replay scripted traffic against running shard servers.",
+    )
+    parser.add_argument(
+        "--endpoints",
+        required=True,
+        help="comma-separated shard endpoints ordered by shard id (host:port or unix:/path)",
+    )
+    _add_traffic_arguments(parser)
+    parser.add_argument("--seed", type=int, default=1, help="traffic seed")
+    parser.add_argument("--timeout", type=float, default=60.0, help="per-request socket timeout (s)")
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask every shard server to exit after the replay",
+    )
+    return parser
+
+
+def connect_main(argv: list[str]) -> int:
+    """Replay deterministic traffic through a remote shard cluster."""
+    args = build_connect_parser().parse_args(argv)
+    endpoints = [endpoint.strip() for endpoint in args.endpoints.split(",") if endpoint.strip()]
+    with RemoteShardedClient(endpoints, timeout=args.timeout) as client:
+        pairs = client.pairs()
+        workload = _workload(args, pairs)
+        print(
+            f"[service] replaying {len(workload)} requests over {args.clients} clients "
+            f"against {len(endpoints)} shard server(s) ...",
+            file=sys.stderr,
+        )
+        elapsed = replay_remote_concurrently(client, workload, args.clients)
+        stats = client.stats_snapshot()
+        if args.shutdown:
+            client.shutdown_servers()
+
+    report = {
+        "transport": "remote",
+        "endpoints": endpoints,
+        "num_requests": len(workload),
+        "num_clients": args.clients,
+        "seconds": elapsed,
+        "requests_per_second": len(workload) / elapsed if elapsed > 0 else 0.0,
+        "service": stats["overall"],
+        "num_shards": stats["num_shards"],
+    }
+    _emit_report(report, stats, args)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch to replay (default) / serve / connect.
+
+    A bare word that is not a known subcommand fails fast with the list
+    of valid ones — falling through to the replay parser would turn a
+    typo like ``sevre`` into a confusing unrecognized-arguments error.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and not argv[0].startswith("-"):
+        if argv[0] == "serve":
+            return serve_main(argv[1:])
+        if argv[0] == "connect":
+            return connect_main(argv[1:])
+        if argv[0] == "replay":
+            argv = argv[1:]
+        else:
+            print(
+                f"unknown subcommand {argv[0]!r}; expected one of "
+                f"{', '.join(SUBCOMMANDS)} (default: replay)",
+                file=sys.stderr,
+            )
+            return 2
+    return replay_main(argv)
 
 
 if __name__ == "__main__":

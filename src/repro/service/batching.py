@@ -58,10 +58,12 @@ class RequestQueue:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
         with self._lock:
             return self._closed
 
     def put(self, request: ServiceRequest) -> None:
+        """Enqueue *request*; raises instead of blocking when full or closed."""
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("the service is closed")

@@ -79,6 +79,7 @@ class ResultCache:
                 self._stats.record_eviction(evicted)
 
     def clear(self) -> None:
+        """Drop every entry and forget the generation token."""
         with self._lock:
             self._entries.clear()
             self._token = None

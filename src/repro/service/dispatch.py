@@ -79,6 +79,7 @@ class Dispatcher:
 
     @property
     def alive(self) -> bool:
+        """True while the scheduler thread or any worker is still running."""
         return (self._thread is not None and self._thread.is_alive()) or self.pool.alive
 
     # ------------------------------------------------------------------

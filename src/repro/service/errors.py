@@ -28,3 +28,28 @@ class ServiceClosedError(ServiceError):
 
 class DeadlineExceededError(ServiceError):
     """The request's deadline elapsed before a worker could serve it."""
+
+
+class RemoteTransportError(ServiceError):
+    """The remote transport failed (connection, framing or protocol).
+
+    Raised client-side when a shard server cannot be reached, dies
+    mid-request, or violates the wire protocol — i.e. when the *transport*
+    failed, as opposed to the service answering with one of the mapped
+    service errors above.  A request that ended here may or may not have
+    executed on the server; every remote operation is idempotent, so
+    callers may simply retry.
+    """
+
+
+class RemoteOperationError(ServiceError):
+    """A remote shard raised an exception type the wire protocol cannot map.
+
+    The original type name is preserved in :attr:`remote_type` so operators
+    can find the failure in the server's logs.
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message

@@ -168,6 +168,14 @@ class ExplanationService:
             self.model.embedding_version,
         )
 
+    def generation_token(self) -> GenerationToken:
+        """Public view of the generation token guarding this service's cache.
+
+        Transports expose it over the wire so clients can check that every
+        shard process serves the same ``(kg1, kg2, model)`` generation.
+        """
+        return self._token()
+
     def reference_alignment(self) -> AlignmentSet:
         """Model predictions ∪ seed alignment, recomputed once per generation."""
         if self._reference_provider is not None:
@@ -377,12 +385,15 @@ class ExEAClient:
 
     # ------------------------------------------------------------------
     def explain(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None):
+        """Explanation (semantic matching subgraph) of one pair, synchronously."""
         return self.service.submit(EXPLAIN, source, target, deadline_ms).result(timeout)
 
     def confidence(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None) -> float:
+        """Repair-confidence of one pair, synchronously."""
         return self.service.submit(CONFIDENCE, source, target, deadline_ms).result(timeout)
 
     def verify(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None) -> bool:
+        """EA verification (confidence thresholded at beta) of one pair."""
         return self.service.submit(VERIFY, source, target, deadline_ms).result(timeout)
 
     # ------------------------------------------------------------------
@@ -414,6 +425,32 @@ class ExEAClient:
         return [future.result(timeout) for future in futures]
 
 
+def _fan_out(thunks) -> None:
+    """Run every thunk on its own daemon thread; join all; re-raise the first failure.
+
+    The shared fan-out used by the concurrent replay drivers (local and
+    remote) and the remote client's per-shard scatter — one place to fix
+    error propagation for all of them.  A failed thunk must never be
+    silently dropped: a replay that lost requests would otherwise be
+    mistaken for a fast one.
+    """
+    errors: list[BaseException] = []
+
+    def run(thunk) -> None:
+        try:
+            thunk()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    threads = [threading.Thread(target=run, args=(thunk,), daemon=True) for thunk in thunks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
 def replay_concurrently(
     service: ExplanationService,
     workload: list[tuple[str, str, str]],
@@ -424,31 +461,18 @@ def replay_concurrently(
 
     Shards the workload round-robin, runs one :class:`ExEAClient` per
     shard on its own thread, and returns the elapsed wall-clock seconds.
-    Client failures are collected and re-raised — a replay that dropped
-    requests must never be mistaken for a fast one (its timing would be
-    meaningless).
+    Client failures are re-raised — a replay that dropped requests must
+    never be mistaken for a fast one (its timing would be meaningless).
     """
     shards = [shard for shard in shard_workload(workload, num_clients) if shard]
-    errors: list[BaseException] = []
-
-    def run_shard(shard: list[tuple[str, str, str]]) -> None:
-        try:
-            ExEAClient(service).replay(shard, timeout=timeout)
-        except BaseException as error:  # noqa: BLE001 - re-raised below
-            errors.append(error)
-
-    threads = [
-        threading.Thread(target=run_shard, args=(shard,), daemon=True) for shard in shards
-    ]
     start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - start
-    if errors:
-        raise errors[0]
-    return elapsed
+    _fan_out(
+        [
+            lambda shard=shard: ExEAClient(service).replay(shard, timeout=timeout)
+            for shard in shards
+        ]
+    )
+    return time.perf_counter() - start
 
 
 __all__ = [

@@ -58,42 +58,51 @@ class ServiceStats:
 
     # ------------------------------------------------------------------
     def record_submitted(self) -> None:
+        """Count one submitted request."""
         with self._lock:
             self.submitted += 1
 
     def record_rejected(self) -> None:
+        """Count one request rejected by admission control (backpressure)."""
         with self._lock:
             self.rejected += 1
 
     def record_expired(self) -> None:
+        """Count one request whose deadline lapsed before serving."""
         with self._lock:
             self.expired += 1
 
     def record_failed(self) -> None:
+        """Count one request failed by an error other than its deadline."""
         with self._lock:
             self.failed += 1
 
     def record_hit(self, kind: str | None = None) -> None:
+        """Count one cache hit, attributed to operation *kind* when given."""
         with self._lock:
             self.cache_hits += 1
             if kind is not None:
                 self.hits_by_kind[kind] = self.hits_by_kind.get(kind, 0) + 1
 
     def record_miss(self, kind: str | None = None) -> None:
+        """Count one cache miss, attributed to operation *kind* when given."""
         with self._lock:
             self.cache_misses += 1
             if kind is not None:
                 self.misses_by_kind[kind] = self.misses_by_kind.get(kind, 0) + 1
 
     def record_eviction(self, count: int = 1) -> None:
+        """Count *count* LRU evictions."""
         with self._lock:
             self.cache_evictions += count
 
     def record_invalidation(self) -> None:
+        """Count one wholesale cache invalidation (generation change)."""
         with self._lock:
             self.cache_invalidations += 1
 
     def record_batch(self, size: int) -> None:
+        """Count one gathered batch of *size* requests (occupancy telemetry)."""
         with self._lock:
             self.num_batches += 1
             self.batched_requests += size
@@ -136,6 +145,15 @@ class ServiceStats:
                 "misses_by_kind": dict(self.misses_by_kind),
             }
             return counters, list(self._latencies)
+
+    def raw(self) -> tuple[dict, list[float]]:
+        """Public copy of the raw counters and latency samples.
+
+        This is what the remote transport ships over the wire (the
+        ``--stats-json`` equivalent): raw parts merge exactly, whereas
+        derived figures (hit rates, percentiles) generally do not.
+        """
+        return self._raw()
 
     def snapshot(self) -> dict:
         """Aggregate view of the counters (safe to call while serving)."""
@@ -185,10 +203,22 @@ def merge_stats(stats: Iterable[ServiceStats]) -> dict:
     shard's requests (``max_batch_size`` takes the max, as it is a high
     watermark rather than a sum).
     """
+    return merge_raw(shard_stats._raw() for shard_stats in stats)
+
+
+def merge_raw(parts: Iterable[tuple[dict, list[float]]]) -> dict:
+    """Merge raw ``(counters, latencies)`` parts into one overall snapshot.
+
+    The raw-parts form of :func:`merge_stats`: this is what the remote
+    transport uses to aggregate the per-process stats payloads fetched
+    from every shard server, and what :func:`merge_stats` delegates to
+    for in-process shards.  The input dicts are consumed as scratch
+    space; pass fresh copies (``ServiceStats.raw`` and JSON decoding both
+    produce them).
+    """
     total: dict | None = None
     all_latencies: list[float] = []
-    for shard_stats in stats:
-        counters, latencies = shard_stats._raw()
+    for counters, latencies in parts:
         all_latencies.extend(latencies)
         if total is None:
             total = counters

@@ -1,0 +1,81 @@
+"""Remote shard transport: process-per-shard serving over stream sockets.
+
+This package puts the first process boundary into the service stack.  The
+in-process :class:`~repro.service.sharding.ShardedExplanationService`
+already partitions the pair space into CRC-32-stable shard groups; here
+each shard group moves into its own server process and the client facade
+speaks to them over a thin wire protocol.  The pieces, bottom-up:
+
+* :mod:`~repro.service.transport.framing` — length-prefixed JSON frames
+  over TCP/Unix sockets, with oversized-frame rejection and typed
+  connection-failure errors.
+* :mod:`~repro.service.transport.protocol` — operation names, the value
+  codec (explanations round-trip bit-identically) and the error mapping
+  that carries backpressure/deadline semantics across the wire.
+* :mod:`~repro.service.transport.server` — :class:`ShardServer`, hosting
+  one shard group's :class:`~repro.service.service.ExplanationService`
+  behind a socket (``python -m repro.service serve``).
+* :mod:`~repro.service.transport.client` — :class:`RemoteShardClient`
+  (connection pool + reconnect) and :class:`RemoteShardedClient`, the
+  same ``explain`` / ``confidence`` / ``verify`` / ``explain_many`` /
+  ``replay`` facade as the in-process clients, plus ``invalidate``
+  generation fan-out and merged ``stats_snapshot``.
+* :mod:`~repro.service.transport.cluster` — :class:`LocalShardCluster`,
+  spawning real shard subprocesses from a pickled model/dataset snapshot
+  (tests, benchmarks, the experiment runner's ``transport="remote"``).
+
+See ``docs/ARCHITECTURE.md`` for where this layer sits in the stack and
+``docs/OPERATIONS.md`` for the serving CLI.
+"""
+
+from .client import (
+    RemoteShardClient,
+    RemoteShardedClient,
+    replay_remote_concurrently,
+)
+from .cluster import LocalShardCluster, ShardProcess, read_snapshot, write_snapshot
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ConnectionClosedError,
+    FrameTimeoutError,
+    FrameTooLargeError,
+    ProtocolError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+    send_raw_frame,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_error,
+    decode_value,
+    encode_error,
+    encode_value,
+)
+from .server import ShardServer, parse_listen_address
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ConnectionClosedError",
+    "FrameTimeoutError",
+    "FrameTooLargeError",
+    "LocalShardCluster",
+    "ProtocolError",
+    "RemoteShardClient",
+    "RemoteShardedClient",
+    "ShardProcess",
+    "ShardServer",
+    "decode_error",
+    "decode_value",
+    "encode_error",
+    "encode_frame",
+    "encode_value",
+    "parse_listen_address",
+    "read_snapshot",
+    "recv_frame",
+    "replay_remote_concurrently",
+    "send_frame",
+    "send_raw_frame",
+    "write_snapshot",
+]

@@ -1,0 +1,477 @@
+"""Remote clients: the `ExEAClient` facade spoken over shard sockets.
+
+:class:`RemoteShardClient` talks to *one* shard server through a small
+connection pool (idle sockets are reused; a stale pooled socket is
+re-dialled and the request retried once — every protocol operation is
+idempotent, so the retry is safe).  :class:`RemoteShardedClient` composes
+one of those per shard process behind the exact call surface of the
+in-process :class:`~repro.service.service.ExEAClient` facade —
+``explain`` / ``confidence`` / ``verify`` / ``explain_many`` / ``replay``
+— plus the sharded extras (``shard_of``, ``stats_snapshot``) and the
+remote-only generation fan-out (``invalidate``).
+
+Routing uses the same CRC-32 :class:`~repro.service.sharding.ShardRouter`
+as the in-process sharded service, so a pair reaches the same shard
+whether that shard is a thread group or a process; combined with the
+value codec's exact round-trip this makes remote results bit-identical
+to in-process sharded results at the same shard count.
+
+Failure surface: service errors (backpressure, deadline, closed) arrive
+as their own exception types; anything wrong with the *transport* —
+refused connections, a server dying mid-request, protocol violations —
+raises :class:`~repro.service.errors.RemoteTransportError` instead of
+hanging (every socket operation runs under a timeout).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Iterable
+
+from ...datasets import shard_workload
+from ..errors import RemoteTransportError
+from ..service import _fan_out
+from ..sharding import ShardRouter
+from ..stats import merge_raw
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ConnectionClosedError,
+    FrameTimeoutError,
+    ProtocolError,
+    encode_frame,
+    recv_frame,
+    send_raw_frame,
+)
+from .protocol import (
+    OP_BATCH,
+    OP_CONFIDENCE,
+    OP_EXPLAIN,
+    OP_INVALIDATE,
+    OP_PAIRS,
+    OP_PING,
+    OP_SHUTDOWN,
+    OP_STATS,
+    OP_VERIFY,
+    PROTOCOL_VERSION,
+    decode_error,
+    decode_value,
+)
+from .server import parse_listen_address
+
+#: Default per-request socket timeout (seconds).
+DEFAULT_TIMEOUT = 60.0
+#: Items per ``batch`` frame in ``explain_many`` / ``replay`` exchanges.
+BATCH_CHUNK_SIZE = 256
+
+
+class RemoteShardClient:
+    """Connection-pooled request/response client to one shard server."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._family, self._address = parse_listen_address(endpoint)
+        self._lock = threading.Lock()
+        self._pool: list[socket.socket] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _dial(self) -> socket.socket:
+        """Open a fresh connection to the shard server."""
+        conn = socket.socket(self._family, socket.SOCK_STREAM)
+        try:
+            conn.settimeout(self.timeout)
+            conn.connect(self._address)
+            if self._family == socket.AF_INET:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return conn
+        except OSError as error:
+            conn.close()
+            raise RemoteTransportError(
+                f"cannot connect to shard server at {self.endpoint}: {error}"
+            ) from error
+
+    def _checkout(self) -> tuple[socket.socket, bool]:
+        """A pooled connection (``reused=True``) or a fresh dial."""
+        with self._lock:
+            if self._closed:
+                raise RemoteTransportError(f"client for {self.endpoint} is closed")
+            if self._pool:
+                return self._pool.pop(), True
+        return self._dial(), False
+
+    def _checkin(self, conn: socket.socket) -> None:
+        """Return a healthy connection to the pool (closed clients discard)."""
+        with self._lock:
+            if not self._closed:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every pooled connection and refuse further calls."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def _exchange(self, conn: socket.socket, frame: bytes, timeout: float | None) -> dict:
+        """One framed request/response on an open connection."""
+        conn.settimeout(self.timeout if timeout is None else timeout)
+        send_raw_frame(conn, frame)
+        response = recv_frame(conn, self.max_frame_bytes)
+        if response is None:
+            raise ConnectionClosedError(
+                f"shard server at {self.endpoint} closed the connection mid-request"
+            )
+        return response
+
+    def call(self, payload: dict, timeout: float | None = None):
+        """Send one request frame; return the decoded ``ok`` payload.
+
+        The payload is encoded *before* a connection is taken, so an
+        oversized request raises :class:`FrameTooLargeError` without
+        costing a pooled socket or a dial.  A failed exchange on a
+        *reused* pooled connection is retried once on a fresh dial (the
+        socket may simply have gone stale between requests; every
+        operation is idempotent) — except on a timeout
+        (:class:`FrameTimeoutError`), where the server is slow rather
+        than gone and a retry would double its work and the caller's
+        wait.  A fresh connection failing — refused, reset, or the
+        server dying mid-request — raises
+        :class:`RemoteTransportError` immediately rather than hanging,
+        and wire-level error responses are re-raised as their mapped
+        exception types.
+        """
+        frame = encode_frame(payload, self.max_frame_bytes)
+        conn, reused = self._checkout()
+        try:
+            response = self._exchange(conn, frame, timeout)
+        except (ProtocolError, OSError) as error:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            # Retry only the stale-socket symptoms (EOF/reset/errno) on a
+            # reused connection.  Timeouts (slow server) and deterministic
+            # protocol errors (oversized/malformed frames) would fail the
+            # same way again — re-sending only doubles the server's work.
+            stale = isinstance(error, (ConnectionClosedError, OSError)) and not isinstance(
+                error, FrameTimeoutError
+            )
+            if not reused or not stale:
+                if isinstance(error, ProtocolError):
+                    raise
+                raise ConnectionClosedError(
+                    f"connection to {self.endpoint} failed: {error}"
+                ) from error
+            conn = self._dial()
+            try:
+                response = self._exchange(conn, frame, timeout)
+            except (ProtocolError, OSError) as retry_error:
+                conn.close()
+                if isinstance(retry_error, ProtocolError):
+                    raise
+                raise ConnectionClosedError(
+                    f"connection to {self.endpoint} failed: {retry_error}"
+                ) from retry_error
+        if "error" in response:
+            self._checkin(conn)
+            raise decode_error(response["error"])
+        self._checkin(conn)
+        return response.get("ok", response)
+
+    def ping(self) -> dict:
+        """Topology/identity of the server (shard id, shard count, token)."""
+        return self.call({"op": OP_PING})
+
+
+class RemoteShardedClient:
+    """The `ExEAClient` facade spoken to a cluster of shard processes.
+
+    *endpoints* must be ordered by shard id — endpoint ``i`` serves shard
+    ``i`` of ``len(endpoints)``; construction pings every server and
+    refuses a miswired cluster (wrong shard id, wrong shard count, or a
+    protocol-version mismatch).  The client is thread-safe: concurrent
+    callers share the per-shard connection pools.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[str],
+        timeout: float = DEFAULT_TIMEOUT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        check_topology: bool = True,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("at least one shard endpoint is required")
+        self.endpoints = list(endpoints)
+        self.router = ShardRouter(len(self.endpoints))
+        self.shards = [
+            RemoteShardClient(endpoint, timeout=timeout, max_frame_bytes=max_frame_bytes)
+            for endpoint in self.endpoints
+        ]
+        if check_topology:
+            try:
+                self.check_topology()
+            except BaseException:
+                # A failed constructor returns no object to close() — drop
+                # the connections the successful pings pooled so a retry
+                # loop around construction cannot accumulate open sockets.
+                self.close()
+                raise
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def check_topology(self) -> list[dict]:
+        """Ping every shard and verify it is the shard it should be.
+
+        Checks protocol version, shard id/count, *and* identity: every
+        shard must report the same dataset, model and generation token —
+        shards started against different datasets (or divergent
+        snapshots) would otherwise connect cleanly and silently serve
+        mixed results.
+        """
+        descriptions = []
+        for expected_id, shard in enumerate(self.shards):
+            info = shard.ping()
+            if info.get("protocol") != PROTOCOL_VERSION:
+                raise RemoteTransportError(
+                    f"{shard.endpoint} speaks protocol {info.get('protocol')}, "
+                    f"this client speaks {PROTOCOL_VERSION}"
+                )
+            if info.get("shard_id") != expected_id or info.get("num_shards") != len(self.shards):
+                raise RemoteTransportError(
+                    f"{shard.endpoint} identifies as shard "
+                    f"{info.get('shard_id')}/{info.get('num_shards')}, expected "
+                    f"{expected_id}/{len(self.shards)} — cluster is miswired"
+                )
+            descriptions.append(info)
+        first = descriptions[0]
+        for info, shard in zip(descriptions[1:], self.shards[1:]):
+            for key in ("dataset", "model", "token"):
+                if info.get(key) != first.get(key):
+                    raise RemoteTransportError(
+                        f"{shard.endpoint} serves {key}={info.get(key)!r} but "
+                        f"{self.shards[0].endpoint} serves {first.get(key)!r} — "
+                        "cluster shards disagree on what they serve (miswired)"
+                    )
+        return descriptions
+
+    def shard_of(self, source: str, target: str) -> int:
+        """Which shard process serves this pair (same CRC-32 partition)."""
+        return self.router.shard_of(source, target)
+
+    def generation_tokens(self) -> list[tuple[int, ...]]:
+        """Every shard's current generation token (index = shard id)."""
+        return [tuple(shard.ping()["token"]) for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # Single-pair operations (the ExEAClient surface)
+    # ------------------------------------------------------------------
+    def _single(self, op: str, source: str, target: str, timeout, deadline_ms):
+        payload = {"op": op, "source": source, "target": target}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        shard = self.shards[self.router.shard_of(source, target)]
+        return decode_value(op, shard.call(payload, timeout=timeout))
+
+    def explain(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ):
+        """Remote ``explain`` — equal to the in-process explanation object."""
+        return self._single(OP_EXPLAIN, source, target, timeout, deadline_ms)
+
+    def confidence(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ) -> float:
+        """Remote repair-confidence — the exact in-process float."""
+        return self._single(OP_CONFIDENCE, source, target, timeout, deadline_ms)
+
+    def verify(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ) -> bool:
+        """Remote EA verification (confidence thresholded server-side)."""
+        return self._single(OP_VERIFY, source, target, timeout, deadline_ms)
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        shard_index: int,
+        items: list[tuple[str, str, str]],
+        timeout: float | None,
+    ) -> list:
+        """Send one shard's items in chunked ``batch`` frames; decode in order.
+
+        A per-item error is re-raised (the in-process facade raises on
+        ``future.result()`` the same way).
+        """
+        shard = self.shards[shard_index]
+        values: list = []
+        for start in range(0, len(items), BATCH_CHUNK_SIZE):
+            chunk = items[start : start + BATCH_CHUNK_SIZE]
+            response = shard.call(
+                {"op": OP_BATCH, "items": [list(item) for item in chunk]}, timeout=timeout
+            )
+            slots = response.get("results")
+            if not isinstance(slots, list) or len(slots) != len(chunk):
+                # zip() would silently truncate a short reply into None
+                # results; a mis-sized response is a protocol violation.
+                raise ProtocolError(
+                    f"shard server at {shard.endpoint} answered {len(chunk)} batch "
+                    f"items with {len(slots) if isinstance(slots, list) else 'no'} results"
+                )
+            for (kind, _, _), slot in zip(chunk, response["results"]):
+                if "error" in slot:
+                    raise decode_error(slot["error"])
+                values.append(decode_value(kind, slot["ok"]))
+        return values
+
+    def explain_many(
+        self, pairs: list[tuple[str, str]], timeout: float | None = None
+    ) -> dict[tuple[str, str], object]:
+        """Explain every distinct pair; one concurrent batch exchange per shard."""
+        unique = list(dict.fromkeys(pairs))
+        items = [(OP_EXPLAIN, source, target) for source, target in unique]
+        values = self._scatter(items, timeout)
+        return dict(zip(unique, values))
+
+    def replay(
+        self, workload: list[tuple[str, str, str]], timeout: float | None = None
+    ) -> list[object]:
+        """Run a scripted ``(kind, source, target)`` replay; results in order.
+
+        The workload is partitioned by shard and shipped as ``batch``
+        frames (one in-flight exchange per shard, concurrently), then the
+        per-shard results are stitched back into submission order.
+        Admission control still applies per shard — the server retries
+        overloaded submissions with the same backoff the in-process
+        replay uses client-side.
+        """
+        return self._scatter(list(workload), timeout)
+
+    def _scatter(self, items: list[tuple[str, str, str]], timeout: float | None) -> list:
+        """Partition items by shard, exchange concurrently, restore order."""
+        by_shard: dict[int, list[int]] = {}
+        for index, (_, source, target) in enumerate(items):
+            by_shard.setdefault(self.router.shard_of(source, target), []).append(index)
+        results: list = [None] * len(items)
+
+        def run_shard(shard_index: int, indices: list[int]) -> None:
+            values = self._run_batch(shard_index, [items[index] for index in indices], timeout)
+            for index, value in zip(indices, values):
+                results[index] = value
+
+        _fan_out(
+            [
+                lambda shard_index=shard_index, indices=indices: run_shard(shard_index, indices)
+                for shard_index, indices in by_shard.items()
+            ]
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Cluster-wide operations
+    # ------------------------------------------------------------------
+    def pairs(self) -> list[tuple[str, str]]:
+        """Sorted predicted pairs of the served model (from shard 0)."""
+        return [tuple(pair) for pair in self.shards[0].call({"op": OP_PAIRS})]
+
+    def invalidate(self) -> list[dict]:
+        """Fan a cache invalidation out to every shard process.
+
+        Returns one ``{"cleared", "token"}`` payload per shard.  This is
+        the remote analogue of a generation bump: after a client-visible
+        refit or KG mutation, call this so no shard keeps serving results
+        of the previous generation from its cache.
+        """
+        return [shard.call({"op": OP_INVALIDATE}) for shard in self.shards]
+
+    def stats_snapshot(self) -> dict:
+        """Overall + per-shard telemetry, merged from every shard's raw stats.
+
+        Matches the shape of
+        :meth:`ShardedExplanationService.stats_snapshot`: raw counters and
+        latency reservoirs are pulled from each process's ``stats``
+        endpoint and merged with :func:`~repro.service.stats.merge_raw`,
+        so the overall figures aggregate exactly as in-process shards do.
+        """
+        payloads = [shard.call({"op": OP_STATS}) for shard in self.shards]
+        return {
+            "num_shards": len(self.shards),
+            "overall": merge_raw(
+                (payload["counters"], payload["latencies"]) for payload in payloads
+            ),
+            "per_shard": [payload["snapshot"] for payload in payloads],
+        }
+
+    def shutdown_servers(self) -> None:
+        """Ask every shard process to exit (best effort)."""
+        for shard in self.shards:
+            try:
+                shard.call({"op": OP_SHUTDOWN}, timeout=5.0)
+            except RemoteTransportError:
+                pass  # already gone
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every shard's connection pool."""
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "RemoteShardedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay_remote_concurrently(
+    client: RemoteShardedClient,
+    workload: Iterable[tuple[str, str, str]],
+    num_clients: int,
+    timeout: float | None = 120.0,
+) -> float:
+    """Drive a scripted replay through *num_clients* concurrent threads.
+
+    The remote analogue of
+    :func:`~repro.service.service.replay_concurrently`: the workload is
+    split round-robin and each slice replays on its own thread through the
+    shared client (the connection pools grow to match the concurrency).
+    Returns the elapsed wall-clock seconds; thread failures re-raise.
+    """
+    slices = [part for part in shard_workload(list(workload), num_clients) if part]
+    start = time.perf_counter()
+    _fan_out([lambda part=part: client.replay(part, timeout=timeout) for part in slices])
+    return time.perf_counter() - start
+
+
+__all__ = [
+    "BATCH_CHUNK_SIZE",
+    "DEFAULT_TIMEOUT",
+    "RemoteShardClient",
+    "RemoteShardedClient",
+    "replay_remote_concurrently",
+]

@@ -1,0 +1,271 @@
+"""Spawn and manage a local cluster of per-shard server processes.
+
+:class:`LocalShardCluster` is the process-per-shard deployment in a box:
+it pickles the fitted model + dataset (plus the service/ExEA configs)
+into a *snapshot* file, spawns one ``python -m repro.service serve``
+subprocess per shard against that snapshot, waits for each server's
+``READY`` line to learn its ephemeral port, and hands back a connected
+:class:`~repro.service.transport.client.RemoteShardedClient`.
+
+The snapshot is what makes remote results bit-identical to in-process
+results: every shard process deserialises the *same* fitted embeddings
+and the *same* graphs, rather than refitting from a spec (training is
+seeded and deterministic, but shipping the exact bytes removes even that
+assumption).  Benchmarks, the experiment runner's ``transport="remote"``
+axis and the subprocess tests all go through this class; production
+deployments run the same ``serve`` subcommand under their own process
+supervisor instead (see ``docs/OPERATIONS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import select
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from ..config import ServiceConfig
+from ..errors import RemoteTransportError
+from .client import RemoteShardedClient
+
+#: Seconds each shard process gets to print its ``READY`` line.
+DEFAULT_STARTUP_TIMEOUT = 120.0
+
+
+def write_snapshot(path: str | Path, model, dataset, service_config=None, exea_config=None) -> Path:
+    """Pickle a serving snapshot (model, dataset, configs) to *path*.
+
+    ``python -m repro.service serve --snapshot PATH`` deserialises this
+    instead of loading a registry dataset and refitting, so a spawned
+    shard serves exactly the caller's model bytes.
+    """
+    path = Path(path)
+    payload = {
+        "model": model,
+        "dataset": dataset,
+        "service_config": service_config,
+        "exea_config": exea_config,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+    return path
+
+
+def read_snapshot(path: str | Path) -> dict:
+    """Load a serving snapshot written by :func:`write_snapshot`."""
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _subprocess_env() -> dict:
+    """Environment for shard subprocesses: ``src/`` prepended to PYTHONPATH."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else f"{src_dir}{os.pathsep}{existing}"
+    return env
+
+
+def _read_ready_line(process: subprocess.Popen, timeout: float) -> dict:
+    """Wait for the server's ``READY {json}`` stdout line; parse its payload."""
+    deadline = time.monotonic() + timeout
+    buffered = b""
+    stream = process.stdout
+    while True:
+        if process.poll() is not None:
+            raise RemoteTransportError(
+                f"shard server exited with code {process.returncode} before READY"
+            )
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RemoteTransportError(f"shard server produced no READY line in {timeout:.0f}s")
+        readable, _, _ = select.select([stream], [], [], min(remaining, 0.25))
+        if not readable:
+            continue
+        chunk = os.read(stream.fileno(), 4096)
+        if not chunk:
+            # EOF: select() now reports the pipe readable forever, so
+            # back off instead of busy-spinning while poll() catches the
+            # (normal-case) process exit — or the timeout fires for a
+            # wedged process that closed its stdout without exiting.
+            time.sleep(0.05)
+            continue
+        buffered += chunk
+        while b"\n" in buffered:
+            line, buffered = buffered.split(b"\n", 1)
+            text = line.decode("utf-8", "replace").strip()
+            if text.startswith("READY "):
+                return json.loads(text[len("READY "):])
+
+
+class ShardProcess:
+    """One spawned shard server subprocess and its resolved endpoint."""
+
+    def __init__(self, shard_id: int, process: subprocess.Popen, ready: dict) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.ready = ready
+        self.endpoint: str = ready["address"]
+
+    @property
+    def alive(self) -> bool:
+        """True while the subprocess is still running."""
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """Kill the subprocess immediately (SIGKILL; crash simulation)."""
+        if self.alive:
+            self.process.kill()
+        self.process.wait(timeout=30)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """Terminate the subprocess, escalating to kill on a hang."""
+        if self.alive:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+class LocalShardCluster:
+    """A process-per-shard serving cluster on this machine.
+
+    Use as a context manager::
+
+        with LocalShardCluster(model, dataset, num_shards=2) as cluster:
+            explanation = cluster.client.explain(source, target)
+
+    Every shard subprocess serves the pickled snapshot of *model* and
+    *dataset*; ``config.num_shards`` is overridden by *num_shards* (each
+    process hosts exactly one shard group).
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset,
+        num_shards: int,
+        service_config: ServiceConfig | None = None,
+        exea_config=None,
+        startup_timeout: float = DEFAULT_STARTUP_TIMEOUT,
+        client_timeout: float = 60.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.model = model
+        self.dataset = dataset
+        self.num_shards = num_shards
+        self.service_config = service_config or ServiceConfig()
+        self.exea_config = exea_config
+        self.startup_timeout = startup_timeout
+        self.client_timeout = client_timeout
+        self.processes: list[ShardProcess] = []
+        self.client: RemoteShardedClient | None = None
+        self._workdir: Path | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "LocalShardCluster":
+        """Write the snapshot, spawn every shard, connect the client."""
+        if self.client is not None:
+            return self
+        self._workdir = Path(tempfile.mkdtemp(prefix="repro-shard-cluster-"))
+        snapshot = write_snapshot(
+            self._workdir / "snapshot.pkl",
+            self.model,
+            self.dataset,
+            # Each process hosts exactly one shard group, so the config it
+            # serves under says so — a num_shards left at the cluster size
+            # would misdescribe the in-process topology to anything that
+            # reads it inside the shard.
+            service_config=replace(self.service_config, num_shards=1),
+            exea_config=self.exea_config,
+        )
+        env = _subprocess_env()
+        try:
+            # Spawn every shard first, then wait for the READY lines:
+            # the processes load their snapshots concurrently, so cluster
+            # startup costs ~one shard's startup rather than N of them.
+            spawned: list[subprocess.Popen] = []
+            for shard_id in range(self.num_shards):
+                spawned.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-m",
+                            "repro.service",
+                            "serve",
+                            "--snapshot",
+                            str(snapshot),
+                            "--shard-id",
+                            str(shard_id),
+                            "--num-shards",
+                            str(self.num_shards),
+                            "--listen",
+                            "127.0.0.1:0",
+                        ],
+                        stdout=subprocess.PIPE,
+                        env=env,
+                    )
+                )
+            for shard_id, process in enumerate(spawned):
+                ready = _read_ready_line(process, self.startup_timeout)
+                self.processes.append(ShardProcess(shard_id, process, ready))
+            self.client = RemoteShardedClient(
+                [shard.endpoint for shard in self.processes], timeout=self.client_timeout
+            )
+        except BaseException:
+            # Tear down whatever came up, including spawned processes that
+            # never reached ShardProcess bookkeeping.
+            tracked = {shard.process.pid for shard in self.processes}
+            for process in spawned:
+                if process.pid in tracked:
+                    continue
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=30)  # reap: no zombies from failed startups
+                if process.stdout is not None:
+                    process.stdout.close()
+            self.close()
+            raise
+        return self
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Kill one shard process outright (crash-behaviour tests)."""
+        self.processes[shard_id].kill()
+
+    def close(self) -> None:
+        """Shut the cluster down: client pools, subprocesses, snapshot dir."""
+        if self.client is not None:
+            try:
+                self.client.shutdown_servers()
+            except Exception:
+                pass
+            self.client.close()
+            self.client = None
+        for shard in self.processes:
+            shard.terminate()
+        self.processes = []
+        if self._workdir is not None:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+            self._workdir = None
+
+    def __enter__(self) -> "LocalShardCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,205 @@
+"""Wire protocol: operation names, value codec, and error mapping.
+
+Every request frame is ``{"op": <name>, ...}``; every response frame is
+either ``{"ok": <encoded value>, ...}`` or ``{"error": {"type": <name>,
+"message": <str>}}``.  The module owns the two halves that both ends must
+agree on:
+
+* **Value codec** — explain results are nested dataclasses
+  (:class:`~repro.core.explanation.Explanation` → ``MatchedPath`` →
+  ``RelationPath`` → ``Triple``); :func:`encode_value` flattens them into
+  plain JSON and :func:`decode_value` rebuilds *equal* objects, so a
+  remote explain compares ``==`` (bit-identical) to the in-process result.
+  Confidence values ride as JSON numbers (Python's JSON encoder emits
+  ``repr(float)``, which round-trips the exact double), verify as booleans.
+* **Error mapping** — the service's typed errors
+  (:class:`ServiceOverloadedError` backpressure,
+  :class:`DeadlineExceededError`, :class:`ServiceClosedError`) cross the
+  wire by class name and are re-raised client-side as the same type, so
+  remote callers keep the exact retry semantics of in-process callers.
+  Anything unmapped resurfaces as
+  :class:`~repro.service.errors.RemoteOperationError` with the original
+  type name preserved.
+"""
+
+from __future__ import annotations
+
+from ...core.explanation import Explanation, MatchedPath, RelationPath
+from ...kg import Triple
+from ..errors import (
+    DeadlineExceededError,
+    RemoteOperationError,
+    RemoteTransportError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from .framing import (
+    ConnectionClosedError,
+    FrameTimeoutError,
+    FrameTooLargeError,
+    ProtocolError,
+)
+
+#: Protocol revision; bumped on incompatible frame-schema changes.
+PROTOCOL_VERSION = 1
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+#: Single-pair service operations (mirror ``ExplanationService.submit`` kinds).
+OP_EXPLAIN = "explain"
+OP_CONFIDENCE = "confidence"
+OP_VERIFY = "verify"
+#: Multi-pair submission driving the server-side batcher in one exchange.
+OP_BATCH = "batch"
+#: Topology / liveness probe: shard id, shard count, generation token.
+OP_PING = "ping"
+#: Raw + derived telemetry (the ``--stats-json`` equivalent over the wire).
+OP_STATS = "stats"
+#: Sorted predicted pairs of the shard's model (workload construction).
+OP_PAIRS = "pairs"
+#: Drop the shard's result cache (generation fan-out from the client).
+OP_INVALIDATE = "invalidate"
+#: Ask the server process to exit after responding.
+OP_SHUTDOWN = "shutdown"
+
+#: Operation kinds a request/batch item may carry.
+REQUEST_KINDS = (OP_EXPLAIN, OP_CONFIDENCE, OP_VERIFY)
+
+# ----------------------------------------------------------------------
+# Error mapping
+# ----------------------------------------------------------------------
+#: Exception classes that cross the wire under their own name.
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        ServiceError,
+        ServiceOverloadedError,
+        ServiceClosedError,
+        DeadlineExceededError,
+        RemoteTransportError,
+        ProtocolError,
+        FrameTooLargeError,
+        FrameTimeoutError,
+        ConnectionClosedError,
+        ValueError,
+        KeyError,
+    )
+}
+
+
+def encode_error(error: BaseException) -> dict:
+    """Encode an exception into its wire form ``{"type", "message"}``."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def decode_error(payload: dict) -> Exception:
+    """Rebuild the client-side exception for a wire error payload.
+
+    Mapped types come back as themselves; anything else becomes a
+    :class:`RemoteOperationError` carrying the remote type name.
+    """
+    name = payload.get("type", "Exception")
+    message = payload.get("message", "")
+    mapped = _ERROR_TYPES.get(name)
+    if mapped is None:
+        return RemoteOperationError(name, message)
+    return mapped(message)
+
+
+# ----------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------
+def _encode_triple(triple: Triple) -> list[str]:
+    return [triple.head, triple.relation, triple.tail]
+
+
+def _decode_triple(fields: list) -> Triple:
+    return Triple(fields[0], fields[1], fields[2])
+
+
+def _encode_path(path: RelationPath) -> dict:
+    return {
+        "source": path.source,
+        "target": path.target,
+        "triples": [_encode_triple(triple) for triple in path.triples],
+    }
+
+
+def _decode_path(payload: dict) -> RelationPath:
+    return RelationPath(
+        source=payload["source"],
+        target=payload["target"],
+        triples=tuple(_decode_triple(fields) for fields in payload["triples"]),
+    )
+
+
+def encode_explanation(explanation: Explanation) -> dict:
+    """Flatten an :class:`Explanation` into plain JSON types.
+
+    Candidate sets are emitted sorted so the wire form is deterministic;
+    decoding rebuilds them as sets, so equality is order-independent.
+    """
+    return {
+        "source": explanation.source,
+        "target": explanation.target,
+        "matched_paths": [
+            {
+                "path1": _encode_path(match.path1),
+                "path2": _encode_path(match.path2),
+                "similarity": match.similarity,
+            }
+            for match in explanation.matched_paths
+        ],
+        "candidate_triples1": sorted(
+            _encode_triple(triple) for triple in explanation.candidate_triples1
+        ),
+        "candidate_triples2": sorted(
+            _encode_triple(triple) for triple in explanation.candidate_triples2
+        ),
+    }
+
+
+def decode_explanation(payload: dict) -> Explanation:
+    """Rebuild an :class:`Explanation` equal to the encoded original."""
+    return Explanation(
+        source=payload["source"],
+        target=payload["target"],
+        matched_paths=[
+            MatchedPath(
+                path1=_decode_path(match["path1"]),
+                path2=_decode_path(match["path2"]),
+                similarity=match["similarity"],
+            )
+            for match in payload["matched_paths"]
+        ],
+        candidate_triples1={
+            _decode_triple(fields) for fields in payload["candidate_triples1"]
+        },
+        candidate_triples2={
+            _decode_triple(fields) for fields in payload["candidate_triples2"]
+        },
+    )
+
+
+def encode_value(kind: str, value) -> object:
+    """Encode one operation result for the wire (kind-directed)."""
+    if kind == OP_EXPLAIN:
+        return encode_explanation(value)
+    if kind == OP_CONFIDENCE:
+        return float(value)
+    if kind == OP_VERIFY:
+        return bool(value)
+    raise ValueError(f"unknown result kind {kind!r}")
+
+
+def decode_value(kind: str, payload):
+    """Decode one operation result from its wire form (kind-directed)."""
+    if kind == OP_EXPLAIN:
+        return decode_explanation(payload)
+    if kind == OP_CONFIDENCE:
+        return float(payload)
+    if kind == OP_VERIFY:
+        return bool(payload)
+    raise ValueError(f"unknown result kind {kind!r}")

@@ -1,0 +1,392 @@
+"""The per-shard server process: one shard group behind a socket.
+
+:class:`ShardServer` hosts exactly one
+:class:`~repro.service.service.ExplanationService` — i.e. one shard group
+(dispatcher + worker pool + versioned cache) — and exposes it over a
+TCP or Unix stream socket using the length-prefixed JSON framing of
+:mod:`~repro.service.transport.framing`.  A cluster is therefore *N*
+independent server processes; the client routes pairs with the same
+CRC-32 :class:`~repro.service.sharding.ShardRouter` the in-process
+sharded service uses, which is what keeps remote results bit-identical to
+in-process sharded results at the same shard count.
+
+The server is intentionally thin: one thread per connection, one
+request/response frame exchange at a time per connection, all batching
+and caching delegated to the service underneath (a ``batch`` request
+submits every item before gathering, so concurrent clients and batch
+requests drive the dispatcher exactly like in-process callers do).
+Service errors (backpressure, deadlines, closed) cross the wire by type
+name and are re-raised client-side as the same class.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import socket
+import threading
+import time
+
+from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..service import ExplanationService
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from .protocol import (
+    OP_BATCH,
+    OP_INVALIDATE,
+    OP_PAIRS,
+    OP_PING,
+    OP_SHUTDOWN,
+    OP_STATS,
+    PROTOCOL_VERSION,
+    REQUEST_KINDS,
+    encode_error,
+    encode_value,
+)
+
+#: Backoff between server-side admission retries of one ``batch`` item.
+_BATCH_RETRY_SLEEP = 0.0005
+#: Cap on total admission retrying per ``batch`` item when the item
+#: carries no deadline — bounds the worst case instead of spinning forever
+#: against a queue that never drains.
+_BATCH_MAX_RETRY_SECONDS = 30.0
+
+
+def parse_listen_address(listen: str) -> tuple[int, object]:
+    """Parse ``host:port`` or ``unix:/path`` into ``(family, address)``."""
+    if listen.startswith("unix:"):
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ValueError("unix sockets are not supported on this platform")
+        return socket.AF_UNIX, listen[len("unix:"):]
+    host, _, port = listen.rpartition(":")
+    if not host or not port:
+        raise ValueError(f"listen address must be host:port or unix:/path, got {listen!r}")
+    return socket.AF_INET, (host, int(port))
+
+
+class ShardServer:
+    """Serve one shard group's :class:`ExplanationService` over a socket."""
+
+    def __init__(
+        self,
+        service: ExplanationService,
+        shard_id: int = 0,
+        num_shards: int = 1,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if not 0 <= shard_id < num_shards:
+            raise ValueError(f"shard_id {shard_id} out of range for {num_shards} shard(s)")
+        self.service = service
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.max_frame_bytes = max_frame_bytes
+        self._listener: socket.socket | None = None
+        self._address: str | None = None
+        self._unix_path: str | None = None
+        self._stop = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound listen address (``host:port`` / ``unix:path``)."""
+        if self._address is None:
+            raise RuntimeError("the server is not bound; call bind() first")
+        return self._address
+
+    def bind(self, listen: str) -> str:
+        """Bind the listening socket; returns the resolved address.
+
+        ``host:0`` binds an ephemeral TCP port; the returned address (and
+        the CLI's ``READY`` line) carries the actual port.
+        """
+        family, address = parse_listen_address(listen)
+        if family != socket.AF_INET:
+            # A previous server (stopped or crashed) leaves its socket
+            # node on the filesystem; binding over it would fail with
+            # EADDRINUSE, so restarts clear the stale path — but ONLY a
+            # stale one: unlinking a node a live server still answers on
+            # would silently hijack its address and split the cluster.
+            self._remove_stale_unix_socket(address)
+        listener = socket.socket(family, socket.SOCK_STREAM)
+        if family == socket.AF_INET:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(address)
+        listener.listen(128)
+        self._listener = listener
+        if family == socket.AF_INET:
+            host, port = listener.getsockname()[:2]
+            self._address = f"{host}:{port}"
+        else:
+            self._unix_path = address
+            self._address = f"unix:{address}"
+        return self._address
+
+    @staticmethod
+    def _remove_stale_unix_socket(address: str) -> None:
+        """Unlink a unix-socket path only if no live server answers on it.
+
+        Raises:
+            OSError: (``EADDRINUSE``) a server accepted the probe
+                connection — the address is genuinely in use.
+        """
+        if not os.path.exists(address):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(1.0)
+            probe.connect(address)
+        except (ConnectionRefusedError, FileNotFoundError):
+            try:
+                os.unlink(address)  # stale node from a dead server
+            except OSError:
+                pass  # bind() will report the real problem
+        else:
+            # Connected (a timeout would also mean *something* is bound —
+            # it propagates and fails the bind rather than hijacking it).
+            raise OSError(
+                errno.EADDRINUSE,
+                f"a live server is already accepting on unix:{address}",
+            )
+        finally:
+            probe.close()
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` (one thread per connection).
+
+        The accept loop polls with a short timeout rather than blocking
+        indefinitely: on Linux, closing a listening socket does *not* wake
+        a thread blocked in ``accept()``, so an indefinitely-blocking loop
+        would survive :meth:`stop` until the next incoming connection.
+        """
+        if self._listener is None:
+            raise RuntimeError("the server is not bound; call bind() first")
+        try:
+            self._listener.settimeout(0.25)
+        except OSError:
+            return  # stop() closed the listener before the loop began
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue  # re-check the stop flag
+            except OSError:
+                break  # listener closed by stop()
+            conn.settimeout(None)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def start_in_thread(self) -> "ShardServer":
+        """Run :meth:`serve_forever` on a daemon thread (tests, embedding)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-shard-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and tear down live connections (idempotent)."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+            self._unix_path = None
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """One request/response loop; the connection closes on any protocol error."""
+        with self._conn_lock:
+            self._connections.add(conn)
+        try:
+            with conn:
+                if conn.family == socket.AF_INET:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while not self._stop.is_set():
+                    try:
+                        request = recv_frame(conn, self.max_frame_bytes)
+                    except ProtocolError as error:
+                        # The stream is poisoned (e.g. an oversized frame's
+                        # body was never read) — report, then hang up.
+                        self._try_send(conn, {"error": encode_error(error)})
+                        return
+                    if request is None:
+                        return  # clean disconnect
+                    response = self._dispatch(request)
+                    if not self._try_send(conn, response):
+                        return
+                    if request.get("op") == OP_SHUTDOWN:
+                        self.stop()
+                        return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    def _try_send(self, conn: socket.socket, payload: dict) -> bool:
+        """Best-effort frame send; False when the connection is gone.
+
+        A response too large for the frame bound is reported to the
+        client as an error frame (which is small) rather than silently
+        dropping the connection — the client then raises
+        :class:`FrameTooLargeError` instead of a misleading
+        connection-closed error, and the connection stays usable.
+        """
+        try:
+            send_frame(conn, payload, self.max_frame_bytes)
+            return True
+        except FrameTooLargeError as error:
+            try:
+                send_frame(conn, {"error": encode_error(error)}, self.max_frame_bytes)
+                return True
+            except ProtocolError:
+                return False
+        except ProtocolError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: dict) -> dict:
+        """Map one request frame to its response frame (never raises)."""
+        try:
+            op = request.get("op")
+            if op == OP_PING:
+                return {"ok": self._describe()}
+            if op in REQUEST_KINDS:
+                return self._handle_single(op, request)
+            if op == OP_BATCH:
+                return self._handle_batch(request)
+            if op == OP_STATS:
+                return {"ok": self._stats_payload()}
+            if op == OP_PAIRS:
+                pairs = sorted(self.service.model.predict().pairs)
+                return {"ok": [[source, target] for source, target in pairs]}
+            if op == OP_INVALIDATE:
+                return {"ok": self._handle_invalidate()}
+            if op == OP_SHUTDOWN:
+                return {"ok": True}
+            raise ValueError(f"unknown operation {op!r}")
+        except BaseException as error:  # noqa: BLE001 - every failure crosses as an error frame
+            return {"error": encode_error(error)}
+
+    def _describe(self) -> dict:
+        """Topology/identity payload of the ``ping`` operation.
+
+        Carries the dataset/model names and the generation token so the
+        client can refuse a cluster whose shards serve different data —
+        matching shard ids alone would not catch two processes started
+        against different datasets or snapshots.
+        """
+        return {
+            "shard_id": self.shard_id,
+            "num_shards": self.num_shards,
+            "protocol": PROTOCOL_VERSION,
+            "dataset": self.service.dataset.name,
+            "model": self.service.model.name,
+            "token": list(self.service.generation_token()),
+            "pid": os.getpid(),
+        }
+
+    def _handle_single(self, kind: str, request: dict) -> dict:
+        """One submit-and-wait operation (explain / confidence / verify)."""
+        future = self.service.submit(
+            kind, request["source"], request["target"], request.get("deadline_ms")
+        )
+        return {"ok": encode_value(kind, future.result())}
+
+    def _handle_batch(self, request: dict) -> dict:
+        """Submit every item before gathering — the remote batching driver.
+
+        Admission control is honoured *per item*: an overloaded queue is
+        retried with a short backoff (mirroring the client-side retry the
+        in-process replay performs), while any other failure — including a
+        lapsed deadline — is reported in that item's slot so one poisonous
+        item cannot fail the whole exchange.
+        """
+        items = request["items"]
+        deadline_ms = request.get("deadline_ms")
+        slots: list[dict | None] = [None] * len(items)
+        futures: list[tuple[int, str, object]] = []
+        retry_window = (
+            deadline_ms / 1000.0 if deadline_ms is not None else _BATCH_MAX_RETRY_SECONDS
+        )
+        for index, (kind, source, target) in enumerate(items):
+            retry_until = time.monotonic() + retry_window
+            while True:
+                try:
+                    futures.append(
+                        (index, kind, self.service.submit(kind, source, target, deadline_ms))
+                    )
+                    break
+                except ServiceOverloadedError as error:
+                    # Retry is bounded: give up when the item's deadline
+                    # (or the no-deadline cap) lapses, and bail out on
+                    # server shutdown rather than spinning forever
+                    # against a queue that never drains.
+                    if self._stop.is_set() or time.monotonic() >= retry_until:
+                        slots[index] = {"error": encode_error(error)}
+                        break
+                    time.sleep(_BATCH_RETRY_SLEEP)
+                except (ServiceClosedError, ValueError) as error:
+                    slots[index] = {"error": encode_error(error)}
+                    break
+        for index, kind, future in futures:
+            try:
+                slots[index] = {"ok": encode_value(kind, future.result())}
+            except BaseException as error:  # noqa: BLE001 - per-item isolation
+                slots[index] = {"error": encode_error(error)}
+        return {"results": slots}
+
+    def _stats_payload(self) -> dict:
+        """Raw + derived telemetry — the ``--stats-json`` equivalent."""
+        counters, latencies = self.service.stats.raw()
+        return {
+            "counters": counters,
+            "latencies": latencies,
+            "snapshot": self.service.stats.snapshot(),
+            "token": list(self.service.generation_token()),
+        }
+
+    def _handle_invalidate(self) -> dict:
+        """Drop this shard's result cache (client-driven generation fan-out).
+
+        Counted under ``cache_invalidations`` exactly like a token-driven
+        wholesale drop (and, like it, only when entries actually existed),
+        so remote invalidations stay visible in the telemetry.
+        """
+        cleared = len(self.service.cache)
+        self.service.cache.clear()
+        if cleared:
+            self.service.stats.record_invalidation()
+        return {"cleared": cleared, "token": list(self.service.generation_token())}

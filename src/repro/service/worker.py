@@ -51,6 +51,7 @@ class WorkerPool:
         self._threads: list[threading.Thread] = []
 
     def start(self) -> None:
+        """Start every worker thread and mark it idle (idempotent)."""
         if self._threads:
             return
         for worker_id in range(self.num_workers):
@@ -101,6 +102,7 @@ class WorkerPool:
 
     @property
     def alive(self) -> bool:
+        """True while any worker thread is still running."""
         return any(thread.is_alive() for thread in self._threads)
 
 
@@ -114,6 +116,7 @@ class MicroBatchWorkerPool:
         self._threads: list[threading.Thread] = []
 
     def start(self) -> None:
+        """Start every worker's batcher loop (idempotent)."""
         if self._threads:
             return
         for worker_id in range(self.num_workers):
@@ -143,4 +146,5 @@ class MicroBatchWorkerPool:
 
     @property
     def alive(self) -> bool:
+        """True while any worker thread is still running."""
         return any(thread.is_alive() for thread in self._threads)

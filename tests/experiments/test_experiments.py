@@ -118,7 +118,25 @@ class TestRunners:
         assert row.requests_per_second > 0
         # Zipf replay repeats hot pairs, so the cache must see real hits.
         assert row.cache_hit_rate > 0.0
+        assert row.transport == "local"
         assert "Hit rate" in format_service_rows([row], title="svc")
+
+    def test_service_experiment_remote_transport(self, model, dataset, scale):
+        """The transport axis: same runner, real shard subprocesses."""
+        row = run_service_experiment(
+            model, dataset, scale, num_requests=120, num_clients=2,
+            num_shards=2, transport="remote",
+        )
+        assert row.transport == "remote"
+        assert row.num_shards == 2
+        assert row.num_requests == 120
+        assert row.requests_per_second > 0
+        table = format_service_rows([row], title="svc")
+        assert "Transport" in table and "remote" in table
+
+    def test_service_experiment_rejects_unknown_transport(self, model, dataset, scale):
+        with pytest.raises(ValueError):
+            run_service_experiment(model, dataset, scale, transport="carrier-pigeon")
 
 
 class TestTables:

@@ -1,0 +1,68 @@
+"""The docs tree must exist, be linked from README, and have no broken links.
+
+Runs the same offline link checker CI's ``docs`` job runs
+(``tools/check_links.py``) over README.md and every page under docs/, so
+a broken relative link or anchor fails tier-1 locally, not just in CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _doc_paths():
+    return [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+
+def test_docs_tree_exists():
+    names = {path.name for path in _doc_paths()}
+    assert {"README.md", "ARCHITECTURE.md", "OPERATIONS.md", "BENCHMARKS.md"} <= names
+
+
+def test_readme_links_every_docs_page():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/ARCHITECTURE.md", "docs/OPERATIONS.md", "docs/BENCHMARKS.md"):
+        assert page in readme, f"README.md does not link {page}"
+
+
+def test_no_broken_relative_links():
+    checker = _load_checker()
+    problems = checker.check_files(_doc_paths())
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_catches_broken_link(tmp_path):
+    """The checker itself must actually detect a broken target."""
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](nope.md) and [anchor](#nowhere)\n", encoding="utf-8")
+    problems = checker.check_file(page)
+    assert len(problems) == 2
+
+
+def test_checker_compares_raw_fragments_like_github(tmp_path):
+    """'#v1.0-release' must NOT match the 'v10-release' anchor of
+    '## v1.0 release' — GitHub compares raw fragments against slugs."""
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "## v1.0 release\n\nbad [in-page](#v1.0-release), good [in-page](#v10-release),\n"
+        "bad [cross](other.md#v1.0-release), good [cross](other.md#v10-release)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "other.md").write_text("## v1.0 release\n", encoding="utf-8")
+    problems = checker.check_file(page)
+    assert len(problems) == 2
+    assert all("v1.0-release" in problem for problem in problems)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Check relative markdown links for broken targets.
+
+Scans ``[text](target)`` links in the given markdown files; a *relative*
+target must resolve to an existing file or directory (relative to the
+file containing the link), and a ``#fragment`` on a markdown target must
+match a heading in the target file (GitHub-style slugs).  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors of other sites are
+not fetched — the check is fully offline and deterministic.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link).  CI runs this as the ``docs`` job; ``tests/test_docs_links.py``
+runs the same check under pytest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target). Images ![alt](target) match too
+#: via the optional leading "!" being outside the capture.
+_LINK = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+#: ATX headings, used to validate #fragment anchors.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+#: Fenced code blocks are stripped before link extraction.
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, dashes, punctuation dropped)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    """Every heading anchor a markdown document exposes."""
+    return {github_slug(match.group(1)) for match in _HEADING.finditer(markdown)}
+
+
+def iter_links(markdown: str):
+    """Yield every inline link target outside fenced code blocks."""
+    for match in _LINK.finditer(_FENCE.sub("", markdown)):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one problem string per broken relative link in *path*."""
+    problems: list[str] = []
+    markdown = path.read_text(encoding="utf-8")
+    for target in iter_links(markdown):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:, ...
+            continue
+        target_path, _, fragment = target.partition("#")
+        if not target_path:  # pure in-page anchor
+            # Compare the raw lowercased fragment (as a browser would),
+            # NOT its re-slugged form: slugging the fragment would make
+            # "#v1.0-release" match the "v10-release" anchor and hide a
+            # link that 404s on GitHub.
+            if fragment and fragment.lower() not in heading_slugs(markdown):
+                problems.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target}")
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if fragment.lower() not in slugs:
+                problems.append(f"{path}: broken anchor {target}")
+    return problems
+
+
+def check_files(paths: list[Path]) -> list[str]:
+    """Check every file; returns the concatenated problem list."""
+    problems: list[str] = []
+    for path in paths:
+        problems.extend(check_file(path))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: check the given files, print problems, exit 0/1."""
+    arguments = sys.argv[1:] if argv is None else argv
+    if not arguments:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    paths = [Path(argument) for argument in arguments]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    problems = check_files(paths)
+    for problem in problems:
+        print(problem)
+    if problems:
+        return 1
+    print(f"{len(paths)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
