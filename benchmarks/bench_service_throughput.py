@@ -21,9 +21,17 @@ Two measurements, both on the ZH-EN second-order workload:
   must be bit-identical across transports; the recorded row carries the
   cold/warm remote throughput next to the in-process figures so the wire
   overhead stays visible over time.
+* ``test_service_cluster_failover`` — the PR-5 control-plane row: the
+  replay served by a replicated cluster (2 shards x 2 replica
+  subprocesses, health-checked, load-aware routing), then repeated while
+  one replica is SIGKILLed mid-flight.  The killed replay must complete
+  with zero failed requests and bit-identical results; the row records
+  the replicated-read throughput, the killed-replay throughput, and the
+  time the failure detector took to take the dead replica out of the
+  routing table.
 
 Results are written to ``BENCH_service.json`` next to this file (keys
-``ZH-EN``, ``ZH-EN-mixed`` and ``ZH-EN-remote``).
+``ZH-EN``, ``ZH-EN-mixed``, ``ZH-EN-remote`` and ``ZH-EN-cluster``).
 
 Run directly (``python bench_service_throughput.py [--quick]``) or via
 pytest.  ``--quick`` is the CI smoke mode: tiny workloads, no numeric
@@ -48,6 +56,7 @@ from repro.service import (
     ServiceConfig,
     ShardedExEAClient,
     ShardedExplanationService,
+    replay_cluster_concurrently,
     replay_concurrently,
     replay_remote_concurrently,
 )
@@ -348,6 +357,150 @@ def test_service_remote_vs_inprocess(benchmark, dataset_cache, model_cache, benc
     # overhead so its trajectory is tracked, but localhost TCP timings are
     # too machine-dependent to assert on.
     assert row["remote_cold_rps"] > 0 and row["remote_warm_rps"] > 0
+
+
+def test_service_cluster_failover(benchmark, dataset_cache, model_cache, bench_scale, quick):
+    """Replicated cluster: read throughput + zero-failure recovery from a kill."""
+    import threading
+
+    from repro.datasets import shard_workload
+    from repro.service import ReplicatedLocalCluster, ShardedExEAClient
+
+    dataset = dataset_cache("ZH-EN")
+    model = model_cache("Dual-AMN", "ZH-EN")
+    pairs = sample_correct_pairs(
+        model, dataset, bench_scale.explanation_sample, seed=bench_scale.seed
+    )
+    num_requests = 200 if quick else NUM_REQUESTS
+    num_shards, num_replicas = 2, 2
+    workload = replay_workload(
+        pairs, num_requests, seed=bench_scale.seed, skew=SKEW, kinds=(EXPLAIN, CONFIDENCE)
+    )
+    unique_pairs = sorted({(source, target) for _, source, target in workload})
+    exea_config = ExEAConfig(explanation=ExplanationConfig(max_hops=MAX_HOPS))
+    config = ServiceConfig(
+        max_batch_size=32, max_wait_ms=2.0, num_workers=2, num_shards=num_shards
+    )
+
+    def measure():
+        # In-process sharded reference results (the bit-identical oracle).
+        local = ShardedExplanationService(model, dataset, config, exea_config=exea_config)
+        with local:
+            client = ShardedExEAClient(local)
+            local_explains = {pair: client.explain(*pair) for pair in unique_pairs}
+            local_confidences = {pair: client.confidence(*pair) for pair in unique_pairs}
+
+        with ReplicatedLocalCluster(
+            model,
+            dataset,
+            num_shards=num_shards,
+            num_replicas=num_replicas,
+            service_config=config,
+            exea_config=exea_config,
+            probe_interval=0.1,
+        ) as cluster:
+            cluster_client = cluster.client
+            # Replicated-read throughput, cold and warm (each replica keeps
+            # its own cache, so "warm" warms whichever replicas serve).
+            cold_seconds = replay_cluster_concurrently(cluster_client, workload, NUM_CLIENTS)
+            warm_seconds = replay_cluster_concurrently(cluster_client, workload, NUM_CLIENTS)
+
+            # Kill one replica mid-replay; the replay must finish with every
+            # result (failover) and the detector must evict the dead replica.
+            slices = [part for part in shard_workload(workload, NUM_CLIENTS) if part]
+            results: list = [None] * len(slices)
+            failures: list = []
+
+            def run(index: int, part) -> None:
+                try:
+                    results[index] = cluster_client.replay(part, timeout=120)
+                except BaseException as error:  # noqa: BLE001 - recorded below
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=run, args=(index, part), daemon=True)
+                for index, part in enumerate(slices)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            # Kill only once traffic is actually in flight — otherwise the
+            # row would measure a replay against an already-dead replica
+            # instead of a mid-replay SIGKILL with data-path failover.
+            routed_deadline = time.monotonic() + 30
+            while time.monotonic() < routed_deadline:
+                snapshot = cluster_client.routing_snapshot()
+                if any(row["routed"] or row["inflight"] for row in snapshot["replicas"]):
+                    break
+                time.sleep(0.002)
+            kill_time = time.perf_counter()
+            cluster.kill_replica(0, 0)
+            detected_seconds = None
+            detect_deadline = time.monotonic() + 30
+            while time.monotonic() < detect_deadline:
+                if not cluster.manager.table().replicas(0)[0].healthy:
+                    detected_seconds = time.perf_counter() - kill_time
+                    break
+                time.sleep(0.005)
+            for thread in threads:
+                thread.join(timeout=300)
+            killed_seconds = time.perf_counter() - start
+            assert not failures, failures  # zero failed requests
+            assert all(value is not None for value in results)
+
+            cluster_explains = cluster_client.explain_many(unique_pairs)
+            cluster_confidences = {
+                pair: cluster_client.confidence(*pair) for pair in unique_pairs
+            }
+
+        matching = sum(
+            1
+            for pair in unique_pairs
+            if cluster_explains[pair] == local_explains[pair]
+            and cluster_confidences[pair] == local_confidences[pair]
+        )
+        return {
+            "workload": "ZH-EN-cluster",
+            "max_hops": MAX_HOPS,
+            "model": model.name,
+            "kinds": [EXPLAIN, CONFIDENCE],
+            "num_requests": len(workload),
+            "num_unique_pairs": len(unique_pairs),
+            "num_clients": NUM_CLIENTS,
+            "num_shards": num_shards,
+            "num_replicas": num_replicas,
+            "skew": SKEW,
+            "cold_seconds": cold_seconds,
+            "cold_rps": len(workload) / cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_rps": len(workload) / warm_seconds,
+            "killed_replay_seconds": killed_seconds,
+            "killed_replay_rps": len(workload) / killed_seconds,
+            "failed_requests_during_kill": len(failures),
+            "detector_seconds": detected_seconds,
+            "pairs_with_identical_results": matching,
+        }
+
+    row = run_once(benchmark, measure)
+    print()
+    print(
+        f"[service-cluster] cold {row['cold_rps']:.0f} req/s / warm {row['warm_rps']:.0f} req/s "
+        f"({row['num_shards']} shards x {row['num_replicas']} replicas); "
+        f"replica killed mid-replay: {row['killed_replay_rps']:.0f} req/s, "
+        f"{row['failed_requests_during_kill']} failed, detector "
+        f"{row['detector_seconds'] if row['detector_seconds'] is None else round(row['detector_seconds'], 3)}s "
+        f"({row['pairs_with_identical_results']}/{row['num_unique_pairs']} identical)"
+    )
+
+    # Hard invariants at any speed: failover must lose nothing and change
+    # no result bit.
+    assert row["failed_requests_during_kill"] == 0
+    assert row["pairs_with_identical_results"] == row["num_unique_pairs"]
+    if quick:
+        return  # smoke mode: no numeric assertions, no artifact writes
+    _write_row(row["workload"], row)
+    assert row["detector_seconds"] is not None and row["detector_seconds"] < 30
+    assert row["cold_rps"] > 0 and row["warm_rps"] > 0 and row["killed_replay_rps"] > 0
 
 
 if __name__ == "__main__":

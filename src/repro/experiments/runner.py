@@ -34,8 +34,10 @@ from ..metrics import (
 from ..models import EAModel, make_model
 from ..service import (
     LocalShardCluster,
+    ReplicatedLocalCluster,
     ServiceConfig,
     ShardedExplanationService,
+    replay_cluster_concurrently,
     replay_concurrently,
     replay_remote_concurrently,
 )
@@ -108,6 +110,7 @@ class ServiceRow:
     p95_ms: float
     num_shards: int = 1
     transport: str = "local"
+    num_replicas: int = 1
 
 
 # ----------------------------------------------------------------------
@@ -291,6 +294,7 @@ def run_service_experiment(
     service_config=None,
     num_shards: int | None = None,
     transport: str = "local",
+    num_replicas: int = 2,
 ) -> ServiceRow:
     """Replay skewed explain traffic through the (sharded) explanation service.
 
@@ -308,12 +312,17 @@ def run_service_experiment(
     in-process :class:`ShardedExplanationService`; ``"remote"`` spawns
     one real server subprocess per shard
     (:class:`~repro.service.LocalShardCluster`, fed a pickled snapshot of
-    this exact model) and replays over the wire — same workload, same
-    routing, bit-identical results, so the two rows isolate the transport
-    cost.
+    this exact model) and replays over the wire; ``"cluster"`` spawns
+    *num_replicas* server subprocesses per shard behind the health-checked
+    control plane (:class:`~repro.service.ReplicatedLocalCluster`) and
+    replays with load-aware replica routing — same workload, same
+    CRC-32 partition, bit-identical results, so the rows isolate the
+    transport and replication costs.
     """
-    if transport not in ("local", "remote"):
-        raise ValueError(f'transport must be "local" or "remote", got {transport!r}')
+    if transport not in ("local", "remote", "cluster"):
+        raise ValueError(
+            f'transport must be "local", "remote" or "cluster", got {transport!r}'
+        )
     pairs = sample_correct_pairs(model, dataset, scale.explanation_sample, seed=scale.seed)
     if num_requests is None:
         num_requests = 10 * len(pairs)
@@ -323,7 +332,17 @@ def run_service_experiment(
     if num_shards is not None and num_shards != config.num_shards:
         config = replace(config, num_shards=num_shards)
 
-    if transport == "remote":
+    if transport == "cluster":
+        with ReplicatedLocalCluster(
+            model,
+            dataset,
+            num_shards=config.num_shards,
+            num_replicas=num_replicas,
+            service_config=config,
+        ) as cluster:
+            seconds = replay_cluster_concurrently(cluster.client, workload, num_clients)
+            stats = cluster.client.stats_snapshot()["overall"]
+    elif transport == "remote":
         with LocalShardCluster(
             model, dataset, num_shards=config.num_shards, service_config=config
         ) as cluster:
@@ -346,6 +365,7 @@ def run_service_experiment(
         p95_ms=stats["p95_ms"],
         num_shards=config.num_shards,
         transport=transport,
+        num_replicas=num_replicas if transport == "cluster" else 1,
     )
 
 

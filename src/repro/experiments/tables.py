@@ -86,7 +86,7 @@ def format_verification_rows(rows: list[VerificationRow], title: str = "") -> st
 def format_service_rows(rows: list[ServiceRow], title: str = "") -> str:
     """Serving-throughput table (service-backed runner path)."""
     return format_table(
-        ["Dataset", "Model", "Requests", "Clients", "Shards", "Transport", "req/s", "Hit rate", "Batch occ.", "p50 ms", "p95 ms"],
+        ["Dataset", "Model", "Requests", "Clients", "Shards", "Replicas", "Transport", "req/s", "Hit rate", "Batch occ.", "p50 ms", "p95 ms"],
         [
             (
                 r.dataset,
@@ -94,6 +94,7 @@ def format_service_rows(rows: list[ServiceRow], title: str = "") -> str:
                 r.num_requests,
                 r.num_clients,
                 r.num_shards,
+                r.num_replicas,
                 r.transport,
                 f"{r.requests_per_second:.0f}",
                 _fmt(r.cache_hit_rate),

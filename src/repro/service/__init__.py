@@ -29,15 +29,35 @@ ROADMAP.md, "Service architecture").  The pieces compose bottom-up:
   :class:`RemoteShardedClient` speaks the same client facade to a
   cluster of them over length-prefixed JSON frames
   (:class:`LocalShardCluster` spawns such a cluster locally).
+* :mod:`~repro.service.cluster` — the control plane over that transport:
+  a declarative :class:`ClusterTopology` (shard → replica endpoints +
+  weights), :class:`ClusterManager` health checking with a
+  consecutive-miss failure detector publishing a versioned routing
+  table, and :class:`ClusterClient` routing reads to healthy replicas by
+  load score with idempotent failover retry
+  (:class:`ReplicatedLocalCluster` spawns R replicas per shard locally).
 
 ``python -m repro.service`` serves a scripted traffic replay against a
 registry dataset end to end (``--shards N`` fans the pipeline out);
-``python -m repro.service serve`` / ``connect`` run the remote transport
-(see ``docs/OPERATIONS.md``).
+``python -m repro.service serve`` / ``connect`` / ``cluster`` run the
+remote transport and the replicated control plane (see
+``docs/OPERATIONS.md``).
 """
 
 from .batching import MicroBatcher, RequestQueue, ServiceRequest
 from .cache import ResultCache
+from .cluster import (
+    ClusterClient,
+    ClusterManager,
+    ClusterTopology,
+    ReplicaSpec,
+    ReplicatedLocalCluster,
+    RoutingTable,
+    TopologyError,
+    load_topology,
+    parse_topology,
+    replay_cluster_concurrently,
+)
 from .config import ServiceConfig
 from .dispatch import Dispatcher
 from .errors import (
@@ -57,7 +77,7 @@ from .service import (
     replay_concurrently,
 )
 from .sharding import ShardedExEAClient, ShardedExplanationService, ShardRouter
-from .stats import ServiceStats, merge_raw, merge_stats
+from .stats import ServiceStats, imbalance_summary, merge_raw, merge_stats
 from .transport import (
     LocalShardCluster,
     RemoteShardClient,
@@ -69,6 +89,9 @@ from .worker import MicroBatchWorkerPool, WorkerPool
 
 __all__ = [
     "CONFIDENCE",
+    "ClusterClient",
+    "ClusterManager",
+    "ClusterTopology",
     "DeadlineExceededError",
     "Dispatcher",
     "EXPLAIN",
@@ -81,8 +104,11 @@ __all__ = [
     "RemoteShardClient",
     "RemoteShardedClient",
     "RemoteTransportError",
+    "ReplicaSpec",
+    "ReplicatedLocalCluster",
     "RequestQueue",
     "ResultCache",
+    "RoutingTable",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
@@ -93,10 +119,15 @@ __all__ = [
     "ShardServer",
     "ShardedExEAClient",
     "ShardedExplanationService",
+    "TopologyError",
     "VERIFY",
     "WorkerPool",
+    "imbalance_summary",
+    "load_topology",
     "merge_raw",
     "merge_stats",
+    "parse_topology",
+    "replay_cluster_concurrently",
     "replay_concurrently",
     "replay_remote_concurrently",
 ]

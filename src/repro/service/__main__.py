@@ -1,6 +1,6 @@
 """CLI of the service stack: in-process replay, shard serving, remote replay.
 
-Three subcommands (see ``docs/OPERATIONS.md`` for the full reference):
+Four subcommands (see ``docs/OPERATIONS.md`` for the full reference):
 
 * ``replay`` (the default when no subcommand is given, preserving the
   historic invocation) — load a registry dataset, fit a model, serve a
@@ -25,7 +25,15 @@ Three subcommands (see ``docs/OPERATIONS.md`` for the full reference):
       PYTHONPATH=src python -m repro.service connect \\
           --endpoints 127.0.0.1:7401,127.0.0.1:7402 --requests 400 --clients 8
 
-All three print a JSON report; ``--stats-json PATH`` additionally dumps
+* ``cluster`` — replay scripted traffic against a **replicated** cluster
+  described by a declarative topology file (JSON/TOML; shard → ordered
+  replica endpoints + weights), with health-checked failover and
+  load-aware routing::
+
+      PYTHONPATH=src python -m repro.service cluster \\
+          --topology cluster.json --requests 400 --clients 8
+
+All of them print a JSON report; ``--stats-json PATH`` additionally dumps
 the raw :class:`~repro.service.stats.ServiceStats` snapshot (overall +
 per-shard rows) for machine consumption.  Replays are deterministic
 (seeded Zipf traffic over the model's predicted pairs) and results are
@@ -40,6 +48,12 @@ import sys
 
 from ..datasets import load_benchmark, replay_workload
 from ..models import TrainingConfig, make_model
+from .cluster import (
+    ClusterClient,
+    ClusterManager,
+    load_topology,
+    replay_cluster_concurrently,
+)
 from .config import ServiceConfig
 from .service import CONFIDENCE, EXPLAIN, VERIFY, replay_concurrently
 from .sharding import ShardedExplanationService
@@ -51,7 +65,7 @@ from .transport import (
     replay_remote_concurrently,
 )
 
-SUBCOMMANDS = ("replay", "serve", "connect")
+SUBCOMMANDS = ("replay", "serve", "connect", "cluster")
 
 
 # ----------------------------------------------------------------------
@@ -159,8 +173,9 @@ def build_replay_parser() -> argparse.ArgumentParser:
         epilog=(
             "other subcommands: `serve` hosts one shard group behind a TCP/Unix socket "
             "(one process per shard); `connect` replays traffic against running shard "
-            "servers. Run `python -m repro.service serve --help` / `connect --help`, "
-            "or see docs/OPERATIONS.md."
+            "servers; `cluster` replays against a replicated topology with failover. "
+            "Run `python -m repro.service serve --help` / `connect --help` / "
+            "`cluster --help`, or see docs/OPERATIONS.md."
         ),
     )
     _add_model_arguments(parser)
@@ -364,8 +379,83 @@ def connect_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# cluster — replicated replay through the control plane
+# ----------------------------------------------------------------------
+def build_cluster_parser() -> argparse.ArgumentParser:
+    """Parser of the ``cluster`` subcommand (replicated remote replay)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service cluster",
+        description=(
+            "Replay scripted traffic against a replicated shard cluster described by a "
+            "topology file, with health-checked failover and load-aware routing."
+        ),
+    )
+    parser.add_argument(
+        "--topology",
+        required=True,
+        help="path to the cluster topology file (.json or .toml; see docs/OPERATIONS.md)",
+    )
+    _add_traffic_arguments(parser)
+    parser.add_argument("--seed", type=int, default=1, help="traffic seed")
+    parser.add_argument("--timeout", type=float, default=60.0, help="per-request socket timeout (s)")
+    parser.add_argument(
+        "--probe-interval", type=float, default=0.5, help="seconds between health-probe cycles"
+    )
+    parser.add_argument(
+        "--miss-threshold",
+        type=int,
+        default=3,
+        help="consecutive failed pings before a replica is marked down",
+    )
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask every replica server to exit after the replay",
+    )
+    return parser
+
+
+def cluster_main(argv: list[str]) -> int:
+    """Replay deterministic traffic through a replicated, health-checked cluster."""
+    args = build_cluster_parser().parse_args(argv)
+    topology = load_topology(args.topology)
+    manager = ClusterManager(
+        topology, probe_interval=args.probe_interval, miss_threshold=args.miss_threshold
+    )
+    with ClusterClient(topology, manager=manager, timeout=args.timeout) as client:
+        pairs = client.pairs()
+        workload = _workload(args, pairs)
+        print(
+            f"[service] replaying {len(workload)} requests over {args.clients} clients "
+            f"against {topology.num_shards} shard(s) x up to {topology.num_replicas} "
+            "replica(s) ...",
+            file=sys.stderr,
+        )
+        elapsed = replay_cluster_concurrently(client, workload, args.clients)
+        stats = client.stats_snapshot()
+        if args.shutdown:
+            client.shutdown_servers()
+        manager.stop()
+
+    report = {
+        "transport": "cluster",
+        "topology": topology.to_dict(),
+        "num_requests": len(workload),
+        "num_clients": args.clients,
+        "seconds": elapsed,
+        "requests_per_second": len(workload) / elapsed if elapsed > 0 else 0.0,
+        "service": stats["overall"],
+        "num_shards": stats["num_shards"],
+        "num_replicas": stats["num_replicas"],
+        "routing": stats["routing"],
+    }
+    _emit_report(report, stats, args)
+    return 0
+
+
+# ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: dispatch to replay (default) / serve / connect.
+    """Entry point: dispatch to replay (default) / serve / connect / cluster.
 
     A bare word that is not a known subcommand fails fast with the list
     of valid ones — falling through to the replay parser would turn a
@@ -377,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
             return serve_main(argv[1:])
         if argv[0] == "connect":
             return connect_main(argv[1:])
+        if argv[0] == "cluster":
+            return cluster_main(argv[1:])
         if argv[0] == "replay":
             argv = argv[1:]
         else:

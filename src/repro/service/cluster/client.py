@@ -1,0 +1,594 @@
+"""Replicated-cluster client: the `ExEAClient` facade with failover routing.
+
+:class:`ClusterClient` speaks the exact call surface of the in-process
+:class:`~repro.service.service.ExEAClient` (``explain`` / ``confidence``
+/ ``verify`` / ``explain_many`` / ``replay``) plus the sharded extras
+(``shard_of``, ``stats_snapshot``) and the cluster-wide operations
+(``invalidate``, ``pairs``), but routes every read across the *replicas*
+of the pair's shard instead of a single endpoint:
+
+* **Load-aware selection** — each request picks the replica with the
+  lowest score, combining the client's own live signals (in-flight
+  requests, an EMA of observed latency) with the control plane's
+  published ones (queue depth from ``ping``, p95 from ``stats``), scaled
+  by the topology weight.  A deliberately slow or saturated replica
+  sheds traffic onto its healthy peer without any configuration.
+* **Failover retry** — every wire operation is idempotent and replicas
+  serve bit-identical results, so a replica failing mid-flight
+  (connection refused, died mid-request) or answering with backpressure
+  is retried on the shard's next-best replica; the failure is reported
+  to the :class:`~repro.service.cluster.manager.ClusterManager` so the
+  routing table shifts immediately.  Timeouts do *not* fail over — a
+  slow replica is not a dead one, and re-sending would double the wait
+  (the PR-4 rule, kept cluster-wide).  Only when every replica of the
+  shard fails does the caller see an error.
+* **Generation fan-out** — ``invalidate()`` drops the cache of every
+  replica of every shard, because each replica process holds its own
+  versioned cache.
+
+Determinism is unchanged: which replica answers is a pure deployment
+decision (all replicas of a shard serve the same snapshot and the codec
+round-trips exactly), so results stay bit-identical to the in-process
+sharded service at the same shard count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable
+
+from ..errors import RemoteTransportError, ServiceOverloadedError
+from ..service import _fan_out
+from ..sharding import ShardRouter
+from ..stats import imbalance_summary, merge_raw
+from ..transport.client import (
+    BATCH_CHUNK_SIZE,
+    DEFAULT_TIMEOUT,
+    RemoteShardClient,
+    replay_remote_concurrently,
+)
+from ..transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ConnectionClosedError,
+    ProtocolError,
+)
+from ..transport.protocol import (
+    OP_BATCH,
+    OP_CONFIDENCE,
+    OP_EXPLAIN,
+    OP_INVALIDATE,
+    OP_PAIRS,
+    OP_SHUTDOWN,
+    OP_STATS,
+    OP_VERIFY,
+    PROTOCOL_VERSION,
+    decode_error,
+    decode_value,
+)
+from .manager import ClusterManager, ReplicaRoute
+from .topology import ClusterTopology
+
+#: EMA smoothing for the client-side per-replica latency estimate.
+_EMA_ALPHA = 0.2
+
+
+class _ReplicaLoad:
+    """Client-side live load signals of one replica endpoint."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.inflight = 0
+        self.routed = 0
+        self.failures = 0
+        self.ema_ms = 0.0
+        self._seen = False
+
+    def begin(self) -> None:
+        """One request is now in flight against this replica."""
+        with self.lock:
+            self.inflight += 1
+
+    def end(self, seconds: float, ok: bool) -> None:
+        """The in-flight request finished; fold its latency into the EMA."""
+        ms = seconds * 1000.0
+        with self.lock:
+            self.inflight -= 1
+            if ok:
+                self.routed += 1
+                self.ema_ms = ms if not self._seen else (1 - _EMA_ALPHA) * self.ema_ms + _EMA_ALPHA * ms
+                self._seen = True
+            else:
+                self.failures += 1
+
+    def snapshot(self) -> dict:
+        """Copy of the counters for routing telemetry."""
+        with self.lock:
+            return {
+                "inflight": self.inflight,
+                "routed": self.routed,
+                "failures": self.failures,
+                "ema_ms": self.ema_ms,
+            }
+
+
+def replica_score(route: ReplicaRoute, inflight: int, ema_ms: float) -> float:
+    """Routing score of one replica — lower is better.
+
+    Multiplies a *congestion* term (requests this client has in flight
+    there plus the server's own queue depth) by a *latency* term (the
+    client's EMA of observed latency plus the server's published p95),
+    normalised by the topology weight.  Either signal alone is enough to
+    shift load: a stalled replica accumulates in-flight requests even
+    before its latency samples return, and a merely-slow replica raises
+    its EMA even when nothing is queued.
+    """
+    congestion = 1.0 + inflight + route.queue_depth
+    latency = 1.0 + ema_ms + route.p95_ms
+    return congestion * latency / max(route.weight, 1e-9)
+
+
+class ClusterClient:
+    """The `ExEAClient` facade over a replicated, health-checked cluster.
+
+    *manager* defaults to a new :class:`ClusterManager` over *topology*
+    (owned and stopped by this client); pass one explicitly to share a
+    control plane across clients or to tune detection.  The client is
+    thread-safe: concurrent callers share the per-endpoint connection
+    pools and load accounting.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        manager: ClusterManager | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        check_topology: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.router = ShardRouter(topology.num_shards)
+        self._owns_manager = manager is None
+        self.manager = manager or ClusterManager(topology)
+        self._clients = {
+            endpoint: RemoteShardClient(endpoint, timeout=timeout, max_frame_bytes=max_frame_bytes)
+            for endpoint in topology.endpoints()
+        }
+        self._loads = {endpoint: _ReplicaLoad() for endpoint in self._clients}
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+        try:
+            if check_topology:
+                self.check_topology()
+            self.manager.start()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def check_topology(self) -> list[dict]:
+        """Ping every replica and verify the cluster is wired as declared.
+
+        Every *answering* replica of shard *k* must identify as shard
+        ``k`` of ``num_shards`` and speak this protocol version, and all
+        answering endpoints must agree on dataset, model and generation
+        token — replicas serving divergent snapshots would silently break
+        the bit-identical contract on failover.  A replica that is merely
+        **unreachable** does not fail the check (surviving a dead replica
+        is what replication is for — an operator must be able to connect
+        to a degraded cluster): its failure is reported to the manager so
+        the routing table starts with it marked down, and only a shard
+        with *no* reachable replica at all refuses the connection.
+
+        Returns the ping descriptions of the answering replicas.
+        """
+        descriptions: list[dict] = []
+        first: dict | None = None
+        first_endpoint: str | None = None
+        unreachable: dict[str, RemoteTransportError] = {}
+        for shard_id, replicas in enumerate(self.topology.shards):
+            reachable = 0
+            for spec in replicas:
+                try:
+                    info = self._clients[spec.endpoint].ping()
+                except RemoteTransportError as error:
+                    unreachable[spec.endpoint] = error
+                    self.manager.report_failure(spec.endpoint, error)
+                    continue
+                reachable += 1
+                if info.get("protocol") != PROTOCOL_VERSION:
+                    raise RemoteTransportError(
+                        f"{spec.endpoint} speaks protocol {info.get('protocol')}, "
+                        f"this client speaks {PROTOCOL_VERSION}"
+                    )
+                if (
+                    info.get("shard_id") != shard_id
+                    or info.get("num_shards") != self.topology.num_shards
+                ):
+                    raise RemoteTransportError(
+                        f"{spec.endpoint} identifies as shard {info.get('shard_id')}/"
+                        f"{info.get('num_shards')}, expected {shard_id}/"
+                        f"{self.topology.num_shards} — cluster is miswired"
+                    )
+                if first is None:
+                    first, first_endpoint = info, spec.endpoint
+                else:
+                    for key in ("dataset", "model", "token"):
+                        if info.get(key) != first.get(key):
+                            raise RemoteTransportError(
+                                f"{spec.endpoint} serves {key}={info.get(key)!r} but "
+                                f"{first_endpoint} serves {first.get(key)!r} — cluster "
+                                "replicas disagree on what they serve (miswired)"
+                            )
+                descriptions.append(info)
+            if not reachable:
+                details = "; ".join(
+                    f"{spec.endpoint}: {unreachable[spec.endpoint]}"
+                    for spec in replicas
+                    if spec.endpoint in unreachable
+                )
+                raise RemoteTransportError(
+                    f"no replica of shard {shard_id} is reachable ({details})"
+                )
+        return descriptions
+
+    def shard_of(self, source: str, target: str) -> int:
+        """Which shard partition serves this pair (same CRC-32 as in-process)."""
+        return self.router.shard_of(source, target)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _select(self, shard_id: int, excluded: set[str]) -> ReplicaRoute | None:
+        """The best replica of a shard not yet tried this request.
+
+        Healthy replicas are preferred; when none remain (the detector may
+        simply not have caught a restart yet), unhealthy ones are tried as
+        a last resort rather than failing a request a live server could
+        answer.  Ties break round-robin so equal replicas share load.
+        """
+        routes = self.manager.table().replicas(shard_id)
+        candidates = [route for route in routes if route.healthy and route.endpoint not in excluded]
+        if not candidates:
+            candidates = [route for route in routes if route.endpoint not in excluded]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        with self._rr_lock:
+            self._rr += 1
+            offset = self._rr
+        scored = []
+        for position, route in enumerate(candidates):
+            load = self._loads[route.endpoint]
+            with load.lock:
+                inflight, ema_ms = load.inflight, load.ema_ms
+            scored.append((replica_score(route, inflight, ema_ms), (position + offset) % len(candidates), route))
+        return min(scored, key=lambda item: (item[0], item[1]))[2]
+
+    def _call_shard(
+        self,
+        shard_id: int,
+        payload: dict,
+        timeout: float | None,
+        reject: "Callable[[dict], Exception | None] | None" = None,
+    ) -> dict:
+        """One request against a shard, failing over across its replicas.
+
+        Replica-death symptoms (connection refused/reset, died
+        mid-request) and backpressure answers move on to the next replica;
+        each replica is tried at most once.  *Request-shaped* failures do
+        **not** fail over and are not reported as replica failures — a
+        timeout (slow, not gone: re-sending doubles work and wait), an
+        oversized frame, or a malformed payload would fail identically on
+        the peer, and evicting a live replica over them would poison the
+        routing table.  *reject* lets bulk callers turn a structurally-OK
+        response into a failover-eligible error (the batch path's per-item
+        backpressure slots).  The failure kinds behave differently on the
+        *last* replica: a transport failure re-raises as itself, while
+        backpressure re-raises the service's own
+        :class:`ServiceOverloadedError` so callers keep the in-process
+        retry semantics.
+        """
+        excluded: set[str] = set()
+        last_error: Exception | None = None
+        for _ in range(len(self.topology.shards[shard_id])):
+            route = self._select(shard_id, excluded)
+            if route is None:
+                break
+            load = self._loads[route.endpoint]
+            load.begin()
+            start = time.monotonic()
+            try:
+                response = self._clients[route.endpoint].call(payload, timeout=timeout)
+            except ServiceOverloadedError as error:
+                load.end(time.monotonic() - start, ok=False)
+                excluded.add(route.endpoint)
+                last_error = error
+                continue  # a peer replica may have queue capacity
+            except RemoteTransportError as error:
+                load.end(time.monotonic() - start, ok=False)
+                if isinstance(error, ProtocolError) and not isinstance(
+                    error, ConnectionClosedError
+                ):
+                    raise  # request-shaped (timeout/oversized/malformed): same anywhere
+                self.manager.report_failure(route.endpoint, error)
+                excluded.add(route.endpoint)
+                last_error = error
+                continue
+            except BaseException:
+                load.end(time.monotonic() - start, ok=False)
+                raise  # service-level errors (deadline, value) are answers, not failures
+            rejection = reject(response) if reject is not None else None
+            if rejection is not None:
+                load.end(time.monotonic() - start, ok=False)
+                excluded.add(route.endpoint)
+                last_error = rejection
+                continue
+            load.end(time.monotonic() - start, ok=True)
+            return response
+        if last_error is not None:
+            raise last_error
+        raise RemoteTransportError(f"no replica of shard {shard_id} is reachable")
+
+    # ------------------------------------------------------------------
+    # Single-pair operations (the ExEAClient surface)
+    # ------------------------------------------------------------------
+    def _single(self, op: str, source: str, target: str, timeout, deadline_ms):
+        payload = {"op": op, "source": source, "target": target}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        shard_id = self.router.shard_of(source, target)
+        return decode_value(op, self._call_shard(shard_id, payload, timeout))
+
+    def explain(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ):
+        """Explanation of one pair — equal to the in-process result, any replica."""
+        return self._single(OP_EXPLAIN, source, target, timeout, deadline_ms)
+
+    def confidence(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ) -> float:
+        """Repair-confidence of one pair — the exact in-process float."""
+        return self._single(OP_CONFIDENCE, source, target, timeout, deadline_ms)
+
+    def verify(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ) -> bool:
+        """EA verification (confidence thresholded server-side) of one pair."""
+        return self._single(OP_VERIFY, source, target, timeout, deadline_ms)
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reject_overloaded_batch(response: dict) -> Exception | None:
+        """Failover trigger for batch responses: any backpressure slot.
+
+        The server reports sustained overload per *item* rather than as a
+        top-level error, so without this check a saturated replica would
+        abort the whole replay even while its peer sits idle — the
+        batch-path analogue of the single-op overload failover.
+        """
+        slots = response.get("results")
+        if not isinstance(slots, list):
+            return None  # structural problems are handled by the caller
+        for slot in slots:
+            if "error" in slot:
+                error = decode_error(slot["error"])
+                if isinstance(error, ServiceOverloadedError):
+                    return error
+        return None
+
+    def _run_batch(
+        self, shard_id: int, items: list[tuple[str, str, str]], timeout: float | None
+    ) -> list:
+        """One shard's items in chunked ``batch`` frames, each with failover.
+
+        A chunk that comes back with a backpressure slot is re-sent to the
+        shard's next replica (via :meth:`_reject_overloaded_batch`); the
+        operations are idempotent, so re-running the chunk's other items
+        on the peer only warms a second cache.  Any other per-item error
+        is an *answer* and re-raises, as the in-process facade does.
+        """
+        values: list = []
+        for start in range(0, len(items), BATCH_CHUNK_SIZE):
+            chunk = items[start : start + BATCH_CHUNK_SIZE]
+            response = self._call_shard(
+                shard_id,
+                {"op": OP_BATCH, "items": [list(item) for item in chunk]},
+                timeout,
+                reject=self._reject_overloaded_batch,
+            )
+            slots = response.get("results")
+            if not isinstance(slots, list) or len(slots) != len(chunk):
+                raise ProtocolError(
+                    f"a shard-{shard_id} replica answered {len(chunk)} batch items with "
+                    f"{len(slots) if isinstance(slots, list) else 'no'} results"
+                )
+            for (kind, _, _), slot in zip(chunk, slots):
+                if "error" in slot:
+                    raise decode_error(slot["error"])
+                values.append(decode_value(kind, slot["ok"]))
+        return values
+
+    def explain_many(
+        self, pairs: list[tuple[str, str]], timeout: float | None = None
+    ) -> dict[tuple[str, str], object]:
+        """Explain every distinct pair; concurrent per-shard batch exchanges."""
+        unique = list(dict.fromkeys(pairs))
+        items = [(OP_EXPLAIN, source, target) for source, target in unique]
+        return dict(zip(unique, self._scatter(items, timeout)))
+
+    def replay(
+        self, workload: list[tuple[str, str, str]], timeout: float | None = None
+    ) -> list[object]:
+        """Run a scripted ``(kind, source, target)`` replay; results in order.
+
+        A replica dying mid-replay only re-sends the affected chunk to a
+        healthy peer — the replay still completes with every result, in
+        submission order, bit-identical.
+        """
+        return self._scatter(list(workload), timeout)
+
+    def _scatter(self, items: list[tuple[str, str, str]], timeout: float | None) -> list:
+        """Partition items by shard, exchange concurrently, restore order."""
+        by_shard: dict[int, list[int]] = {}
+        for index, (_, source, target) in enumerate(items):
+            by_shard.setdefault(self.router.shard_of(source, target), []).append(index)
+        results: list = [None] * len(items)
+
+        def run_shard(shard_id: int, indices: list[int]) -> None:
+            values = self._run_batch(shard_id, [items[index] for index in indices], timeout)
+            for index, value in zip(indices, values):
+                results[index] = value
+
+        _fan_out(
+            [
+                lambda shard_id=shard_id, indices=indices: run_shard(shard_id, indices)
+                for shard_id, indices in by_shard.items()
+            ]
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Cluster-wide operations
+    # ------------------------------------------------------------------
+    def pairs(self) -> list[tuple[str, str]]:
+        """Sorted predicted pairs of the served model (any live replica)."""
+        response = self._call_shard(0, {"op": OP_PAIRS}, None)
+        return [tuple(pair) for pair in response]
+
+    def invalidate(self) -> list[dict]:
+        """Drop the result cache of **every replica of every shard**.
+
+        Each replica process holds its own versioned cache, so a
+        generation change must reach them all; one ``{"cleared",
+        "token"}`` report per reachable replica is returned and
+        unreachable replicas raise (an invalidation that silently missed
+        a live replica would let it keep serving stale results).
+        """
+        return [
+            self._clients[endpoint].call({"op": OP_INVALIDATE})
+            for endpoint in self.topology.endpoints()
+        ]
+
+    def stats_snapshot(self) -> dict:
+        """Cluster telemetry: overall, per shard, per replica, plus imbalance.
+
+        ``overall`` merges the raw counters of every *reachable* replica
+        (replicas of one shard serve disjoint slices of its traffic, so
+        summing is exact); ``per_shard`` merges each shard's replicas;
+        ``per_replica`` keeps every process's own snapshot.  Unreachable
+        replicas are reported under ``unreachable`` instead of failing the
+        whole snapshot — telemetry must stay readable mid-outage.
+        """
+        per_shard_parts: list[list[tuple[dict, list[float]]]] = []
+        per_replica: list[list[dict | None]] = []
+        pair_counts: list[int] = []
+        unreachable: list[str] = []
+        for replicas in self.topology.shards:
+            parts: list[tuple[dict, list[float]]] = []
+            rows: list[dict | None] = []
+            shard_pairs = 0
+            for spec in replicas:
+                try:
+                    payload = self._clients[spec.endpoint].call({"op": OP_STATS})
+                except RemoteTransportError:
+                    unreachable.append(spec.endpoint)
+                    rows.append(None)
+                    continue
+                parts.append((payload["counters"], payload["latencies"]))
+                rows.append(payload["snapshot"])
+                shard_pairs = int(payload.get("num_pairs", shard_pairs))
+            per_shard_parts.append(parts)
+            per_replica.append(rows)
+            pair_counts.append(shard_pairs)
+        shard_submitted = [
+            sum(counters["submitted"] for counters, _ in parts) for parts in per_shard_parts
+        ]
+        overall = merge_raw(part for parts in per_shard_parts for part in parts)
+        overall["shard_imbalance"] = {
+            "request_share": imbalance_summary(shard_submitted),
+            "pair_count": imbalance_summary(pair_counts),
+        }
+        return {
+            "num_shards": self.topology.num_shards,
+            "num_replicas": self.topology.num_replicas,
+            "overall": overall,
+            "per_shard": [merge_raw(parts) for parts in per_shard_parts],
+            "per_replica": per_replica,
+            "pairs_per_shard": pair_counts,
+            "unreachable": unreachable,
+            "routing": self.routing_snapshot(),
+        }
+
+    def routing_snapshot(self) -> dict:
+        """Where traffic actually went: per-replica routed/failure/load counters."""
+        table = self.manager.table()
+        replicas = []
+        for shard_replicas in table.shards:
+            for route in shard_replicas:
+                row = {
+                    "endpoint": route.endpoint,
+                    "shard": route.shard_id,
+                    "replica": route.replica_index,
+                    "weight": route.weight,
+                    "healthy": route.healthy,
+                    "queue_depth": route.queue_depth,
+                    "p95_ms": route.p95_ms,
+                }
+                row.update(self._loads[route.endpoint].snapshot())
+                replicas.append(row)
+        return {"table_version": table.version, "replicas": replicas}
+
+    def shutdown_servers(self) -> None:
+        """Ask every replica process of every shard to exit (best effort)."""
+        for endpoint in self.topology.endpoints():
+            try:
+                self._clients[endpoint].call({"op": OP_SHUTDOWN}, timeout=5.0)
+            except RemoteTransportError:
+                pass  # already gone
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the owned control plane and close every connection pool."""
+        if self._owns_manager:
+            self.manager.stop()
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay_cluster_concurrently(
+    client: ClusterClient,
+    workload: Iterable[tuple[str, str, str]],
+    num_clients: int,
+    timeout: float | None = 120.0,
+) -> float:
+    """Drive a scripted replay through *num_clients* concurrent threads.
+
+    The cluster name for
+    :func:`~repro.service.transport.client.replay_remote_concurrently`,
+    which only needs the client's ``replay`` method and works unchanged
+    over the failover facade; returns elapsed wall-clock seconds,
+    re-raising any thread failure.
+    """
+    return replay_remote_concurrently(client, workload, num_clients, timeout)
+
+
+__all__ = [
+    "ClusterClient",
+    "replay_cluster_concurrently",
+    "replica_score",
+]

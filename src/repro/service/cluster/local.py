@@ -1,0 +1,153 @@
+"""Spawn a replicated local cluster: R real server processes per shard.
+
+:class:`ReplicatedLocalCluster` extends
+:class:`~repro.service.transport.cluster.LocalShardCluster` with a
+replica axis: every shard group is served by *num_replicas* independent
+``python -m repro.service serve`` subprocesses, all deserialising the
+same pickled snapshot (so every replica of every shard serves identical
+model bytes and the failover path is bit-identical by construction).
+The spawned endpoints become a
+:class:`~repro.service.cluster.topology.ClusterTopology`, a
+:class:`~repro.service.cluster.manager.ClusterManager` health-checks
+them, and :attr:`client` is a connected
+:class:`~repro.service.cluster.client.ClusterClient`.
+
+Tests and benchmarks use :meth:`kill_replica` to crash one replica
+mid-replay and prove the zero-failed-requests failover; production
+deployments run the same ``serve`` processes under their own supervisor
+and describe them in a topology file instead (see
+``docs/OPERATIONS.md``, "Running a cluster").
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+from ..config import ServiceConfig
+from ..transport.cluster import (
+    DEFAULT_STARTUP_TIMEOUT,
+    LocalShardCluster,
+    ShardProcess,
+    _read_ready_line,
+    _subprocess_env,
+)
+from .client import ClusterClient
+from .manager import (
+    DEFAULT_MISS_THRESHOLD,
+    DEFAULT_PROBE_INTERVAL,
+    ClusterManager,
+)
+from .topology import ClusterTopology, topology_for_endpoints
+
+
+class ReplicatedLocalCluster(LocalShardCluster):
+    """A replicated process-per-shard cluster on this machine.
+
+    Use as a context manager::
+
+        with ReplicatedLocalCluster(model, dataset, num_shards=2, num_replicas=2) as cluster:
+            explanation = cluster.client.explain(source, target)
+            cluster.kill_replica(shard_id=0, replica_index=1)  # reads keep succeeding
+
+    ``replicas[k][r]`` is replica *r* of shard *k* (``processes`` stays
+    the flat shard-major list the base class tears down).
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset,
+        num_shards: int,
+        num_replicas: int = 2,
+        service_config: ServiceConfig | None = None,
+        exea_config=None,
+        startup_timeout: float = DEFAULT_STARTUP_TIMEOUT,
+        client_timeout: float = 60.0,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL,
+        miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    ) -> None:
+        super().__init__(
+            model,
+            dataset,
+            num_shards,
+            service_config=service_config,
+            exea_config=exea_config,
+            startup_timeout=startup_timeout,
+            client_timeout=client_timeout,
+        )
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.num_replicas = num_replicas
+        self.probe_interval = probe_interval
+        self.miss_threshold = miss_threshold
+        self.replicas: list[list[ShardProcess]] = []
+        self.topology: ClusterTopology | None = None
+        self.manager: ClusterManager | None = None
+        self.client: ClusterClient | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ReplicatedLocalCluster":
+        """Write the snapshot, spawn every replica of every shard, connect."""
+        if self.client is not None:
+            return self
+        snapshot = self._write_snapshot()
+        env = _subprocess_env()
+        try:
+            # Spawn the full shard × replica grid first, then collect the
+            # READY lines — startup costs ~one process's startup, not N*R.
+            spawned: list[tuple[int, subprocess.Popen]] = []
+            for shard_id in range(self.num_shards):
+                for _ in range(self.num_replicas):
+                    spawned.append((shard_id, self._spawn_serve(snapshot, shard_id, env)))
+            self.replicas = [[] for _ in range(self.num_shards)]
+            for shard_id, process in spawned:
+                ready = _read_ready_line(process, self.startup_timeout)
+                shard = ShardProcess(shard_id, process, ready)
+                self.replicas[shard_id].append(shard)
+                self.processes.append(shard)
+            self.topology = topology_for_endpoints(
+                [[replica.endpoint for replica in group] for group in self.replicas]
+            )
+            self.manager = ClusterManager(
+                self.topology,
+                probe_interval=self.probe_interval,
+                miss_threshold=self.miss_threshold,
+            )
+            self.client = ClusterClient(
+                self.topology, manager=self.manager, timeout=self.client_timeout
+            )
+        except BaseException:
+            if self.manager is not None and self.client is None:
+                self.manager.stop()  # the client would have owned stopping it
+            self._reap_untracked(
+                [process for _, process in spawned],
+                {shard.process.pid for shard in self.processes},
+            )
+            self.close()
+            raise
+        return self
+
+    # ------------------------------------------------------------------
+    def kill_replica(self, shard_id: int, replica_index: int) -> None:
+        """Kill one replica process outright (SIGKILL; failover tests/benchmarks)."""
+        self.replicas[shard_id][replica_index].kill()
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Kill **every** replica of a shard (takes the partition fully offline)."""
+        for replica in self.replicas[shard_id]:
+            replica.kill()
+
+    def close(self) -> None:
+        """Shut down the client (which stops the manager), processes, snapshot."""
+        # ClusterClient owns its manager only when it constructed one; here
+        # the cluster built the manager, so the client's close() leaves it
+        # running — stop it explicitly after the client goes away.
+        manager, self.manager = self.manager, None
+        super().close()
+        if manager is not None:
+            manager.stop()
+        self.replicas = []
+        self.topology = None
+
+
+__all__ = ["ReplicatedLocalCluster"]

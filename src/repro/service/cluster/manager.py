@@ -1,0 +1,380 @@
+"""Cluster control plane: health checking, failure detection, routing table.
+
+:class:`ClusterManager` continuously probes every endpoint of a
+:class:`~repro.service.cluster.topology.ClusterTopology` with the wire
+protocol's ``ping`` operation and runs a consecutive-miss failure
+detector over the answers: an endpoint is **up** while pings succeed,
+becomes **down** after ``miss_threshold`` consecutive misses (or
+immediately when the data path reports a mid-request connection failure
+via :meth:`report_failure`), and is re-probed under exponential reconnect
+backoff until it answers again — a replica that restarts rejoins the
+rotation without operator action.  This is the same fleet-operation
+discipline long-running distributed arrays apply: the monitor, not the
+request path, owns the liveness decision, and the request path consumes
+its published view.
+
+That view is the :class:`RoutingTable` — an immutable snapshot, swapped
+atomically and versioned, mapping every shard to its replicas' health and
+load signals (queue depth from ``ping``, p95 latency from the slower
+``stats`` probe).  :class:`~repro.service.cluster.client.ClusterClient`
+reads the current table on every routing decision and never blocks on the
+prober; a table is always available because construction publishes one
+synchronously before the probe thread starts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import RemoteTransportError
+from ..transport.client import RemoteShardClient
+from ..transport.framing import DEFAULT_MAX_FRAME_BYTES
+from ..transport.protocol import OP_STATS
+from .topology import ClusterTopology
+
+#: Default seconds between health-probe cycles.
+DEFAULT_PROBE_INTERVAL = 0.5
+#: Consecutive failed pings before a replica is marked down.
+DEFAULT_MISS_THRESHOLD = 3
+#: First reconnect backoff after a replica goes down (seconds); doubles
+#: per subsequent miss up to :data:`DEFAULT_BACKOFF_MAX`.
+DEFAULT_BACKOFF_BASE = 0.5
+DEFAULT_BACKOFF_MAX = 8.0
+#: Pull the heavier ``stats`` payload (p95) every Nth probe cycle.
+DEFAULT_STATS_EVERY = 4
+
+
+@dataclass(frozen=True)
+class ReplicaRoute:
+    """One replica's published routing entry (immutable table row)."""
+
+    endpoint: str
+    shard_id: int
+    replica_index: int
+    weight: float
+    healthy: bool
+    queue_depth: int = 0
+    p95_ms: float = 0.0
+    consecutive_misses: int = 0
+    last_error: str | None = None
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Atomic snapshot of every replica's health/load, grouped by shard."""
+
+    version: int
+    shards: tuple[tuple[ReplicaRoute, ...], ...]
+
+    def replicas(self, shard_id: int) -> tuple[ReplicaRoute, ...]:
+        """Every replica route of one shard (healthy and not)."""
+        return self.shards[shard_id]
+
+    def healthy(self, shard_id: int) -> tuple[ReplicaRoute, ...]:
+        """The healthy replicas of one shard, replica order preserved."""
+        return tuple(route for route in self.shards[shard_id] if route.healthy)
+
+    def route_of(self, endpoint: str) -> ReplicaRoute:
+        """The table row of one endpoint (raises ``KeyError`` on unknown)."""
+        for replicas in self.shards:
+            for route in replicas:
+                if route.endpoint == endpoint:
+                    return route
+        raise KeyError(endpoint)
+
+
+class _ReplicaHealth:
+    """Mutable per-endpoint detector state (guarded by the manager lock)."""
+
+    def __init__(self, endpoint: str, shard_id: int, replica_index: int, weight: float) -> None:
+        self.endpoint = endpoint
+        self.shard_id = shard_id
+        self.replica_index = replica_index
+        self.weight = weight
+        self.healthy = True  # optimistic until the first probe says otherwise
+        self.consecutive_misses = 0
+        self.backoff_until = 0.0
+        self.backoff_seconds = 0.0
+        self.last_error: str | None = None
+        self.queue_depth = 0
+        self.p95_ms = 0.0
+        self.probes = 0
+        self.transitions = 0  # up<->down flips, for telemetry
+
+    def route(self) -> ReplicaRoute:
+        """The immutable table row for the current state."""
+        return ReplicaRoute(
+            endpoint=self.endpoint,
+            shard_id=self.shard_id,
+            replica_index=self.replica_index,
+            weight=self.weight,
+            healthy=self.healthy,
+            queue_depth=self.queue_depth,
+            p95_ms=self.p95_ms,
+            consecutive_misses=self.consecutive_misses,
+            last_error=self.last_error,
+        )
+
+
+class ClusterManager:
+    """Health-checks a topology's endpoints and publishes the routing table.
+
+    One background thread probes every endpoint each *probe_interval*
+    seconds (endpoints in backoff are skipped until their deadline).  The
+    detector is deliberately simple and explainable: ``miss_threshold``
+    consecutive ping failures mark a replica down; one successful ping
+    marks it up again.  :meth:`report_failure` lets the data path
+    short-circuit detection when a request hits a dead connection — a
+    mid-request death is stronger evidence than a missed probe, so the
+    replica is marked down immediately and routing shifts on the very
+    next request instead of after ``miss_threshold * probe_interval``.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL,
+        miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_max: float = DEFAULT_BACKOFF_MAX,
+        stats_every: int = DEFAULT_STATS_EVERY,
+        probe_timeout: float = 5.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.topology = topology
+        self.probe_interval = probe_interval
+        self.miss_threshold = miss_threshold
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.stats_every = max(1, stats_every)
+        self._lock = threading.Lock()
+        self._health: dict[str, _ReplicaHealth] = {}
+        for shard_id, replicas in enumerate(topology.shards):
+            for index, spec in enumerate(replicas):
+                self._health[spec.endpoint] = _ReplicaHealth(
+                    spec.endpoint, shard_id, index, spec.weight
+                )
+        #: probe clients are separate from the data path so a wedged data
+        #: pool cannot starve health checking (and vice versa)
+        self._probes = {
+            endpoint: RemoteShardClient(
+                endpoint, timeout=probe_timeout, max_frame_bytes=max_frame_bytes
+            )
+            for endpoint in self._health
+        }
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._cycle = 0
+        self._table = self._publish()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterManager":
+        """Probe every endpoint once synchronously, then keep probing on a thread."""
+        if self._thread is None:
+            self.probe_once()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-cluster-manager", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the probe thread and close the probe connections (idempotent)."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        for probe in self._probes.values():
+            probe.close()
+
+    def __enter__(self) -> "ClusterManager":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # The published view
+    # ------------------------------------------------------------------
+    def table(self) -> RoutingTable:
+        """The current routing table (immutable; re-read for a fresher one)."""
+        with self._lock:
+            return self._table
+
+    def _publish(self) -> RoutingTable:
+        """Rebuild and swap the table from current health state (lock held or init)."""
+        version = getattr(self, "_table", None).version + 1 if getattr(self, "_table", None) else 1
+        table = RoutingTable(
+            version=version,
+            shards=tuple(
+                tuple(
+                    self._health[spec.endpoint].route()
+                    for spec in replicas
+                )
+                for replicas in self.topology.shards
+            ),
+        )
+        self._table = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def report_failure(self, endpoint: str, error: BaseException) -> None:
+        """Data-path failure report: mark the replica down without waiting for probes.
+
+        Called by the cluster client when a request to *endpoint* failed at
+        the transport level.  The replica re-enters rotation as soon as a
+        probe succeeds again (under the reconnect backoff schedule).
+        """
+        with self._lock:
+            state = self._health.get(endpoint)
+            if state is None:
+                return
+            state.consecutive_misses = max(state.consecutive_misses + 1, self.miss_threshold)
+            state.last_error = str(error)
+            if state.healthy:
+                state.healthy = False
+                state.transitions += 1
+                # No backoff on the FIRST report: the woken probe cycle
+                # must actually re-probe this endpoint (confirm death /
+                # catch a fast restart); if that probe also fails, it arms
+                # the backoff schedule.  Repeat reports of an
+                # already-down replica back off normally.
+                state.backoff_seconds = 0.0
+                state.backoff_until = 0.0
+            else:
+                self._arm_backoff(state)
+            self._publish()
+        self._wake.set()  # probe soon: confirm death / catch a fast restart
+
+    def _arm_backoff(self, state: _ReplicaHealth) -> None:
+        state.backoff_seconds = min(
+            self.backoff_max,
+            self.backoff_base if state.backoff_seconds == 0 else state.backoff_seconds * 2,
+        )
+        state.backoff_until = time.monotonic() + state.backoff_seconds
+
+    def probe_once(self) -> RoutingTable:
+        """One probe cycle over every due endpoint; returns the new table.
+
+        Endpoints still inside their reconnect backoff window are skipped.
+        Endpoints are probed **concurrently** (one short-lived thread
+        each): a black-holed host that eats the full ``probe_timeout``
+        must only stall its own probe, not delay detection and recovery
+        for every other replica.  Every ``stats_every``-th cycle fetches
+        the heavier ``stats`` payload (latency percentiles); the
+        in-between cycles only ``ping`` (shard identity + queue depth),
+        keeping the steady-state probe cost one tiny frame per replica.
+        """
+        self._cycle += 1
+        want_stats = self._cycle % self.stats_every == 0
+        now = time.monotonic()
+        with self._lock:
+            pending = [
+                state.endpoint
+                for state in self._health.values()
+                if state.healthy or now >= state.backoff_until
+            ]
+        if len(pending) == 1:
+            self._probe_endpoint(pending[0], want_stats)
+        elif pending:
+            threads = [
+                threading.Thread(
+                    target=self._probe_endpoint, args=(endpoint, want_stats), daemon=True
+                )
+                for endpoint in pending
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        with self._lock:
+            return self._publish()
+
+    def _probe_endpoint(self, endpoint: str, want_stats: bool) -> None:
+        """Ping (and optionally stats-poll) one endpoint; update its detector state."""
+        probe = self._probes[endpoint]
+        try:
+            info = probe.ping()
+            stats = probe.call({"op": OP_STATS}) if want_stats else None
+        except RemoteTransportError as error:
+            with self._lock:
+                state = self._health[endpoint]
+                state.probes += 1
+                state.consecutive_misses += 1
+                state.last_error = str(error)
+                if state.healthy and state.consecutive_misses >= self.miss_threshold:
+                    state.healthy = False
+                    state.transitions += 1
+                if not state.healthy:
+                    self._arm_backoff(state)
+            return
+        with self._lock:
+            state = self._health[endpoint]
+            state.probes += 1
+            state.consecutive_misses = 0
+            state.backoff_seconds = 0.0
+            state.backoff_until = 0.0
+            state.last_error = None
+            state.queue_depth = int(info.get("queue_depth", 0))
+            if stats is not None:
+                state.p95_ms = float(stats.get("snapshot", {}).get("p95_ms", 0.0))
+            if not state.healthy:
+                state.healthy = True
+                state.transitions += 1
+
+    def _run(self) -> None:
+        """Probe loop: one cycle per interval, woken early by failure reports."""
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self.probe_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            self.probe_once()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def health_snapshot(self) -> dict:
+        """Control-plane telemetry: per-replica detector state + table version."""
+        with self._lock:
+            return {
+                "table_version": self._table.version,
+                "probe_interval": self.probe_interval,
+                "miss_threshold": self.miss_threshold,
+                "replicas": [
+                    {
+                        "endpoint": state.endpoint,
+                        "shard": state.shard_id,
+                        "replica": state.replica_index,
+                        "healthy": state.healthy,
+                        "consecutive_misses": state.consecutive_misses,
+                        "probes": state.probes,
+                        "transitions": state.transitions,
+                        "queue_depth": state.queue_depth,
+                        "p95_ms": state.p95_ms,
+                        "last_error": state.last_error,
+                    }
+                    for state in self._health.values()
+                ],
+            }
+
+
+__all__ = [
+    "ClusterManager",
+    "DEFAULT_MISS_THRESHOLD",
+    "DEFAULT_PROBE_INTERVAL",
+    "ReplicaRoute",
+    "RoutingTable",
+]

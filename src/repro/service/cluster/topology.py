@@ -1,0 +1,222 @@
+"""Declarative cluster topology: shard → ordered replica endpoints + weights.
+
+PR 4's remote client took a flat, ordered CLI endpoint list — one endpoint
+per shard, no replicas.  The cluster control plane replaces that with a
+*topology*: a declarative document (JSON or TOML) naming, for every shard,
+the ordered list of replica endpoints that serve its pair partition and an
+optional routing weight per replica.  The same document drives the
+``python -m repro.service cluster`` CLI, :class:`ClusterManager` health
+checking and :class:`ClusterClient` routing, so "what the cluster looks
+like" lives in one reviewable file instead of process arguments.
+
+JSON form::
+
+    {
+      "shards": [
+        {"replicas": ["127.0.0.1:7401", {"endpoint": "127.0.0.1:7411", "weight": 2.0}]},
+        {"replicas": ["127.0.0.1:7402", "127.0.0.1:7412"]}
+      ]
+    }
+
+TOML form (Python >= 3.11, :mod:`tomllib`)::
+
+    [[shards]]
+    replicas = ["127.0.0.1:7401", {endpoint = "127.0.0.1:7411", weight = 2.0}]
+    [[shards]]
+    replicas = ["127.0.0.1:7402", "127.0.0.1:7412"]
+
+A replica entry is either a bare endpoint string (weight 1.0) or a table
+with ``endpoint`` and an optional positive ``weight``; endpoints use the
+transport's address syntax (``host:port`` or ``unix:/path``).  Shard
+order in the document *is* shard id (an optional explicit ``shard`` key
+per entry is validated against the position), endpoints must be unique
+across the whole document, and every shard needs at least one replica —
+a malformed topology fails loudly at load time, not at the first request.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class TopologyError(ValueError):
+    """The topology document is malformed (schema, duplicate endpoints, gaps)."""
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica endpoint of a shard and its routing weight."""
+
+    endpoint: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.endpoint or not isinstance(self.endpoint, str):
+            raise TopologyError(f"replica endpoint must be a non-empty string, got {self.endpoint!r}")
+        if not isinstance(self.weight, (int, float)) or isinstance(self.weight, bool) or self.weight <= 0:
+            raise TopologyError(f"replica weight must be a positive number, got {self.weight!r}")
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """The full cluster layout: ``shards[k]`` is shard *k*'s ordered replica list."""
+
+    shards: tuple[tuple[ReplicaSpec, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise TopologyError("a topology needs at least one shard")
+        seen: set[str] = set()
+        for shard_id, replicas in enumerate(self.shards):
+            if not replicas:
+                raise TopologyError(f"shard {shard_id} has no replicas")
+            for spec in replicas:
+                if spec.endpoint in seen:
+                    raise TopologyError(
+                        f"endpoint {spec.endpoint!r} appears more than once in the topology"
+                    )
+                seen.add(spec.endpoint)
+
+    @property
+    def num_shards(self) -> int:
+        """How many shard partitions the topology declares."""
+        return len(self.shards)
+
+    @property
+    def num_replicas(self) -> int:
+        """The largest replica count of any shard (shards may be uneven)."""
+        return max(len(replicas) for replicas in self.shards)
+
+    def endpoints(self) -> list[str]:
+        """Every endpoint in the topology, shard-major, replica order preserved."""
+        return [spec.endpoint for replicas in self.shards for spec in replicas]
+
+    def replica_of(self, endpoint: str) -> tuple[int, int]:
+        """``(shard_id, replica_index)`` of an endpoint (raises on unknown)."""
+        for shard_id, replicas in enumerate(self.shards):
+            for index, spec in enumerate(replicas):
+                if spec.endpoint == endpoint:
+                    return shard_id, index
+        raise TopologyError(f"endpoint {endpoint!r} is not part of this topology")
+
+    def to_dict(self) -> dict:
+        """The JSON-serialisable document form (inverse of :func:`parse_topology`)."""
+        return {
+            "shards": [
+                {
+                    "shard": shard_id,
+                    "replicas": [
+                        {"endpoint": spec.endpoint, "weight": spec.weight} for spec in replicas
+                    ],
+                }
+                for shard_id, replicas in enumerate(self.shards)
+            ]
+        }
+
+
+def _parse_replica(entry: object, shard_id: int) -> ReplicaSpec:
+    """One replica entry: a bare endpoint string or ``{endpoint, weight?}``."""
+    if isinstance(entry, str):
+        return ReplicaSpec(endpoint=entry)
+    if isinstance(entry, dict):
+        unknown = set(entry) - {"endpoint", "weight"}
+        if unknown:
+            raise TopologyError(
+                f"shard {shard_id}: unknown replica key(s) {sorted(unknown)} "
+                "(expected 'endpoint' and optional 'weight')"
+            )
+        if "endpoint" not in entry:
+            raise TopologyError(f"shard {shard_id}: replica table is missing 'endpoint'")
+        return ReplicaSpec(endpoint=entry["endpoint"], weight=entry.get("weight", 1.0))
+    raise TopologyError(
+        f"shard {shard_id}: a replica must be an endpoint string or a table, got {type(entry).__name__}"
+    )
+
+
+def parse_topology(document: dict) -> ClusterTopology:
+    """Build a validated :class:`ClusterTopology` from a decoded document.
+
+    Raises:
+        TopologyError: missing/duplicate shards, empty replica lists,
+            duplicate endpoints, bad weights, or unknown keys.
+    """
+    if not isinstance(document, dict):
+        raise TopologyError(f"topology document must be an object, got {type(document).__name__}")
+    unknown = set(document) - {"shards"}
+    if unknown:
+        raise TopologyError(f"unknown topology key(s) {sorted(unknown)} (expected 'shards')")
+    entries = document.get("shards")
+    if not isinstance(entries, list) or not entries:
+        raise TopologyError("topology needs a non-empty 'shards' array")
+    shards: list[tuple[ReplicaSpec, ...]] = []
+    for position, entry in enumerate(entries):
+        if isinstance(entry, list):
+            replicas = entry
+        elif isinstance(entry, dict):
+            unknown = set(entry) - {"shard", "replicas"}
+            if unknown:
+                raise TopologyError(
+                    f"shard entry {position}: unknown key(s) {sorted(unknown)} "
+                    "(expected 'replicas' and optional 'shard')"
+                )
+            declared = entry.get("shard", position)
+            if declared != position:
+                raise TopologyError(
+                    f"shard entry {position} declares shard={declared!r}; entries must be "
+                    "listed in shard-id order (document order is shard id)"
+                )
+            replicas = entry.get("replicas")
+        else:
+            raise TopologyError(
+                f"shard entry {position} must be an object or a replica array, "
+                f"got {type(entry).__name__}"
+            )
+        if not isinstance(replicas, list) or not replicas:
+            raise TopologyError(f"shard {position} needs a non-empty 'replicas' array")
+        shards.append(tuple(_parse_replica(replica, position) for replica in replicas))
+    return ClusterTopology(shards=tuple(shards))
+
+
+def load_topology(path: str | Path) -> ClusterTopology:
+    """Load and validate a topology file (``.json``, or ``.toml`` on Python >= 3.11)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError as error:  # pragma: no cover - Python 3.10
+            raise TopologyError(
+                f"TOML topologies need Python >= 3.11 (tomllib); rewrite {path.name} as JSON"
+            ) from error
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise TopologyError(f"{path}: invalid TOML: {error}") from error
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise TopologyError(f"{path}: invalid JSON: {error}") from error
+    return parse_topology(document)
+
+
+def topology_for_endpoints(endpoint_lists: list[list[str]]) -> ClusterTopology:
+    """Topology with unit weights from per-shard endpoint lists (tests/clusters)."""
+    return ClusterTopology(
+        shards=tuple(
+            tuple(ReplicaSpec(endpoint=endpoint) for endpoint in replicas)
+            for replicas in endpoint_lists
+        )
+    )
+
+
+__all__ = [
+    "ClusterTopology",
+    "ReplicaSpec",
+    "TopologyError",
+    "load_topology",
+    "parse_topology",
+    "topology_for_endpoints",
+]

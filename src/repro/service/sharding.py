@@ -36,7 +36,7 @@ from ..models import EAModel
 from .cache import GenerationToken
 from .config import ServiceConfig
 from .service import ExEAClient, ExplanationService
-from .stats import merge_stats
+from .stats import imbalance_summary, merge_stats
 
 
 class ShardRouter:
@@ -89,6 +89,8 @@ class ShardedExplanationService:
         self._reference_lock = threading.Lock()
         self._reference_alignment: AlignmentSet | None = None
         self._reference_token: GenerationToken | None = None
+        self._pairs_lock = threading.Lock()
+        self._pairs_cache: tuple[GenerationToken, list[int]] | None = None
         self.shards = [
             ExplanationService(
                 model,
@@ -184,18 +186,43 @@ class ShardedExplanationService:
         """Per-shard :class:`ServiceStats` objects (index = shard id)."""
         return [shard.stats for shard in self.shards]
 
+    def pairs_per_shard(self) -> list[int]:
+        """How many reference pairs each shard's partition holds.
+
+        Partitions the current generation's reference alignment (model
+        predictions ∪ seed — the pair population the service actually
+        answers about) with the same router requests use.  Both the
+        reference and the counts are cached per generation token, so a
+        stats poll pays the CRC-32 pass only after a KG mutation or
+        refit.
+        """
+        token = self._token()
+        with self._pairs_lock:
+            if self._pairs_cache is None or self._pairs_cache[0] != token:
+                counts = [0] * len(self.shards)
+                for source, target in self._shared_reference().pairs:
+                    counts[self.router.shard_of(source, target)] += 1
+                self._pairs_cache = (token, counts)
+            return list(self._pairs_cache[1])
+
     def stats_snapshot(self) -> dict:
         """Aggregate + per-shard telemetry.
 
         ``overall`` merges every shard's counters and pools their latency
-        reservoirs; ``per_shard`` keeps one full snapshot per shard so
-        imbalanced partitions (hit rate, occupancy, p50/p95 skew) stay
-        visible.
+        reservoirs (including the ``shard_imbalance.request_share``
+        summary) and adds a ``shard_imbalance.pair_count`` summary over
+        the partition sizes; ``per_shard`` keeps one full snapshot per
+        shard so imbalanced partitions (hit rate, occupancy, p50/p95
+        skew) stay visible.
         """
+        overall = merge_stats(shard.stats for shard in self.shards)
+        pair_counts = self.pairs_per_shard()
+        overall["shard_imbalance"]["pair_count"] = imbalance_summary(pair_counts)
         return {
             "num_shards": len(self.shards),
-            "overall": merge_stats(shard.stats for shard in self.shards),
+            "overall": overall,
             "per_shard": [shard.stats.snapshot() for shard in self.shards],
+            "pairs_per_shard": pair_counts,
         }
 
 

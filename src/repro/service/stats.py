@@ -195,13 +195,36 @@ def _derive_snapshot(counters: dict, latencies: list[float]) -> dict:
     return snapshot
 
 
+def imbalance_summary(values: Iterable[float]) -> dict:
+    """Skew of a per-shard quantity: ``{"max", "mean", "max_over_mean"}``.
+
+    ``max_over_mean`` is the imbalance factor — 1.0 means a perfectly
+    even spread, 2.0 means the hottest shard carries twice its fair
+    share.  A zero mean (no traffic / no pairs yet) reports 1.0 rather
+    than dividing by zero: an empty cluster is trivially balanced.
+    """
+    values = [float(value) for value in values]
+    if not values:
+        return {"max": 0.0, "mean": 0.0, "max_over_mean": 1.0}
+    mean = sum(values) / len(values)
+    peak = max(values)
+    return {
+        "max": peak,
+        "mean": mean,
+        "max_over_mean": peak / mean if mean > 0 else 1.0,
+    }
+
+
 def merge_stats(stats: Iterable[ServiceStats]) -> dict:
     """One overall snapshot across several :class:`ServiceStats` objects.
 
     Counters are summed, the per-operation attribution is merged, and the
     latency reservoirs are pooled so the overall p50/p95 reflect every
     shard's requests (``max_batch_size`` takes the max, as it is a high
-    watermark rather than a sum).
+    watermark rather than a sum).  The result carries a
+    ``shard_imbalance.request_share`` summary (max/mean submitted across
+    the merged parts) so a skewed partition is visible in the overall
+    row, not only by eyeballing the per-shard ones.
     """
     return merge_raw(shard_stats._raw() for shard_stats in stats)
 
@@ -212,16 +235,22 @@ def merge_raw(parts: Iterable[tuple[dict, list[float]]]) -> dict:
     The raw-parts form of :func:`merge_stats`: this is what the remote
     transport uses to aggregate the per-process stats payloads fetched
     from every shard server, and what :func:`merge_stats` delegates to
-    for in-process shards.  The input dicts are consumed as scratch
-    space; pass fresh copies (``ServiceStats.raw`` and JSON decoding both
-    produce them).
+    for in-process shards.  The input parts are left untouched (the
+    accumulator starts from its own copy), so the same raw payloads can
+    feed several aggregations — e.g. a cluster's overall *and* per-shard
+    merges.
     """
     total: dict | None = None
     all_latencies: list[float] = []
+    per_part_submitted: list[int] = []
     for counters, latencies in parts:
         all_latencies.extend(latencies)
+        per_part_submitted.append(counters.get("submitted", 0))
         if total is None:
-            total = counters
+            total = {
+                key: dict(value) if key in ("hits_by_kind", "misses_by_kind") else value
+                for key, value in counters.items()
+            }
             continue
         for key, value in counters.items():
             if key in ("hits_by_kind", "misses_by_kind"):
@@ -235,4 +264,6 @@ def merge_raw(parts: Iterable[tuple[dict, list[float]]]) -> dict:
     if total is None:
         empty = ServiceStats(latency_reservoir=1)
         total, all_latencies = empty._raw()
-    return _derive_snapshot(total, all_latencies)
+    snapshot = _derive_snapshot(total, all_latencies)
+    snapshot["shard_imbalance"] = {"request_share": imbalance_summary(per_part_submitted)}
+    return snapshot

@@ -34,7 +34,7 @@ from ...datasets import shard_workload
 from ..errors import RemoteTransportError
 from ..service import _fan_out
 from ..sharding import ShardRouter
-from ..stats import merge_raw
+from ..stats import imbalance_summary, merge_raw
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     ConnectionClosedError,
@@ -417,12 +417,14 @@ class RemoteShardedClient:
         so the overall figures aggregate exactly as in-process shards do.
         """
         payloads = [shard.call({"op": OP_STATS}) for shard in self.shards]
+        overall = merge_raw((payload["counters"], payload["latencies"]) for payload in payloads)
+        pair_counts = [int(payload.get("num_pairs", 0)) for payload in payloads]
+        overall["shard_imbalance"]["pair_count"] = imbalance_summary(pair_counts)
         return {
             "num_shards": len(self.shards),
-            "overall": merge_raw(
-                (payload["counters"], payload["latencies"]) for payload in payloads
-            ),
+            "overall": overall,
             "per_shard": [payload["snapshot"] for payload in payloads],
+            "pairs_per_shard": pair_counts,
         }
 
     def shutdown_servers(self) -> None:

@@ -179,12 +179,10 @@ class LocalShardCluster:
         self._workdir: Path | None = None
 
     # ------------------------------------------------------------------
-    def start(self) -> "LocalShardCluster":
-        """Write the snapshot, spawn every shard, connect the client."""
-        if self.client is not None:
-            return self
+    def _write_snapshot(self) -> Path:
+        """Create the working directory and pickle the serving snapshot into it."""
         self._workdir = Path(tempfile.mkdtemp(prefix="repro-shard-cluster-"))
-        snapshot = write_snapshot(
+        return write_snapshot(
             self._workdir / "snapshot.pkl",
             self.model,
             self.dataset,
@@ -195,6 +193,45 @@ class LocalShardCluster:
             service_config=replace(self.service_config, num_shards=1),
             exea_config=self.exea_config,
         )
+
+    def _spawn_serve(self, snapshot: Path, shard_id: int, env: dict) -> subprocess.Popen:
+        """Spawn one ``python -m repro.service serve`` subprocess for *shard_id*."""
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "serve",
+                "--snapshot",
+                str(snapshot),
+                "--shard-id",
+                str(shard_id),
+                "--num-shards",
+                str(self.num_shards),
+                "--listen",
+                "127.0.0.1:0",
+            ],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+
+    @staticmethod
+    def _reap_untracked(spawned: list[subprocess.Popen], tracked_pids: set[int]) -> None:
+        """Kill and reap spawned processes that never reached bookkeeping."""
+        for process in spawned:
+            if process.pid in tracked_pids:
+                continue
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)  # reap: no zombies from failed startups
+            if process.stdout is not None:
+                process.stdout.close()
+
+    def start(self) -> "LocalShardCluster":
+        """Write the snapshot, spawn every shard, connect the client."""
+        if self.client is not None:
+            return self
+        snapshot = self._write_snapshot()
         env = _subprocess_env()
         try:
             # Spawn every shard first, then wait for the READY lines:
@@ -202,26 +239,7 @@ class LocalShardCluster:
             # startup costs ~one shard's startup rather than N of them.
             spawned: list[subprocess.Popen] = []
             for shard_id in range(self.num_shards):
-                spawned.append(
-                    subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro.service",
-                            "serve",
-                            "--snapshot",
-                            str(snapshot),
-                            "--shard-id",
-                            str(shard_id),
-                            "--num-shards",
-                            str(self.num_shards),
-                            "--listen",
-                            "127.0.0.1:0",
-                        ],
-                        stdout=subprocess.PIPE,
-                        env=env,
-                    )
-                )
+                spawned.append(self._spawn_serve(snapshot, shard_id, env))
             for shard_id, process in enumerate(spawned):
                 ready = _read_ready_line(process, self.startup_timeout)
                 self.processes.append(ShardProcess(shard_id, process, ready))
@@ -231,15 +249,7 @@ class LocalShardCluster:
         except BaseException:
             # Tear down whatever came up, including spawned processes that
             # never reached ShardProcess bookkeeping.
-            tracked = {shard.process.pid for shard in self.processes}
-            for process in spawned:
-                if process.pid in tracked:
-                    continue
-                if process.poll() is None:
-                    process.kill()
-                process.wait(timeout=30)  # reap: no zombies from failed startups
-                if process.stdout is not None:
-                    process.stdout.close()
+            self._reap_untracked(spawned, {shard.process.pid for shard in self.processes})
             self.close()
             raise
         return self

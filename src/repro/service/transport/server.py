@@ -29,6 +29,7 @@ import time
 
 from ..errors import ServiceClosedError, ServiceOverloadedError
 from ..service import ExplanationService
+from ..sharding import ShardRouter
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameTooLargeError,
@@ -92,6 +93,8 @@ class ShardServer:
         self._conn_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
         self._thread: threading.Thread | None = None
+        #: (token, count) cache of this shard's pair-partition size
+        self._pairs_cache: tuple[tuple, int] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -316,7 +319,30 @@ class ShardServer:
             "model": self.service.model.name,
             "token": list(self.service.generation_token()),
             "pid": os.getpid(),
+            # Live load signal for health probes / routing: how many
+            # admitted requests are waiting for a worker right now.
+            "queue_depth": len(self.service.queue),
         }
+
+    def _num_pairs(self) -> int:
+        """Size of this shard's pair partition (cached per generation token).
+
+        Counts the reference-alignment pairs (predictions ∪ seed — the
+        population this process answers about) that the cluster's CRC-32
+        router maps to this shard id.  The reference is already cached per
+        generation by the service, so recomputation only happens after a
+        KG mutation or refit.
+        """
+        token = self.service.generation_token()
+        if self._pairs_cache is None or self._pairs_cache[0] != token:
+            router = ShardRouter(self.num_shards)
+            count = sum(
+                1
+                for source, target in self.service.reference_alignment().pairs
+                if router.shard_of(source, target) == self.shard_id
+            )
+            self._pairs_cache = (token, count)
+        return self._pairs_cache[1]
 
     def _handle_single(self, kind: str, request: dict) -> dict:
         """One submit-and-wait operation (explain / confidence / verify)."""
@@ -376,6 +402,8 @@ class ShardServer:
             "latencies": latencies,
             "snapshot": self.service.stats.snapshot(),
             "token": list(self.service.generation_token()),
+            "queue_depth": len(self.service.queue),
+            "num_pairs": self._num_pairs(),
         }
 
     def _handle_invalidate(self) -> dict:

@@ -134,6 +134,20 @@ class TestRunners:
         table = format_service_rows([row], title="svc")
         assert "Transport" in table and "remote" in table
 
+    def test_service_experiment_cluster_transport(self, model, dataset, scale):
+        """The replication axis: replicated real subprocesses with failover routing."""
+        row = run_service_experiment(
+            model, dataset, scale, num_requests=120, num_clients=2,
+            num_shards=2, transport="cluster", num_replicas=2,
+        )
+        assert row.transport == "cluster"
+        assert row.num_shards == 2
+        assert row.num_replicas == 2
+        assert row.num_requests == 120
+        assert row.requests_per_second > 0
+        table = format_service_rows([row], title="svc")
+        assert "Replicas" in table and "cluster" in table
+
     def test_service_experiment_rejects_unknown_transport(self, model, dataset, scale):
         with pytest.raises(ValueError):
             run_service_experiment(model, dataset, scale, transport="carrier-pigeon")

@@ -204,6 +204,39 @@ class TestShardedStats:
         # merge_stats over the shard stats objects agrees with the snapshot.
         assert merge_stats(service.stats)["completed"] == overall["completed"]
 
+    def test_shard_imbalance_metric_reports_request_and_pair_skew(
+        self, fitted_model, service_dataset
+    ):
+        """The overall snapshot carries max/mean request share and pair
+        count across shards (the skewed-partition telemetry)."""
+        pairs = predicted_pairs(fitted_model, limit=10)
+        workload = replay_workload(pairs, 120, seed=5, skew=1.5, kinds=(EXPLAIN,))
+        config = ServiceConfig(num_shards=3, num_workers=1)
+        with ShardedExplanationService(fitted_model, service_dataset, config) as service:
+            replay_concurrently(service, workload, num_clients=4)
+            pair_counts = service.pairs_per_shard()
+        snapshot = service.stats_snapshot()
+        imbalance = snapshot["overall"]["shard_imbalance"]
+        submitted = [row["submitted"] for row in snapshot["per_shard"]]
+        assert imbalance["request_share"]["max"] == max(submitted)
+        assert imbalance["request_share"]["mean"] == pytest.approx(
+            sum(submitted) / len(submitted)
+        )
+        assert imbalance["request_share"]["max_over_mean"] >= 1.0
+        # Pair counts partition the reference alignment exactly.
+        assert snapshot["pairs_per_shard"] == pair_counts
+        assert imbalance["pair_count"]["max"] == max(pair_counts)
+        assert sum(pair_counts) == len(
+            service.shards[0]._backends[0].generator.reference_alignment().pairs
+        )
+
+    def test_imbalance_summary_handles_empty_and_zero_inputs(self):
+        from repro.service import imbalance_summary
+
+        assert imbalance_summary([])["max_over_mean"] == 1.0
+        assert imbalance_summary([0, 0])["max_over_mean"] == 1.0
+        assert imbalance_summary([30, 10])["max_over_mean"] == pytest.approx(1.5)
+
     def test_verify_served_from_confidence_cache_counts_as_verify_hit(
         self, fitted_model, service_dataset
     ):

@@ -474,6 +474,51 @@ class TestConnectionFailures:
         assert client.ping()["shard_id"] == 0
         client.close()
 
+    def test_server_killed_pooled_socket_retries_on_fresh_dial(self):
+        """A pooled socket the SERVER closed between two requests must be
+        detected as stale and the request retried once on a fresh dial —
+        the explicit unit for what the kill-shard test only exercises
+        implicitly."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        host, port = listener.getsockname()
+        connections_seen = []
+        requests_answered = []
+
+        def serve_one_then_hang_up():
+            # Each accepted connection answers exactly one frame and is
+            # then closed server-side — every pooled socket goes stale
+            # after its first use (an idle-connection reaper in miniature).
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                connections_seen.append(conn)
+                with conn:
+                    request = recv_frame(conn)
+                    if request is None:
+                        continue
+                    requests_answered.append(request)
+                    send_frame(conn, {"ok": {"shard_id": 0, "echo": request.get("n")}})
+
+        server = threading.Thread(target=serve_one_then_hang_up, daemon=True)
+        server.start()
+        client = RemoteShardClient(f"{host}:{port}", timeout=10)
+        first = client.call({"op": OP_PING, "n": 1})
+        assert first["echo"] == 1
+        assert len(client._pool) == 1  # the (already dead) socket went back
+        # The second request checks out the stale socket, fails, and must
+        # transparently retry on a fresh connection — not surface an error.
+        second = client.call({"op": OP_PING, "n": 2})
+        assert second["echo"] == 2
+        assert len(connections_seen) == 2  # one re-dial, no more
+        assert [request["n"] for request in requests_answered] == [1, 2]
+        client.close()
+        listener.close()
+        server.join(timeout=10)
+
     def test_timeout_raises_without_retrying_the_request(self):
         """A slow server means timeout, not retry: re-sending would double
         its work and the caller's wait."""

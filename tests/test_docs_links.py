@@ -52,6 +52,64 @@ def test_checker_catches_broken_link(tmp_path):
     assert len(problems) == 2
 
 
+def test_checker_numbers_duplicate_headings_like_github(tmp_path):
+    """Two identical headings expose 'slug' and 'slug-1'; linking the
+    suffixed form must pass and an out-of-range suffix must fail."""
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "## Example\n\n## Example\n\n"
+        "good [first](#example), good [second](#example-1), bad [third](#example-2)\n",
+        encoding="utf-8",
+    )
+    problems = checker.check_file(page)
+    assert len(problems) == 1
+    assert "example-2" in problems[0]
+
+
+def test_checker_accepts_setext_headings_and_html_anchors(tmp_path):
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "Big Title\n=========\n\nSub Part\n--------\n\n"
+        '<a id="pinned"></a>\n\n'
+        "good [t](#big-title), good [s](#sub-part), good [p](#pinned), bad [x](#nope)\n",
+        encoding="utf-8",
+    )
+    problems = checker.check_file(page)
+    assert len(problems) == 1
+    assert "#nope" in problems[0]
+
+
+def test_checker_ignores_headings_inside_code_fences(tmp_path):
+    """A '# heading' inside a fenced block renders as code, not an anchor."""
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Real\n\n```bash\n# fake heading\n```\n\n"
+        "good [r](#real), bad [f](#fake-heading)\n",
+        encoding="utf-8",
+    )
+    problems = checker.check_file(page)
+    assert len(problems) == 1
+    assert "fake-heading" in problems[0]
+
+
+def test_checker_validates_cross_file_fragments(tmp_path):
+    """A fragment on a markdown target must match the target's anchors,
+    not merely the target file's existence."""
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "good [ok](other.md#there), bad [missing](other.md#not-there)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "other.md").write_text("## There\n", encoding="utf-8")
+    problems = checker.check_file(page)
+    assert len(problems) == 1
+    assert "not-there" in problems[0]
+
+
 def test_checker_compares_raw_fragments_like_github(tmp_path):
     """'#v1.0-release' must NOT match the 'v10-release' anchor of
     '## v1.0 release' — GitHub compares raw fragments against slugs."""

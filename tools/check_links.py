@@ -1,12 +1,21 @@
 #!/usr/bin/env python
-"""Check relative markdown links for broken targets.
+"""Check relative markdown links for broken targets and broken anchors.
 
 Scans ``[text](target)`` links in the given markdown files; a *relative*
 target must resolve to an existing file or directory (relative to the
-file containing the link), and a ``#fragment`` on a markdown target must
-match a heading in the target file (GitHub-style slugs).  External links
-(``http(s)://``, ``mailto:``) and pure in-page anchors of other sites are
-not fetched — the check is fully offline and deterministic.
+file containing the link), and a ``#fragment`` — in-page or on a markdown
+target — must match an anchor the target document actually exposes.
+Anchors are computed the way GitHub computes them:
+
+* ATX (``## Heading``) **and** setext (``Heading`` underlined with ``===``
+  or ``---``) headings produce slugs (lowercased, punctuation dropped,
+  spaces to dashes);
+* repeated headings get ``-1``, ``-2``, … suffixes in document order;
+* explicit HTML anchors (``<a id="x">``, ``<a name="x">``) count too;
+* headings inside fenced code blocks do **not** produce anchors.
+
+External links (``http(s)://``, ``mailto:``) are not fetched — the check
+is fully offline and deterministic.
 
 Usage::
 
@@ -26,9 +35,16 @@ from pathlib import Path
 #: Inline markdown links: [text](target). Images ![alt](target) match too
 #: via the optional leading "!" being outside the capture.
 _LINK = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
-#: ATX headings, used to validate #fragment anchors.
-_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
-#: Fenced code blocks are stripped before link extraction.
+#: ATX (# Heading) or setext (Heading\n=== / ---) headings, in document
+#: order (one alternation so duplicate-slug suffixes number correctly).
+_HEADING = re.compile(
+    r"^#{1,6}\s+(?P<atx>.*?)\s*#*\s*$"
+    r"|^(?P<setext>[^\s#>|\-*+][^\n]*)\n(?:=+|-+)[ \t]*$",
+    re.MULTILINE,
+)
+#: Explicit HTML anchors: <a id="x"> / <a name="x">.
+_HTML_ANCHOR = re.compile(r"<a\s[^>]*\b(?:id|name)\s*=\s*[\"']([^\"']+)[\"']", re.IGNORECASE)
+#: Fenced code blocks are stripped before link and anchor extraction.
 _FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
 
 
@@ -42,8 +58,26 @@ def github_slug(heading: str) -> str:
 
 
 def heading_slugs(markdown: str) -> set[str]:
-    """Every heading anchor a markdown document exposes."""
-    return {github_slug(match.group(1)) for match in _HEADING.finditer(markdown)}
+    """Every anchor a markdown document exposes, as GitHub would render it.
+
+    Walks ATX and setext headings in document order so a repeated heading
+    yields ``slug``, ``slug-1``, ``slug-2``, …, exactly like GitHub's
+    renderer; explicit ``<a id=…>`` / ``<a name=…>`` anchors are included
+    verbatim (lowercased), and fenced code blocks expose nothing.
+    """
+    text = _FENCE.sub("", markdown)
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING.finditer(text):
+        heading = match.group("atx")
+        if heading is None:
+            heading = match.group("setext")
+        slug = github_slug(heading)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    anchors.update(match.group(1).lower() for match in _HTML_ANCHOR.finditer(text))
+    return anchors
 
 
 def iter_links(markdown: str):
