@@ -77,12 +77,18 @@ from .service import (
     replay_concurrently,
 )
 from .sharding import ShardedExEAClient, ShardedExplanationService, ShardRouter
-from .stats import ServiceStats, imbalance_summary, merge_raw, merge_stats
+from .stats import ServiceStats, WireCounters, imbalance_summary, merge_raw, merge_stats
 from .transport import (
+    SUPPORTED_WIRES,
+    WIRE_AUTO,
+    WIRE_BINARY,
+    WIRE_JSON,
     LocalShardCluster,
+    MuxConnection,
     RemoteShardClient,
     RemoteShardedClient,
     ShardServer,
+    default_wire,
     replay_remote_concurrently,
 )
 from .worker import MicroBatchWorkerPool, WorkerPool
@@ -100,6 +106,7 @@ __all__ = [
     "LocalShardCluster",
     "MicroBatchWorkerPool",
     "MicroBatcher",
+    "MuxConnection",
     "RemoteOperationError",
     "RemoteShardClient",
     "RemoteShardedClient",
@@ -113,6 +120,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloadedError",
+    "SUPPORTED_WIRES",
     "ServiceRequest",
     "ServiceStats",
     "ShardRouter",
@@ -121,7 +129,12 @@ __all__ = [
     "ShardedExplanationService",
     "TopologyError",
     "VERIFY",
+    "WIRE_AUTO",
+    "WIRE_BINARY",
+    "WIRE_JSON",
+    "WireCounters",
     "WorkerPool",
+    "default_wire",
     "imbalance_summary",
     "load_topology",
     "merge_raw",

@@ -59,6 +59,8 @@ from .service import CONFIDENCE, EXPLAIN, VERIFY, replay_concurrently
 from .sharding import ShardedExplanationService
 from .transport import (
     DEFAULT_MAX_FRAME_BYTES,
+    SUPPORTED_WIRES,
+    WIRE_AUTO,
     RemoteShardedClient,
     ShardServer,
     read_snapshot,
@@ -116,6 +118,32 @@ def _add_traffic_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the raw ServiceStats snapshot (overall + per-shard rows) here",
     )
+
+
+def _add_client_wire_arguments(parser: argparse.ArgumentParser) -> None:
+    """Client-side codec/transport preference shared by ``connect``/``cluster``."""
+    parser.add_argument(
+        "--wire",
+        default=None,
+        choices=[WIRE_AUTO, *SUPPORTED_WIRES],
+        help=(
+            "wire codec preference: auto negotiates binary when the servers "
+            "support it (the default, also via REPRO_WIRE), json/binary pin one"
+        ),
+    )
+    parser.add_argument(
+        "--no-mux",
+        dest="mux",
+        action="store_const",
+        const=False,
+        default=None,
+        help="use the pooled connection-per-request transport even if servers support mux",
+    )
+
+
+def _client_transport_kwargs(args: argparse.Namespace) -> dict:
+    """``wire=``/``mux=`` kwargs for remote clients from the CLI flags."""
+    return {"wire": args.wire, "mux": args.mux}
 
 
 def _service_config(args: argparse.Namespace, num_shards: int = 1) -> ServiceConfig:
@@ -263,6 +291,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_FRAME_BYTES // 1024,
         help="largest accepted request/response frame, in KiB",
     )
+    parser.add_argument(
+        "--wire",
+        default="both",
+        choices=["both", *SUPPORTED_WIRES],
+        help="wire codecs this server accepts (default: both; clients negotiate down)",
+    )
+    parser.add_argument(
+        "--no-mux",
+        dest="mux",
+        action="store_false",
+        help="disable multiplexed (request-id-tagged) dispatch; serve frames serially",
+    )
     return parser
 
 
@@ -296,11 +336,14 @@ def serve_main(argv: list[str]) -> int:
     from .service import ExplanationService
 
     service = ExplanationService(model, dataset, config, exea_config=exea_config)
+    wires = tuple(SUPPORTED_WIRES) if args.wire == "both" else (args.wire,)
     server = ShardServer(
         service,
         shard_id=args.shard_id,
         num_shards=args.num_shards,
         max_frame_bytes=args.max_frame_kb * 1024,
+        wires=wires,
+        mux=args.mux,
     )
     address = server.bind(args.listen)
     service.start()
@@ -310,6 +353,8 @@ def serve_main(argv: list[str]) -> int:
         "address": address,
         "dataset": dataset.name,
         "model": model.name,
+        "wires": list(wires),
+        "mux": args.mux,
     }
     print("READY " + json.dumps(ready, sort_keys=True), flush=True)
     try:
@@ -337,6 +382,7 @@ def build_connect_parser() -> argparse.ArgumentParser:
         help="comma-separated shard endpoints ordered by shard id (host:port or unix:/path)",
     )
     _add_traffic_arguments(parser)
+    _add_client_wire_arguments(parser)
     parser.add_argument("--seed", type=int, default=1, help="traffic seed")
     parser.add_argument("--timeout", type=float, default=60.0, help="per-request socket timeout (s)")
     parser.add_argument(
@@ -351,7 +397,8 @@ def connect_main(argv: list[str]) -> int:
     """Replay deterministic traffic through a remote shard cluster."""
     args = build_connect_parser().parse_args(argv)
     endpoints = [endpoint.strip() for endpoint in args.endpoints.split(",") if endpoint.strip()]
-    with RemoteShardedClient(endpoints, timeout=args.timeout) as client:
+    client_kwargs = _client_transport_kwargs(args)
+    with RemoteShardedClient(endpoints, timeout=args.timeout, **client_kwargs) as client:
         pairs = client.pairs()
         workload = _workload(args, pairs)
         print(
@@ -361,11 +408,13 @@ def connect_main(argv: list[str]) -> int:
         )
         elapsed = replay_remote_concurrently(client, workload, args.clients)
         stats = client.stats_snapshot()
+        transport = client.shards[0].negotiated_transport()
         if args.shutdown:
             client.shutdown_servers()
 
     report = {
         "transport": "remote",
+        "wire": transport,
         "endpoints": endpoints,
         "num_requests": len(workload),
         "num_clients": args.clients,
@@ -396,6 +445,7 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         help="path to the cluster topology file (.json or .toml; see docs/OPERATIONS.md)",
     )
     _add_traffic_arguments(parser)
+    _add_client_wire_arguments(parser)
     parser.add_argument("--seed", type=int, default=1, help="traffic seed")
     parser.add_argument("--timeout", type=float, default=60.0, help="per-request socket timeout (s)")
     parser.add_argument(
@@ -422,7 +472,8 @@ def cluster_main(argv: list[str]) -> int:
     manager = ClusterManager(
         topology, probe_interval=args.probe_interval, miss_threshold=args.miss_threshold
     )
-    with ClusterClient(topology, manager=manager, timeout=args.timeout) as client:
+    client_kwargs = _client_transport_kwargs(args)
+    with ClusterClient(topology, manager=manager, timeout=args.timeout, **client_kwargs) as client:
         pairs = client.pairs()
         workload = _workload(args, pairs)
         print(

@@ -39,32 +39,23 @@ import time
 from typing import Callable, Iterable
 
 from ..errors import RemoteTransportError, ServiceOverloadedError
-from ..service import _fan_out
-from ..sharding import ShardRouter
 from ..stats import imbalance_summary, merge_raw
-from ..transport.client import (
-    BATCH_CHUNK_SIZE,
+from ..transport.client import RemoteShardClient
+from ..transport.facade import (
     DEFAULT_TIMEOUT,
-    RemoteShardClient,
-    replay_remote_concurrently,
+    ShardedClientFacade,
+    is_request_shaped,
+    replay_facade_concurrently,
+    verify_peer_identity,
+    verify_served_identity,
 )
-from ..transport.framing import (
-    DEFAULT_MAX_FRAME_BYTES,
-    ConnectionClosedError,
-    ProtocolError,
-)
+from ..transport.framing import DEFAULT_MAX_FRAME_BYTES
 from ..transport.protocol import (
-    OP_BATCH,
-    OP_CONFIDENCE,
-    OP_EXPLAIN,
     OP_INVALIDATE,
     OP_PAIRS,
     OP_SHUTDOWN,
     OP_STATS,
-    OP_VERIFY,
-    PROTOCOL_VERSION,
     decode_error,
-    decode_value,
 )
 from .manager import ClusterManager, ReplicaRoute
 from .topology import ClusterTopology
@@ -128,14 +119,16 @@ def replica_score(route: ReplicaRoute, inflight: int, ema_ms: float) -> float:
     return congestion * latency / max(route.weight, 1e-9)
 
 
-class ClusterClient:
+class ClusterClient(ShardedClientFacade):
     """The `ExEAClient` facade over a replicated, health-checked cluster.
 
     *manager* defaults to a new :class:`ClusterManager` over *topology*
     (owned and stopped by this client); pass one explicitly to share a
     control plane across clients or to tune detection.  The client is
-    thread-safe: concurrent callers share the per-endpoint connection
-    pools and load accounting.
+    thread-safe: concurrent callers share the per-endpoint connections
+    and load accounting.  ``wire``/``mux`` pass through to every
+    replica's :class:`RemoteShardClient` (negotiated per endpoint, so a
+    mixed-version cluster upgrades only the replicas that can).
     """
 
     def __init__(
@@ -145,13 +138,21 @@ class ClusterClient:
         timeout: float = DEFAULT_TIMEOUT,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         check_topology: bool = True,
+        wire: str | None = None,
+        mux: bool | None = None,
     ) -> None:
+        super().__init__(topology.num_shards)
         self.topology = topology
-        self.router = ShardRouter(topology.num_shards)
         self._owns_manager = manager is None
         self.manager = manager or ClusterManager(topology)
         self._clients = {
-            endpoint: RemoteShardClient(endpoint, timeout=timeout, max_frame_bytes=max_frame_bytes)
+            endpoint: RemoteShardClient(
+                endpoint,
+                timeout=timeout,
+                max_frame_bytes=max_frame_bytes,
+                wire=wire,
+                mux=mux,
+            )
             for endpoint in topology.endpoints()
         }
         self._loads = {endpoint: _ReplicaLoad() for endpoint in self._clients}
@@ -198,30 +199,13 @@ class ClusterClient:
                     self.manager.report_failure(spec.endpoint, error)
                     continue
                 reachable += 1
-                if info.get("protocol") != PROTOCOL_VERSION:
-                    raise RemoteTransportError(
-                        f"{spec.endpoint} speaks protocol {info.get('protocol')}, "
-                        f"this client speaks {PROTOCOL_VERSION}"
-                    )
-                if (
-                    info.get("shard_id") != shard_id
-                    or info.get("num_shards") != self.topology.num_shards
-                ):
-                    raise RemoteTransportError(
-                        f"{spec.endpoint} identifies as shard {info.get('shard_id')}/"
-                        f"{info.get('num_shards')}, expected {shard_id}/"
-                        f"{self.topology.num_shards} — cluster is miswired"
-                    )
+                verify_peer_identity(info, spec.endpoint, shard_id, self.topology.num_shards)
                 if first is None:
                     first, first_endpoint = info, spec.endpoint
                 else:
-                    for key in ("dataset", "model", "token"):
-                        if info.get(key) != first.get(key):
-                            raise RemoteTransportError(
-                                f"{spec.endpoint} serves {key}={info.get(key)!r} but "
-                                f"{first_endpoint} serves {first.get(key)!r} — cluster "
-                                "replicas disagree on what they serve (miswired)"
-                            )
+                    verify_served_identity(
+                        first, first_endpoint, info, spec.endpoint, scope="replicas"
+                    )
                 descriptions.append(info)
             if not reachable:
                 details = "; ".join(
@@ -233,10 +217,6 @@ class ClusterClient:
                     f"no replica of shard {shard_id} is reachable ({details})"
                 )
         return descriptions
-
-    def shard_of(self, source: str, target: str) -> int:
-        """Which shard partition serves this pair (same CRC-32 as in-process)."""
-        return self.router.shard_of(source, target)
 
     # ------------------------------------------------------------------
     # Routing
@@ -310,10 +290,8 @@ class ClusterClient:
                 continue  # a peer replica may have queue capacity
             except RemoteTransportError as error:
                 load.end(time.monotonic() - start, ok=False)
-                if isinstance(error, ProtocolError) and not isinstance(
-                    error, ConnectionClosedError
-                ):
-                    raise  # request-shaped (timeout/oversized/malformed): same anywhere
+                if is_request_shaped(error):
+                    raise  # timeout/oversized/malformed: fails the same anywhere
                 self.manager.report_failure(route.endpoint, error)
                 excluded.add(route.endpoint)
                 last_error = error
@@ -332,34 +310,6 @@ class ClusterClient:
         if last_error is not None:
             raise last_error
         raise RemoteTransportError(f"no replica of shard {shard_id} is reachable")
-
-    # ------------------------------------------------------------------
-    # Single-pair operations (the ExEAClient surface)
-    # ------------------------------------------------------------------
-    def _single(self, op: str, source: str, target: str, timeout, deadline_ms):
-        payload = {"op": op, "source": source, "target": target}
-        if deadline_ms is not None:
-            payload["deadline_ms"] = deadline_ms
-        shard_id = self.router.shard_of(source, target)
-        return decode_value(op, self._call_shard(shard_id, payload, timeout))
-
-    def explain(
-        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
-    ):
-        """Explanation of one pair — equal to the in-process result, any replica."""
-        return self._single(OP_EXPLAIN, source, target, timeout, deadline_ms)
-
-    def confidence(
-        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
-    ) -> float:
-        """Repair-confidence of one pair — the exact in-process float."""
-        return self._single(OP_CONFIDENCE, source, target, timeout, deadline_ms)
-
-    def verify(
-        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
-    ) -> bool:
-        """EA verification (confidence thresholded server-side) of one pair."""
-        return self._single(OP_VERIFY, source, target, timeout, deadline_ms)
 
     # ------------------------------------------------------------------
     # Bulk operations
@@ -383,76 +333,19 @@ class ClusterClient:
                     return error
         return None
 
-    def _run_batch(
-        self, shard_id: int, items: list[tuple[str, str, str]], timeout: float | None
-    ) -> list:
-        """One shard's items in chunked ``batch`` frames, each with failover.
+    def _batch_reject(self):
+        """Batch exchanges fail over on per-item backpressure slots.
 
-        A chunk that comes back with a backpressure slot is re-sent to the
-        shard's next replica (via :meth:`_reject_overloaded_batch`); the
-        operations are idempotent, so re-running the chunk's other items
-        on the peer only warms a second cache.  Any other per-item error
-        is an *answer* and re-raises, as the in-process facade does.
+        A chunk that comes back with a backpressure slot is re-sent to
+        the shard's next replica; the operations are idempotent, so
+        re-running the chunk's other items on the peer only warms a
+        second cache.  Any other per-item error is an *answer* and
+        re-raises, as the in-process facade does.
         """
-        values: list = []
-        for start in range(0, len(items), BATCH_CHUNK_SIZE):
-            chunk = items[start : start + BATCH_CHUNK_SIZE]
-            response = self._call_shard(
-                shard_id,
-                {"op": OP_BATCH, "items": [list(item) for item in chunk]},
-                timeout,
-                reject=self._reject_overloaded_batch,
-            )
-            slots = response.get("results")
-            if not isinstance(slots, list) or len(slots) != len(chunk):
-                raise ProtocolError(
-                    f"a shard-{shard_id} replica answered {len(chunk)} batch items with "
-                    f"{len(slots) if isinstance(slots, list) else 'no'} results"
-                )
-            for (kind, _, _), slot in zip(chunk, slots):
-                if "error" in slot:
-                    raise decode_error(slot["error"])
-                values.append(decode_value(kind, slot["ok"]))
-        return values
+        return self._reject_overloaded_batch
 
-    def explain_many(
-        self, pairs: list[tuple[str, str]], timeout: float | None = None
-    ) -> dict[tuple[str, str], object]:
-        """Explain every distinct pair; concurrent per-shard batch exchanges."""
-        unique = list(dict.fromkeys(pairs))
-        items = [(OP_EXPLAIN, source, target) for source, target in unique]
-        return dict(zip(unique, self._scatter(items, timeout)))
-
-    def replay(
-        self, workload: list[tuple[str, str, str]], timeout: float | None = None
-    ) -> list[object]:
-        """Run a scripted ``(kind, source, target)`` replay; results in order.
-
-        A replica dying mid-replay only re-sends the affected chunk to a
-        healthy peer — the replay still completes with every result, in
-        submission order, bit-identical.
-        """
-        return self._scatter(list(workload), timeout)
-
-    def _scatter(self, items: list[tuple[str, str, str]], timeout: float | None) -> list:
-        """Partition items by shard, exchange concurrently, restore order."""
-        by_shard: dict[int, list[int]] = {}
-        for index, (_, source, target) in enumerate(items):
-            by_shard.setdefault(self.router.shard_of(source, target), []).append(index)
-        results: list = [None] * len(items)
-
-        def run_shard(shard_id: int, indices: list[int]) -> None:
-            values = self._run_batch(shard_id, [items[index] for index in indices], timeout)
-            for index, value in zip(indices, values):
-                results[index] = value
-
-        _fan_out(
-            [
-                lambda shard_id=shard_id, indices=indices: run_shard(shard_id, indices)
-                for shard_id, indices in by_shard.items()
-            ]
-        )
-        return results
+    def _shard_label(self, shard_id: int) -> str:
+        return f"a shard-{shard_id} replica"
 
     # ------------------------------------------------------------------
     # Cluster-wide operations
@@ -524,7 +417,19 @@ class ClusterClient:
             "pairs_per_shard": pair_counts,
             "unreachable": unreachable,
             "routing": self.routing_snapshot(),
+            "client_wire": self.wire_snapshot(),
         }
+
+    def wire_snapshot(self) -> dict:
+        """Client-side wire telemetry, overall and per replica endpoint."""
+        per_endpoint = {
+            endpoint: client.wire_counters.raw() for endpoint, client in self._clients.items()
+        }
+        overall: dict[str, int] = {}
+        for counters in per_endpoint.values():
+            for key, value in counters.items():
+                overall[key] = overall.get(key, 0) + value
+        return {"overall": overall, "per_endpoint": per_endpoint}
 
     def routing_snapshot(self) -> dict:
         """Where traffic actually went: per-replica routed/failure/load counters."""
@@ -584,7 +489,7 @@ def replay_cluster_concurrently(
     over the failover facade; returns elapsed wall-clock seconds,
     re-raising any thread failure.
     """
-    return replay_remote_concurrently(client, workload, num_clients, timeout)
+    return replay_facade_concurrently(client, workload, num_clients, timeout)
 
 
 __all__ = [

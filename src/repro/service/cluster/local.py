@@ -65,6 +65,9 @@ class ReplicatedLocalCluster(LocalShardCluster):
         client_timeout: float = 60.0,
         probe_interval: float = DEFAULT_PROBE_INTERVAL,
         miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+        wire: str | None = None,
+        mux: bool | None = None,
+        server_wire: str | None = None,
     ) -> None:
         super().__init__(
             model,
@@ -74,6 +77,9 @@ class ReplicatedLocalCluster(LocalShardCluster):
             exea_config=exea_config,
             startup_timeout=startup_timeout,
             client_timeout=client_timeout,
+            wire=wire,
+            mux=mux,
+            server_wire=server_wire,
         )
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -114,7 +120,11 @@ class ReplicatedLocalCluster(LocalShardCluster):
                 miss_threshold=self.miss_threshold,
             )
             self.client = ClusterClient(
-                self.topology, manager=self.manager, timeout=self.client_timeout
+                self.topology,
+                manager=self.manager,
+                timeout=self.client_timeout,
+                wire=self.wire,
+                mux=self.mux,
             )
         except BaseException:
             if self.manager is not None and self.client is None:

@@ -18,6 +18,64 @@ import threading
 from typing import Iterable
 
 
+class WireCounters:
+    """Thread-safe per-connection transport telemetry.
+
+    Both wire endpoints (the remote client's connections and each shard
+    server's accept loop) keep one of these per peer plus one aggregate:
+    bytes and frames in each direction, and the nanoseconds spent inside
+    the codec (encode before send, decode after receive).  The split is
+    what makes a codec regression observable in production: a JSON peer
+    shows up as more bytes *and* more codec time for the same frame
+    counts, without rerunning a benchmark.
+    """
+
+    __slots__ = (
+        "_lock",
+        "bytes_sent",
+        "bytes_received",
+        "frames_sent",
+        "frames_received",
+        "encode_ns",
+        "decode_ns",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.encode_ns = 0
+        self.decode_ns = 0
+
+    def record_sent(self, nbytes: int, encode_ns: int = 0) -> None:
+        """Count one outgoing frame of *nbytes* that took *encode_ns* to encode."""
+        with self._lock:
+            self.bytes_sent += nbytes
+            self.frames_sent += 1
+            self.encode_ns += encode_ns
+
+    def record_received(self, nbytes: int, decode_ns: int = 0) -> None:
+        """Count one incoming frame of *nbytes* that took *decode_ns* to decode."""
+        with self._lock:
+            self.bytes_received += nbytes
+            self.frames_received += 1
+            self.decode_ns += decode_ns
+
+    def raw(self) -> dict:
+        """Copy of the counters as a plain dict (mergeable, JSON-safe)."""
+        with self._lock:
+            return {
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "frames_sent": self.frames_sent,
+                "frames_received": self.frames_received,
+                "encode_ns": self.encode_ns,
+                "decode_ns": self.decode_ns,
+            }
+
+
 def _percentile(sorted_values: list[float], quantile: float) -> float:
     """Nearest-rank percentile of an already-sorted list (0.0 when empty)."""
     if not sorted_values:
@@ -54,6 +112,9 @@ class ServiceStats:
         #: operation kind -> cache hits / misses attributed to that kind
         self.hits_by_kind: dict[str, int] = {}
         self.misses_by_kind: dict[str, int] = {}
+        #: transport telemetry for whatever wire serves this service (the
+        #: shard server aggregates every connection into this object)
+        self.wire = WireCounters()
         self._latencies: list[float] = []
 
     # ------------------------------------------------------------------
@@ -143,6 +204,7 @@ class ServiceStats:
                 "max_batch_size": self.max_batch_size,
                 "hits_by_kind": dict(self.hits_by_kind),
                 "misses_by_kind": dict(self.misses_by_kind),
+                "wire": self.wire.raw(),
             }
             return counters, list(self._latencies)
 
@@ -248,19 +310,22 @@ def merge_raw(parts: Iterable[tuple[dict, list[float]]]) -> dict:
         per_part_submitted.append(counters.get("submitted", 0))
         if total is None:
             total = {
-                key: dict(value) if key in ("hits_by_kind", "misses_by_kind") else value
+                key: dict(value) if isinstance(value, dict) else value
                 for key, value in counters.items()
             }
             continue
         for key, value in counters.items():
-            if key in ("hits_by_kind", "misses_by_kind"):
-                merged = total[key]
-                for kind, count in value.items():
-                    merged[kind] = merged.get(kind, 0) + count
+            if isinstance(value, dict):
+                # Nested attribution maps (hits/misses_by_kind, wire)
+                # merge per key; a part from an older peer may lack the
+                # map entirely, so the accumulator slot is created lazily.
+                merged = total.setdefault(key, {})
+                for inner, count in value.items():
+                    merged[inner] = merged.get(inner, 0) + count
             elif key == "max_batch_size":
-                total[key] = max(total[key], value)
+                total[key] = max(total.get(key, 0), value)
             else:
-                total[key] += value
+                total[key] = total.get(key, 0) + value
     if total is None:
         empty = ServiceStats(latency_reservoir=1)
         total, all_latencies = empty._raw()

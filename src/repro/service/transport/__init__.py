@@ -6,12 +6,21 @@ already partitions the pair space into CRC-32-stable shard groups; here
 each shard group moves into its own server process and the client facade
 speaks to them over a thin wire protocol.  The pieces, bottom-up:
 
-* :mod:`~repro.service.transport.framing` — length-prefixed JSON frames
-  over TCP/Unix sockets, with oversized-frame rejection and typed
-  connection-failure errors.
+* :mod:`~repro.service.transport.framing` — length-prefixed frames over
+  TCP/Unix sockets, with oversized-frame rejection and typed
+  connection-failure errors (bodies are JSON or wire-v2 binary).
+* :mod:`~repro.service.transport.wire` — the negotiated binary body
+  codec: TLV values over an interned string table, pre-encoded blob
+  splicing for batch responses, deterministic bytes per payload.
 * :mod:`~repro.service.transport.protocol` — operation names, the value
   codec (explanations round-trip bit-identically) and the error mapping
   that carries backpressure/deadline semantics across the wire.
+* :mod:`~repro.service.transport.mux` — :class:`MuxConnection`, one
+  selectors-driven multiplexed connection per endpoint: request-id
+  correlation, out-of-order completion, per-request deadlines.
+* :mod:`~repro.service.transport.facade` — :class:`ShardedClientFacade`,
+  the shared routing/batching/retry base of
+  :class:`RemoteShardedClient` and the cluster client.
 * :mod:`~repro.service.transport.server` — :class:`ShardServer`, hosting
   one shard group's :class:`~repro.service.service.ExplanationService`
   behind a socket (``python -m repro.service serve``).
@@ -29,22 +38,34 @@ See ``docs/ARCHITECTURE.md`` for where this layer sits in the stack and
 """
 
 from .client import (
+    WIRE_AUTO,
     RemoteShardClient,
     RemoteShardedClient,
+    default_wire,
     replay_remote_concurrently,
 )
 from .cluster import LocalShardCluster, ShardProcess, read_snapshot, write_snapshot
+from .facade import (
+    ShardedClientFacade,
+    is_request_shaped,
+    is_stale_symptom,
+    replay_facade_concurrently,
+)
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     ConnectionClosedError,
     FrameTimeoutError,
     FrameTooLargeError,
     ProtocolError,
+    decode_json_body,
     encode_frame,
+    frame_raw,
     recv_frame,
+    recv_frame_raw,
     send_frame,
     send_raw_frame,
 )
+from .mux import MuxConnection
 from .protocol import (
     PROTOCOL_VERSION,
     decode_error,
@@ -53,27 +74,53 @@ from .protocol import (
     encode_value,
 )
 from .server import ShardServer, parse_listen_address
+from .wire import (
+    SUPPORTED_WIRES,
+    WIRE_BINARY,
+    WIRE_JSON,
+    decode_any_body,
+    decode_binary,
+    encode_binary,
+    encode_binary_value,
+)
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_WIRES",
+    "WIRE_AUTO",
+    "WIRE_BINARY",
+    "WIRE_JSON",
     "ConnectionClosedError",
     "FrameTimeoutError",
     "FrameTooLargeError",
     "LocalShardCluster",
+    "MuxConnection",
     "ProtocolError",
     "RemoteShardClient",
     "RemoteShardedClient",
     "ShardProcess",
     "ShardServer",
+    "ShardedClientFacade",
+    "decode_any_body",
+    "decode_binary",
     "decode_error",
+    "decode_json_body",
     "decode_value",
+    "default_wire",
+    "encode_binary",
+    "encode_binary_value",
     "encode_error",
     "encode_frame",
     "encode_value",
+    "frame_raw",
+    "is_request_shaped",
+    "is_stale_symptom",
     "parse_listen_address",
     "read_snapshot",
     "recv_frame",
+    "recv_frame_raw",
+    "replay_facade_concurrently",
     "replay_remote_concurrently",
     "send_frame",
     "send_raw_frame",

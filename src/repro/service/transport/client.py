@@ -1,20 +1,33 @@
 """Remote clients: the `ExEAClient` facade spoken over shard sockets.
 
-:class:`RemoteShardClient` talks to *one* shard server through a small
-connection pool (idle sockets are reused; a stale pooled socket is
-re-dialled and the request retried once — every protocol operation is
-idempotent, so the retry is safe).  :class:`RemoteShardedClient` composes
-one of those per shard process behind the exact call surface of the
-in-process :class:`~repro.service.service.ExEAClient` facade —
-``explain`` / ``confidence`` / ``verify`` / ``explain_many`` / ``replay``
-— plus the sharded extras (``shard_of``, ``stats_snapshot``) and the
-remote-only generation fan-out (``invalidate``).
+:class:`RemoteShardClient` talks to *one* shard server.  Two transports
+live behind its ``call``:
 
-Routing uses the same CRC-32 :class:`~repro.service.sharding.ShardRouter`
-as the in-process sharded service, so a pair reaches the same shard
-whether that shard is a thread group or a process; combined with the
-value codec's exact round-trip this makes remote results bit-identical
-to in-process sharded results at the same shard count.
+* **Multiplexed** (the default against capable servers) — one
+  :class:`~repro.service.transport.mux.MuxConnection` per endpoint
+  carries every caller's requests concurrently with request-id
+  correlation, out-of-order completion and per-request deadlines.
+* **Pooled** (the v1 model, kept for old servers and as the negotiation
+  carrier) — a small pool of blocking sockets, one dedicated to each
+  request for its round trip; a stale pooled socket is re-dialled and the
+  request retried once.
+
+The wire codec is negotiated the same way: the first call pings the
+server over plain JSON, reads its advertised capabilities (``"wires"``
+and ``"mux"`` in the ping payload) and upgrades to the binary v2 codec
+and the multiplexed transport when both ends support them.  ``wire=`` /
+``mux=`` pin either choice; the ``REPRO_WIRE`` environment variable sets
+the process-wide default (``json`` / ``binary`` / ``auto``).  Old JSON
+servers keep working — the client simply stays on the v1 path.
+
+:class:`RemoteShardedClient` composes one shard client per shard process
+behind the shared :class:`~repro.service.transport.facade.ShardedClientFacade`
+surface (``explain`` / ``confidence`` / ``verify`` / ``explain_many`` /
+``replay`` + ``shard_of``/``stats_snapshot``/``invalidate``).  Routing
+uses the same CRC-32 :class:`~repro.service.sharding.ShardRouter` as the
+in-process sharded service; combined with the codecs' exact round-trips
+this makes remote results bit-identical to in-process sharded results at
+the same shard count — under either codec.
 
 Failure surface: service errors (backpressure, deadline, closed) arrive
 as their own exception types; anything wrong with the *transport* —
@@ -25,66 +38,93 @@ hanging (every socket operation runs under a timeout).
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
 from typing import Iterable
 
-from ...datasets import shard_workload
 from ..errors import RemoteTransportError
-from ..service import _fan_out
-from ..sharding import ShardRouter
-from ..stats import imbalance_summary, merge_raw
+from ..stats import WireCounters, imbalance_summary, merge_raw
+from .facade import (
+    BATCH_CHUNK_SIZE,
+    DEFAULT_TIMEOUT,
+    ShardedClientFacade,
+    is_request_shaped,
+    is_stale_symptom,
+    replay_facade_concurrently,
+    verify_peer_identity,
+    verify_served_identity,
+)
 from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     ConnectionClosedError,
-    FrameTimeoutError,
     ProtocolError,
     encode_frame,
-    recv_frame,
+    frame_raw,
+    recv_frame_raw,
     send_raw_frame,
 )
+from .mux import MuxConnection
 from .protocol import (
-    OP_BATCH,
-    OP_CONFIDENCE,
-    OP_EXPLAIN,
     OP_INVALIDATE,
     OP_PAIRS,
     OP_PING,
     OP_SHUTDOWN,
     OP_STATS,
-    OP_VERIFY,
-    PROTOCOL_VERSION,
     decode_error,
-    decode_value,
 )
 from .server import parse_listen_address
+from .wire import SUPPORTED_WIRES, WIRE_BINARY, WIRE_JSON, decode_any_body, encode_binary
 
-#: Default per-request socket timeout (seconds).
-DEFAULT_TIMEOUT = 60.0
-#: Items per ``batch`` frame in ``explain_many`` / ``replay`` exchanges.
-BATCH_CHUNK_SIZE = 256
+#: Sentinel wire mode: pick the densest codec both ends support.
+WIRE_AUTO = "auto"
+
+
+def default_wire() -> str:
+    """The process-wide wire preference (``REPRO_WIRE`` env, else auto)."""
+    value = os.environ.get("REPRO_WIRE", WIRE_AUTO).strip().lower()
+    return value if value in (WIRE_AUTO, *SUPPORTED_WIRES) else WIRE_AUTO
 
 
 class RemoteShardClient:
-    """Connection-pooled request/response client to one shard server."""
+    """Request/response client to one shard server (mux or pooled).
+
+    ``wire`` is ``"auto"`` (negotiate, the default), ``"json"`` or
+    ``"binary"``; ``mux`` is ``None`` (negotiate), ``True`` or ``False``.
+    ``None``/auto values are resolved by one JSON ping on first use; a
+    fully pinned client never negotiates.
+    """
 
     def __init__(
         self,
         endpoint: str,
         timeout: float = DEFAULT_TIMEOUT,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        wire: str | None = None,
+        mux: bool | None = None,
     ) -> None:
         self.endpoint = endpoint
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
+        self.wire = default_wire() if wire is None else wire
+        if self.wire not in (WIRE_AUTO, *SUPPORTED_WIRES):
+            raise ValueError(f"unknown wire {self.wire!r}; use auto, json or binary")
+        self.mux = mux
+        self.wire_counters = WireCounters()
         self._family, self._address = parse_listen_address(endpoint)
         self._lock = threading.Lock()
         self._pool: list[socket.socket] = []
         self._closed = False
+        self._blob_cache: dict = {}
+        self._mux_conn: MuxConnection | None = None
+        self._negotiate_lock = threading.Lock()
+        self._active_wire = self.wire if self.wire != WIRE_AUTO else WIRE_JSON
+        self._use_mux = bool(mux)
+        self._negotiated = self.wire != WIRE_AUTO and mux is not None
 
     # ------------------------------------------------------------------
-    # Connection pool
+    # Connection pool (v1 transport + negotiation carrier)
     # ------------------------------------------------------------------
     def _dial(self) -> socket.socket:
         """Open a fresh connection to the shard server."""
@@ -118,10 +158,9 @@ class RemoteShardClient:
                 return
         conn.close()
 
-    def close(self) -> None:
-        """Close every pooled connection and refuse further calls."""
+    def _drain_pool(self) -> None:
+        """Close idle pooled sockets (after the mux upgrade supersedes them)."""
         with self._lock:
-            self._closed = True
             pool, self._pool = self._pool, []
         for conn in pool:
             try:
@@ -129,54 +168,111 @@ class RemoteShardClient:
             except OSError:
                 pass
 
+    def close(self) -> None:
+        """Close every connection and refuse further calls."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+            mux_conn, self._mux_conn = self._mux_conn, None
+        for conn in pool:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if mux_conn is not None:
+            mux_conn.close()
+
+    # ------------------------------------------------------------------
+    # Negotiation
+    # ------------------------------------------------------------------
+    def _ensure_negotiated(self, timeout: float | None) -> None:
+        """Resolve auto wire/mux choices with one JSON ping (once)."""
+        if self._negotiated:
+            return
+        with self._negotiate_lock:
+            if self._negotiated:
+                return
+            response = self._pooled_call(
+                {"op": OP_PING}, timeout, force_wire=WIRE_JSON
+            )
+            if "error" in response:
+                raise decode_error(response["error"])
+            info = response.get("ok", response)
+            peer_wires = info.get("wires", [WIRE_JSON])
+            peer_mux = bool(info.get("mux", False))
+            if self.wire == WIRE_AUTO:
+                self._active_wire = (
+                    WIRE_BINARY if WIRE_BINARY in peer_wires else WIRE_JSON
+                )
+            else:
+                self._active_wire = self.wire
+            self._use_mux = peer_mux if self.mux is None else bool(self.mux)
+            self._negotiated = True
+        if self._use_mux:
+            # The pooled sockets (including the ping's) are now idle
+            # capacity the mux connection replaces; drop them.
+            self._drain_pool()
+
+    def negotiated_transport(self) -> dict:
+        """The resolved transport after negotiation (forces it if pending)."""
+        self._ensure_negotiated(None)
+        return {"wire": self._active_wire, "mux": self._use_mux}
+
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
+    def _encode_request(self, payload: dict, wire: str) -> bytes:
+        """Encode one request into a complete frame, counting codec time."""
+        started = time.perf_counter_ns()
+        if wire == WIRE_BINARY:
+            frame = frame_raw(
+                encode_binary(payload, 0, self.max_frame_bytes), self.max_frame_bytes
+            )
+        else:
+            frame = encode_frame(payload, self.max_frame_bytes)
+        self.wire_counters.record_sent(len(frame), time.perf_counter_ns() - started)
+        return frame
+
     def _exchange(self, conn: socket.socket, frame: bytes, timeout: float | None) -> dict:
-        """One framed request/response on an open connection."""
+        """One framed request/response on an open pooled connection."""
         conn.settimeout(self.timeout if timeout is None else timeout)
         send_raw_frame(conn, frame)
-        response = recv_frame(conn, self.max_frame_bytes)
-        if response is None:
+        body = recv_frame_raw(conn, self.max_frame_bytes)
+        if body is None:
             raise ConnectionClosedError(
                 f"shard server at {self.endpoint} closed the connection mid-request"
             )
+        started = time.perf_counter_ns()
+        _, _, response = decode_any_body(body, self._blob_cache)
+        self.wire_counters.record_received(
+            4 + len(body), time.perf_counter_ns() - started
+        )
         return response
 
-    def call(self, payload: dict, timeout: float | None = None):
-        """Send one request frame; return the decoded ``ok`` payload.
+    def _pooled_call(
+        self, payload: dict, timeout: float | None, force_wire: str | None = None
+    ) -> dict:
+        """One exchange over the connection pool; returns the raw response.
 
         The payload is encoded *before* a connection is taken, so an
         oversized request raises :class:`FrameTooLargeError` without
         costing a pooled socket or a dial.  A failed exchange on a
         *reused* pooled connection is retried once on a fresh dial (the
         socket may simply have gone stale between requests; every
-        operation is idempotent) — except on a timeout
-        (:class:`FrameTimeoutError`), where the server is slow rather
-        than gone and a retry would double its work and the caller's
-        wait.  A fresh connection failing — refused, reset, or the
-        server dying mid-request — raises
-        :class:`RemoteTransportError` immediately rather than hanging,
-        and wire-level error responses are re-raised as their mapped
-        exception types.
+        operation is idempotent) — except on request-shaped failures and
+        timeouts, where the server is slow or the request is at fault and
+        a retry would double the work (:func:`is_stale_symptom`).
         """
-        frame = encode_frame(payload, self.max_frame_bytes)
+        frame = self._encode_request(payload, force_wire or self._active_wire)
         conn, reused = self._checkout()
         try:
-            response = self._exchange(conn, frame, timeout)
+            return self._exchange(conn, frame, timeout)
         except (ProtocolError, OSError) as error:
             try:
                 conn.close()
             except OSError:
                 pass
-            # Retry only the stale-socket symptoms (EOF/reset/errno) on a
-            # reused connection.  Timeouts (slow server) and deterministic
-            # protocol errors (oversized/malformed frames) would fail the
-            # same way again — re-sending only doubles the server's work.
-            stale = isinstance(error, (ConnectionClosedError, OSError)) and not isinstance(
-                error, FrameTimeoutError
-            )
-            if not reused or not stale:
+            if not reused or not is_stale_symptom(error):
                 if isinstance(error, ProtocolError):
                     raise
                 raise ConnectionClosedError(
@@ -184,7 +280,7 @@ class RemoteShardClient:
                 ) from error
             conn = self._dial()
             try:
-                response = self._exchange(conn, frame, timeout)
+                return self._exchange(conn, frame, timeout)
             except (ProtocolError, OSError) as retry_error:
                 conn.close()
                 if isinstance(retry_error, ProtocolError):
@@ -192,10 +288,86 @@ class RemoteShardClient:
                 raise ConnectionClosedError(
                     f"connection to {self.endpoint} failed: {retry_error}"
                 ) from retry_error
+        finally:
+            # A successful exchange leaves `conn` healthy: pool it.
+            # (The except-path re-raises before reaching here with a
+            # closed socket, so guard on fileno.)
+            if conn.fileno() != -1:
+                self._checkin(conn)
+
+    def _mux_call(self, payload: dict, timeout: float | None) -> dict:
+        """One exchange over the multiplexed connection, with stale retry.
+
+        A connection that existed before this call may have gone stale
+        exactly like a pooled socket; its death is retried once on a
+        fresh connection.  A connection dialled *for* this call failing is
+        a real transport error, and a request deadline never retries.
+        """
+        timeout_value = self.timeout if timeout is None else timeout
+        conn, created = self._mux_connection()
+        try:
+            return conn.request(payload, timeout_value)
+        except (ProtocolError, OSError) as error:
+            if conn.dead:
+                self._drop_mux(conn)
+            if created or not is_stale_symptom(error):
+                raise
+            conn, _ = self._mux_connection()
+            try:
+                return conn.request(payload, timeout_value)
+            except (ProtocolError, OSError):
+                if conn.dead:
+                    self._drop_mux(conn)
+                raise
+
+    def _mux_connection(self) -> tuple[MuxConnection, bool]:
+        """The live mux connection, dialling one when needed."""
+        with self._lock:
+            if self._closed:
+                raise RemoteTransportError(f"client for {self.endpoint} is closed")
+            conn = self._mux_conn
+            if conn is not None and not conn.dead:
+                return conn, False
+        sock = self._dial()
+        fresh = MuxConnection(
+            sock,
+            wire=self._active_wire,
+            max_frame_bytes=self.max_frame_bytes,
+            counters=self.wire_counters,
+            blob_cache=self._blob_cache,
+        )
+        with self._lock:
+            if self._closed:
+                fresh.close()
+                raise RemoteTransportError(f"client for {self.endpoint} is closed")
+            current = self._mux_conn
+            if current is not None and not current.dead:
+                # Another caller reconnected first; theirs wins.
+                fresh.close()
+                return current, False
+            self._mux_conn = fresh
+        return fresh, True
+
+    def _drop_mux(self, conn: MuxConnection) -> None:
+        with self._lock:
+            if self._mux_conn is conn:
+                self._mux_conn = None
+        conn.close()
+
+    def call(self, payload: dict, timeout: float | None = None):
+        """Send one request; return the decoded ``ok`` payload.
+
+        Routes over the multiplexed connection when negotiated (or
+        pinned), otherwise over the v1 pool.  Wire-level error responses
+        re-raise as their mapped exception types either way.
+        """
+        self._ensure_negotiated(timeout)
+        if self._use_mux:
+            response = self._mux_call(payload, timeout)
+        else:
+            response = self._pooled_call(payload, timeout)
         if "error" in response:
-            self._checkin(conn)
             raise decode_error(response["error"])
-        self._checkin(conn)
         return response.get("ok", response)
 
     def ping(self) -> dict:
@@ -203,14 +375,15 @@ class RemoteShardClient:
         return self.call({"op": OP_PING})
 
 
-class RemoteShardedClient:
+class RemoteShardedClient(ShardedClientFacade):
     """The `ExEAClient` facade spoken to a cluster of shard processes.
 
     *endpoints* must be ordered by shard id — endpoint ``i`` serves shard
     ``i`` of ``len(endpoints)``; construction pings every server and
     refuses a miswired cluster (wrong shard id, wrong shard count, or a
     protocol-version mismatch).  The client is thread-safe: concurrent
-    callers share the per-shard connection pools.
+    callers share the per-shard connections.  ``wire``/``mux`` pass
+    through to every :class:`RemoteShardClient`.
     """
 
     def __init__(
@@ -219,13 +392,21 @@ class RemoteShardedClient:
         timeout: float = DEFAULT_TIMEOUT,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         check_topology: bool = True,
+        wire: str | None = None,
+        mux: bool | None = None,
     ) -> None:
         if not endpoints:
             raise ValueError("at least one shard endpoint is required")
+        super().__init__(len(endpoints))
         self.endpoints = list(endpoints)
-        self.router = ShardRouter(len(self.endpoints))
         self.shards = [
-            RemoteShardClient(endpoint, timeout=timeout, max_frame_bytes=max_frame_bytes)
+            RemoteShardClient(
+                endpoint,
+                timeout=timeout,
+                max_frame_bytes=max_frame_bytes,
+                wire=wire,
+                mux=mux,
+            )
             for endpoint in self.endpoints
         ]
         if check_topology:
@@ -237,6 +418,21 @@ class RemoteShardedClient:
                 # loop around construction cannot accumulate open sockets.
                 self.close()
                 raise
+
+    # ------------------------------------------------------------------
+    # Transport hook
+    # ------------------------------------------------------------------
+    def _call_shard(self, shard_id, payload, timeout, reject=None):
+        response = self.shards[shard_id].call(payload, timeout=timeout)
+        if reject is not None:
+            rejection = reject(response)
+            if rejection is not None:
+                # Single replica per shard: nowhere to fail over to.
+                raise rejection
+        return response
+
+    def _shard_label(self, shard_id: int) -> str:
+        return f"shard server at {self.shards[shard_id].endpoint}"
 
     # ------------------------------------------------------------------
     # Topology
@@ -253,142 +449,18 @@ class RemoteShardedClient:
         descriptions = []
         for expected_id, shard in enumerate(self.shards):
             info = shard.ping()
-            if info.get("protocol") != PROTOCOL_VERSION:
-                raise RemoteTransportError(
-                    f"{shard.endpoint} speaks protocol {info.get('protocol')}, "
-                    f"this client speaks {PROTOCOL_VERSION}"
-                )
-            if info.get("shard_id") != expected_id or info.get("num_shards") != len(self.shards):
-                raise RemoteTransportError(
-                    f"{shard.endpoint} identifies as shard "
-                    f"{info.get('shard_id')}/{info.get('num_shards')}, expected "
-                    f"{expected_id}/{len(self.shards)} — cluster is miswired"
-                )
+            verify_peer_identity(info, shard.endpoint, expected_id, len(self.shards))
             descriptions.append(info)
         first = descriptions[0]
         for info, shard in zip(descriptions[1:], self.shards[1:]):
-            for key in ("dataset", "model", "token"):
-                if info.get(key) != first.get(key):
-                    raise RemoteTransportError(
-                        f"{shard.endpoint} serves {key}={info.get(key)!r} but "
-                        f"{self.shards[0].endpoint} serves {first.get(key)!r} — "
-                        "cluster shards disagree on what they serve (miswired)"
-                    )
+            verify_served_identity(
+                first, self.shards[0].endpoint, info, shard.endpoint, scope="shards"
+            )
         return descriptions
-
-    def shard_of(self, source: str, target: str) -> int:
-        """Which shard process serves this pair (same CRC-32 partition)."""
-        return self.router.shard_of(source, target)
 
     def generation_tokens(self) -> list[tuple[int, ...]]:
         """Every shard's current generation token (index = shard id)."""
         return [tuple(shard.ping()["token"]) for shard in self.shards]
-
-    # ------------------------------------------------------------------
-    # Single-pair operations (the ExEAClient surface)
-    # ------------------------------------------------------------------
-    def _single(self, op: str, source: str, target: str, timeout, deadline_ms):
-        payload = {"op": op, "source": source, "target": target}
-        if deadline_ms is not None:
-            payload["deadline_ms"] = deadline_ms
-        shard = self.shards[self.router.shard_of(source, target)]
-        return decode_value(op, shard.call(payload, timeout=timeout))
-
-    def explain(
-        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
-    ):
-        """Remote ``explain`` — equal to the in-process explanation object."""
-        return self._single(OP_EXPLAIN, source, target, timeout, deadline_ms)
-
-    def confidence(
-        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
-    ) -> float:
-        """Remote repair-confidence — the exact in-process float."""
-        return self._single(OP_CONFIDENCE, source, target, timeout, deadline_ms)
-
-    def verify(
-        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
-    ) -> bool:
-        """Remote EA verification (confidence thresholded server-side)."""
-        return self._single(OP_VERIFY, source, target, timeout, deadline_ms)
-
-    # ------------------------------------------------------------------
-    # Bulk operations
-    # ------------------------------------------------------------------
-    def _run_batch(
-        self,
-        shard_index: int,
-        items: list[tuple[str, str, str]],
-        timeout: float | None,
-    ) -> list:
-        """Send one shard's items in chunked ``batch`` frames; decode in order.
-
-        A per-item error is re-raised (the in-process facade raises on
-        ``future.result()`` the same way).
-        """
-        shard = self.shards[shard_index]
-        values: list = []
-        for start in range(0, len(items), BATCH_CHUNK_SIZE):
-            chunk = items[start : start + BATCH_CHUNK_SIZE]
-            response = shard.call(
-                {"op": OP_BATCH, "items": [list(item) for item in chunk]}, timeout=timeout
-            )
-            slots = response.get("results")
-            if not isinstance(slots, list) or len(slots) != len(chunk):
-                # zip() would silently truncate a short reply into None
-                # results; a mis-sized response is a protocol violation.
-                raise ProtocolError(
-                    f"shard server at {shard.endpoint} answered {len(chunk)} batch "
-                    f"items with {len(slots) if isinstance(slots, list) else 'no'} results"
-                )
-            for (kind, _, _), slot in zip(chunk, response["results"]):
-                if "error" in slot:
-                    raise decode_error(slot["error"])
-                values.append(decode_value(kind, slot["ok"]))
-        return values
-
-    def explain_many(
-        self, pairs: list[tuple[str, str]], timeout: float | None = None
-    ) -> dict[tuple[str, str], object]:
-        """Explain every distinct pair; one concurrent batch exchange per shard."""
-        unique = list(dict.fromkeys(pairs))
-        items = [(OP_EXPLAIN, source, target) for source, target in unique]
-        values = self._scatter(items, timeout)
-        return dict(zip(unique, values))
-
-    def replay(
-        self, workload: list[tuple[str, str, str]], timeout: float | None = None
-    ) -> list[object]:
-        """Run a scripted ``(kind, source, target)`` replay; results in order.
-
-        The workload is partitioned by shard and shipped as ``batch``
-        frames (one in-flight exchange per shard, concurrently), then the
-        per-shard results are stitched back into submission order.
-        Admission control still applies per shard — the server retries
-        overloaded submissions with the same backoff the in-process
-        replay uses client-side.
-        """
-        return self._scatter(list(workload), timeout)
-
-    def _scatter(self, items: list[tuple[str, str, str]], timeout: float | None) -> list:
-        """Partition items by shard, exchange concurrently, restore order."""
-        by_shard: dict[int, list[int]] = {}
-        for index, (_, source, target) in enumerate(items):
-            by_shard.setdefault(self.router.shard_of(source, target), []).append(index)
-        results: list = [None] * len(items)
-
-        def run_shard(shard_index: int, indices: list[int]) -> None:
-            values = self._run_batch(shard_index, [items[index] for index in indices], timeout)
-            for index, value in zip(indices, values):
-                results[index] = value
-
-        _fan_out(
-            [
-                lambda shard_index=shard_index, indices=indices: run_shard(shard_index, indices)
-                for shard_index, indices in by_shard.items()
-            ]
-        )
-        return results
 
     # ------------------------------------------------------------------
     # Cluster-wide operations
@@ -407,6 +479,15 @@ class RemoteShardedClient:
         """
         return [shard.call({"op": OP_INVALIDATE}) for shard in self.shards]
 
+    def wire_snapshot(self) -> dict:
+        """Client-side wire telemetry, overall and per shard endpoint."""
+        per_shard = {shard.endpoint: shard.wire_counters.raw() for shard in self.shards}
+        overall: dict[str, int] = {}
+        for counters in per_shard.values():
+            for key, value in counters.items():
+                overall[key] = overall.get(key, 0) + value
+        return {"overall": overall, "per_endpoint": per_shard}
+
     def stats_snapshot(self) -> dict:
         """Overall + per-shard telemetry, merged from every shard's raw stats.
 
@@ -415,6 +496,8 @@ class RemoteShardedClient:
         latency reservoirs are pulled from each process's ``stats``
         endpoint and merged with :func:`~repro.service.stats.merge_raw`,
         so the overall figures aggregate exactly as in-process shards do.
+        The extra ``client_wire`` entry is this client's own transport
+        telemetry (the server-side counters ride inside ``counters``).
         """
         payloads = [shard.call({"op": OP_STATS}) for shard in self.shards]
         overall = merge_raw((payload["counters"], payload["latencies"]) for payload in payloads)
@@ -425,6 +508,7 @@ class RemoteShardedClient:
             "overall": overall,
             "per_shard": [payload["snapshot"] for payload in payloads],
             "pairs_per_shard": pair_counts,
+            "client_wire": self.wire_snapshot(),
         }
 
     def shutdown_servers(self) -> None:
@@ -439,7 +523,7 @@ class RemoteShardedClient:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close every shard's connection pool."""
+        """Close every shard's connections."""
         for shard in self.shards:
             shard.close()
 
@@ -461,13 +545,10 @@ def replay_remote_concurrently(
     The remote analogue of
     :func:`~repro.service.service.replay_concurrently`: the workload is
     split round-robin and each slice replays on its own thread through the
-    shared client (the connection pools grow to match the concurrency).
-    Returns the elapsed wall-clock seconds; thread failures re-raise.
+    shared client.  Returns the elapsed wall-clock seconds; thread
+    failures re-raise.
     """
-    slices = [part for part in shard_workload(list(workload), num_clients) if part]
-    start = time.perf_counter()
-    _fan_out([lambda part=part: client.replay(part, timeout=timeout) for part in slices])
-    return time.perf_counter() - start
+    return replay_facade_concurrently(client, workload, num_clients, timeout)
 
 
 __all__ = [
@@ -475,5 +556,7 @@ __all__ = [
     "DEFAULT_TIMEOUT",
     "RemoteShardClient",
     "RemoteShardedClient",
+    "WIRE_AUTO",
+    "default_wire",
     "replay_remote_concurrently",
 ]

@@ -164,6 +164,9 @@ class LocalShardCluster:
         exea_config=None,
         startup_timeout: float = DEFAULT_STARTUP_TIMEOUT,
         client_timeout: float = 60.0,
+        wire: str | None = None,
+        mux: bool | None = None,
+        server_wire: str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -174,6 +177,11 @@ class LocalShardCluster:
         self.exea_config = exea_config
         self.startup_timeout = startup_timeout
         self.client_timeout = client_timeout
+        #: client codec/transport preference (None = negotiate / env default)
+        self.wire = wire
+        self.mux = mux
+        #: restrict the spawned servers' codecs (``--wire``; None = both)
+        self.server_wire = server_wire
         self.processes: list[ShardProcess] = []
         self.client: RemoteShardedClient | None = None
         self._workdir: Path | None = None
@@ -196,24 +204,23 @@ class LocalShardCluster:
 
     def _spawn_serve(self, snapshot: Path, shard_id: int, env: dict) -> subprocess.Popen:
         """Spawn one ``python -m repro.service serve`` subprocess for *shard_id*."""
-        return subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.service",
-                "serve",
-                "--snapshot",
-                str(snapshot),
-                "--shard-id",
-                str(shard_id),
-                "--num-shards",
-                str(self.num_shards),
-                "--listen",
-                "127.0.0.1:0",
-            ],
-            stdout=subprocess.PIPE,
-            env=env,
-        )
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "serve",
+            "--snapshot",
+            str(snapshot),
+            "--shard-id",
+            str(shard_id),
+            "--num-shards",
+            str(self.num_shards),
+            "--listen",
+            "127.0.0.1:0",
+        ]
+        if self.server_wire is not None:
+            command += ["--wire", self.server_wire]
+        return subprocess.Popen(command, stdout=subprocess.PIPE, env=env)
 
     @staticmethod
     def _reap_untracked(spawned: list[subprocess.Popen], tracked_pids: set[int]) -> None:
@@ -244,7 +251,10 @@ class LocalShardCluster:
                 ready = _read_ready_line(process, self.startup_timeout)
                 self.processes.append(ShardProcess(shard_id, process, ready))
             self.client = RemoteShardedClient(
-                [shard.endpoint for shard in self.processes], timeout=self.client_timeout
+                [shard.endpoint for shard in self.processes],
+                timeout=self.client_timeout,
+                wire=self.wire,
+                mux=self.mux,
             )
         except BaseException:
             # Tear down whatever came up, including spawned processes that

@@ -1,0 +1,287 @@
+"""Shared base of the remote and cluster client facades.
+
+:class:`~repro.service.transport.client.RemoteShardedClient` (one
+endpoint per shard) and
+:class:`~repro.service.cluster.client.ClusterClient` (replicated
+endpoints with failover) speak the same `ExEAClient` call surface and,
+before this module existed, each carried its own copy of the CRC-32
+scatter, the batch chunking/decoding, and the peer-identity checks —
+three pieces that must stay byte-for-byte in agreement for the
+bit-identical remote contract to hold.  :class:`ShardedClientFacade`
+owns them once; a concrete client only supplies :meth:`_call_shard`,
+which is exactly where the two differ (a fixed endpoint's pooled/mux
+client vs. a load-scored failover loop over replicas).
+
+The error-classification predicates live here too, because both retry
+policies are built from the same two questions:
+
+* :func:`is_stale_symptom` — does this failure look like a socket that
+  went stale *between* requests (EOF, reset, errno)?  Safe to retry once
+  on a fresh connection; every wire operation is idempotent.  Timeouts
+  are excluded: a slow server is not a dead one, and re-sending doubles
+  its work and the caller's wait.
+* :func:`is_request_shaped` — would this failure reproduce anywhere
+  (oversized frame, malformed payload)?  Never retried and never held
+  against the peer: evicting a live replica over a bad request poisons
+  the routing table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ...datasets import shard_workload
+from ..errors import RemoteTransportError
+from ..service import _fan_out
+from ..sharding import ShardRouter
+from .framing import ConnectionClosedError, FrameTimeoutError, ProtocolError
+from .protocol import (
+    OP_BATCH,
+    OP_CONFIDENCE,
+    OP_EXPLAIN,
+    OP_VERIFY,
+    PROTOCOL_VERSION,
+    decode_error,
+    decode_value,
+)
+
+#: Default per-request socket timeout (seconds).
+DEFAULT_TIMEOUT = 60.0
+#: Items per ``batch`` frame in ``explain_many`` / ``replay`` exchanges.
+BATCH_CHUNK_SIZE = 256
+
+
+def is_stale_symptom(error: BaseException) -> bool:
+    """True for failures a *reused* connection may cause all by itself.
+
+    EOF, reset and raw socket errors are how an idle socket that the peer
+    (or a middlebox) quietly dropped presents on next use — retrying once
+    on a fresh connection is safe and routine.  A
+    :class:`FrameTimeoutError` is excluded even though the socket is
+    closed afterwards: the request *reached* a live, slow server.
+    """
+    return isinstance(error, (ConnectionClosedError, OSError)) and not isinstance(
+        error, FrameTimeoutError
+    )
+
+
+def is_request_shaped(error: BaseException) -> bool:
+    """True for failures the *request itself* causes on any peer.
+
+    Deterministic protocol violations — an oversized frame, a malformed
+    payload, a mis-sized batch reply — fail identically wherever they are
+    sent, so neither the stale-retry nor replica failover applies.
+    """
+    return isinstance(error, ProtocolError) and not isinstance(error, ConnectionClosedError)
+
+
+def verify_peer_identity(
+    info: dict, endpoint: str, expected_shard: int, num_shards: int
+) -> None:
+    """Check one ping payload against the topology slot it answers for.
+
+    Raises :class:`RemoteTransportError` when the peer speaks a different
+    protocol revision or identifies as a different shard — a miswired
+    cluster must refuse to connect, not silently serve wrong partitions.
+    """
+    if info.get("protocol") != PROTOCOL_VERSION:
+        raise RemoteTransportError(
+            f"{endpoint} speaks protocol {info.get('protocol')}, "
+            f"this client speaks {PROTOCOL_VERSION}"
+        )
+    if info.get("shard_id") != expected_shard or info.get("num_shards") != num_shards:
+        raise RemoteTransportError(
+            f"{endpoint} identifies as shard {info.get('shard_id')}/{info.get('num_shards')}, "
+            f"expected {expected_shard}/{num_shards} — cluster is miswired"
+        )
+
+
+def verify_served_identity(
+    first: dict, first_endpoint: str, info: dict, endpoint: str, scope: str = "shards"
+) -> None:
+    """Check two ping payloads agree on *what* they serve.
+
+    Every peer must report the same dataset, model and generation token;
+    peers started against divergent snapshots would connect cleanly and
+    silently serve mixed results.  *scope* names the peer kind in the
+    error ("shards" or "replicas").
+    """
+    for key in ("dataset", "model", "token"):
+        if info.get(key) != first.get(key):
+            raise RemoteTransportError(
+                f"{endpoint} serves {key}={info.get(key)!r} but "
+                f"{first_endpoint} serves {first.get(key)!r} — cluster "
+                f"{scope} disagree on what they serve (miswired)"
+            )
+
+
+class ShardedClientFacade:
+    """The `ExEAClient` surface over any shard-addressed transport.
+
+    Subclasses construct their endpoints, then call ``super().__init__``
+    with the shard count and implement :meth:`_call_shard`; routing,
+    batching, scatter/gather and result decoding are inherited.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self.router = ShardRouter(num_shards)
+
+    # -- the one transport hook ----------------------------------------
+    def _call_shard(
+        self,
+        shard_id: int,
+        payload: dict,
+        timeout: float | None,
+        reject: "Callable[[dict], Exception | None] | None" = None,
+    ) -> dict:
+        """One request to shard *shard_id*; returns the decoded response.
+
+        Implementations raise decoded service errors, apply their own
+        retry/failover policy, and honour *reject* (which may turn a
+        structurally-OK response into a retriable error).
+        """
+        raise NotImplementedError
+
+    def _shard_label(self, shard_id: int) -> str:
+        """How error messages name one shard's serving side."""
+        return f"shard {shard_id}"
+
+    def _batch_reject(self) -> "Callable[[dict], Exception | None] | None":
+        """The *reject* hook batch exchanges pass to :meth:`_call_shard`."""
+        return None
+
+    # -- routing -------------------------------------------------------
+    def shard_of(self, source: str, target: str) -> int:
+        """Which shard serves this pair (same CRC-32 partition as in-process)."""
+        return self.router.shard_of(source, target)
+
+    # -- single-pair operations (the ExEAClient surface) ---------------
+    def _single(self, op: str, source: str, target: str, timeout, deadline_ms):
+        payload = {"op": op, "source": source, "target": target}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        shard_id = self.router.shard_of(source, target)
+        return decode_value(op, self._call_shard(shard_id, payload, timeout))
+
+    def explain(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ):
+        """Remote ``explain`` — equal to the in-process explanation object."""
+        return self._single(OP_EXPLAIN, source, target, timeout, deadline_ms)
+
+    def confidence(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ) -> float:
+        """Remote repair-confidence — the exact in-process float."""
+        return self._single(OP_CONFIDENCE, source, target, timeout, deadline_ms)
+
+    def verify(
+        self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None
+    ) -> bool:
+        """Remote EA verification (confidence thresholded server-side)."""
+        return self._single(OP_VERIFY, source, target, timeout, deadline_ms)
+
+    # -- bulk operations -----------------------------------------------
+    def _run_batch(
+        self, shard_id: int, items: list[tuple[str, str, str]], timeout: float | None
+    ) -> list:
+        """One shard's items in chunked ``batch`` frames; decode in order.
+
+        A per-item error is re-raised (the in-process facade raises on
+        ``future.result()`` the same way); a mis-sized reply is a
+        protocol violation, because ``zip()`` would silently truncate a
+        short reply into ``None`` results.
+        """
+        values: list = []
+        reject = self._batch_reject()
+        for start in range(0, len(items), BATCH_CHUNK_SIZE):
+            chunk = items[start : start + BATCH_CHUNK_SIZE]
+            response = self._call_shard(
+                shard_id,
+                {"op": OP_BATCH, "items": [list(item) for item in chunk]},
+                timeout,
+                reject=reject,
+            )
+            slots = response.get("results")
+            if not isinstance(slots, list) or len(slots) != len(chunk):
+                raise ProtocolError(
+                    f"{self._shard_label(shard_id)} answered {len(chunk)} batch items with "
+                    f"{len(slots) if isinstance(slots, list) else 'no'} results"
+                )
+            for (kind, _, _), slot in zip(chunk, slots):
+                if "error" in slot:
+                    raise decode_error(slot["error"])
+                values.append(decode_value(kind, slot["ok"]))
+        return values
+
+    def explain_many(
+        self, pairs: list[tuple[str, str]], timeout: float | None = None
+    ) -> dict[tuple[str, str], object]:
+        """Explain every distinct pair; one concurrent batch exchange per shard."""
+        unique = list(dict.fromkeys(pairs))
+        items = [(OP_EXPLAIN, source, target) for source, target in unique]
+        return dict(zip(unique, self._scatter(items, timeout)))
+
+    def replay(
+        self, workload: list[tuple[str, str, str]], timeout: float | None = None
+    ) -> list[object]:
+        """Run a scripted ``(kind, source, target)`` replay; results in order.
+
+        The workload is partitioned by shard and shipped as ``batch``
+        frames (one in-flight exchange per shard, concurrently), then the
+        per-shard results are stitched back into submission order.
+        """
+        return self._scatter(list(workload), timeout)
+
+    def _scatter(self, items: list[tuple[str, str, str]], timeout: float | None) -> list:
+        """Partition items by shard, exchange concurrently, restore order."""
+        by_shard: dict[int, list[int]] = {}
+        for index, (_, source, target) in enumerate(items):
+            by_shard.setdefault(self.router.shard_of(source, target), []).append(index)
+        results: list = [None] * len(items)
+
+        def run_shard(shard_id: int, indices: list[int]) -> None:
+            values = self._run_batch(shard_id, [items[index] for index in indices], timeout)
+            for index, value in zip(indices, values):
+                results[index] = value
+
+        _fan_out(
+            [
+                lambda shard_id=shard_id, indices=indices: run_shard(shard_id, indices)
+                for shard_id, indices in by_shard.items()
+            ]
+        )
+        return results
+
+
+def replay_facade_concurrently(
+    client,
+    workload,
+    num_clients: int,
+    timeout: float | None = 120.0,
+) -> float:
+    """Drive a scripted replay through *num_clients* concurrent threads.
+
+    The remote analogue of
+    :func:`~repro.service.service.replay_concurrently`: the workload is
+    split round-robin and each slice replays on its own thread through
+    the shared client.  Returns the elapsed wall-clock seconds; thread
+    failures re-raise.
+    """
+    slices = [part for part in shard_workload(list(workload), num_clients) if part]
+    start = time.perf_counter()
+    _fan_out([lambda part=part: client.replay(part, timeout=timeout) for part in slices])
+    return time.perf_counter() - start
+
+
+__all__ = [
+    "BATCH_CHUNK_SIZE",
+    "DEFAULT_TIMEOUT",
+    "ShardedClientFacade",
+    "is_request_shaped",
+    "is_stale_symptom",
+    "replay_facade_concurrently",
+    "verify_peer_identity",
+    "verify_served_identity",
+]

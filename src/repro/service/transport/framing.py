@@ -118,16 +118,48 @@ def _recv_exactly(sock: socket.socket, count: int, allow_eof: bool = False) -> b
     return b"".join(chunks)
 
 
-def recv_frame(
+def frame_raw(body: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Prefix an already-encoded *body* (any codec) with its length.
+
+    Raises:
+        FrameTooLargeError: *body* exceeds *max_frame_bytes*.
+    """
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"outgoing frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte bound"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_json_body(body: bytes) -> dict:
+    """Parse a v1 frame body (UTF-8 JSON object) into its payload dict.
+
+    Raises:
+        ProtocolError: the body is not a JSON object.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame payload must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def recv_frame_raw(
     sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
-) -> dict | None:
-    """Read one frame from *sock*; ``None`` when the peer closed cleanly.
+) -> bytes | None:
+    """Read one frame body from *sock* without decoding it.
+
+    ``None`` on a clean EOF between frames.  This is the codec-agnostic
+    half of :func:`recv_frame`: the caller sniffs the first body byte to
+    pick a decoder (JSON bodies start with ``{``, binary bodies with the
+    v2 magic byte).
 
     Raises:
         FrameTooLargeError: the announced length exceeds *max_frame_bytes*
             (the payload is not read).
         ConnectionClosedError: EOF or a socket error mid-frame.
-        ProtocolError: the payload is not a JSON object.
     """
     prefix = _recv_exactly(sock, _LENGTH.size, allow_eof=True)
     if prefix is None:
@@ -137,11 +169,21 @@ def recv_frame(
         raise FrameTooLargeError(
             f"incoming frame announces {length} bytes, beyond the {max_frame_bytes}-byte bound"
         )
-    body = _recv_exactly(sock, length)
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
-    if not isinstance(payload, dict):
-        raise ProtocolError(f"frame payload must be a JSON object, got {type(payload).__name__}")
-    return payload
+    return _recv_exactly(sock, length)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> dict | None:
+    """Read one JSON frame from *sock*; ``None`` when the peer closed cleanly.
+
+    Raises:
+        FrameTooLargeError: the announced length exceeds *max_frame_bytes*
+            (the payload is not read).
+        ConnectionClosedError: EOF or a socket error mid-frame.
+        ProtocolError: the payload is not a JSON object.
+    """
+    body = recv_frame_raw(sock, max_frame_bytes)
+    if body is None:
+        return None
+    return decode_json_body(body)

@@ -195,8 +195,15 @@ def encode_value(kind: str, value) -> object:
 
 
 def decode_value(kind: str, payload):
-    """Decode one operation result from its wire form (kind-directed)."""
+    """Decode one operation result from its wire form (kind-directed).
+
+    The binary codec delivers explain results as native
+    :class:`Explanation` objects (its decoder rebuilds them directly);
+    those pass straight through.  JSON delivers the flattened dict form.
+    """
     if kind == OP_EXPLAIN:
+        if isinstance(payload, Explanation):
+            return payload
         return decode_explanation(payload)
     if kind == OP_CONFIDENCE:
         return float(payload)

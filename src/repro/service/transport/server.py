@@ -3,18 +3,31 @@
 :class:`ShardServer` hosts exactly one
 :class:`~repro.service.service.ExplanationService` — i.e. one shard group
 (dispatcher + worker pool + versioned cache) — and exposes it over a
-TCP or Unix stream socket using the length-prefixed JSON framing of
+TCP or Unix stream socket using the length-prefixed framing of
 :mod:`~repro.service.transport.framing`.  A cluster is therefore *N*
 independent server processes; the client routes pairs with the same
 CRC-32 :class:`~repro.service.sharding.ShardRouter` the in-process
 sharded service uses, which is what keeps remote results bit-identical to
 in-process sharded results at the same shard count.
 
-The server is intentionally thin: one thread per connection, one
-request/response frame exchange at a time per connection, all batching
-and caching delegated to the service underneath (a ``batch`` request
-submits every item before gathering, so concurrent clients and batch
-requests drive the dispatcher exactly like in-process callers do).
+Two wire codecs coexist on every connection: each incoming frame is
+sniffed by its first body byte (JSON objects start with ``{``, binary v2
+bodies with their magic byte) and the response goes back in the same
+codec, so one server serves old JSON clients and binary v2 clients at
+once.  The ``ping`` payload advertises the supported codecs (``wires``)
+and whether correlation-id multiplexing is available (``mux``), which is
+what the client's negotiation reads.
+
+Concurrency model: requests carrying a correlation id (from multiplexed
+clients) are dispatched on their own worker thread — bounded by a
+semaphore, so a flood of ids blocks the connection's reader instead of
+spawning without limit — and responses are serialised per connection by
+a send lock, completing out of order.  Id-less requests keep the v1
+serial request/response loop.  Explain results are pre-encoded once per
+generation into binary blobs and spliced into every later response that
+needs them, so a warm replay's hot results cost a memcpy, not a codec
+pass.
+
 Service errors (backpressure, deadlines, closed) cross the wire by type
 name and are re-raised client-side as the same class.
 """
@@ -34,11 +47,14 @@ from .framing import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameTooLargeError,
     ProtocolError,
-    recv_frame,
-    send_frame,
+    decode_json_body,
+    encode_frame,
+    frame_raw,
+    recv_frame_raw,
 )
 from .protocol import (
     OP_BATCH,
+    OP_EXPLAIN,
     OP_INVALIDATE,
     OP_PAIRS,
     OP_PING,
@@ -49,6 +65,15 @@ from .protocol import (
     encode_error,
     encode_value,
 )
+from .wire import (
+    SUPPORTED_WIRES,
+    WIRE_BINARY,
+    WIRE_JSON,
+    decode_binary,
+    encode_binary,
+    encode_binary_value,
+    is_binary_body,
+)
 
 #: Backoff between server-side admission retries of one ``batch`` item.
 _BATCH_RETRY_SLEEP = 0.0005
@@ -56,6 +81,10 @@ _BATCH_RETRY_SLEEP = 0.0005
 #: carries no deadline — bounds the worst case instead of spinning forever
 #: against a queue that never drains.
 _BATCH_MAX_RETRY_SECONDS = 30.0
+#: In-flight id-tagged requests per server before the reader blocks.
+_MUX_DISPATCH_LIMIT = 128
+#: Pre-encoded explain blobs kept before a wholesale cache reset.
+_ENCODE_CACHE_CAPACITY = 8192
 
 
 def parse_listen_address(listen: str) -> tuple[int, object]:
@@ -71,7 +100,12 @@ def parse_listen_address(listen: str) -> tuple[int, object]:
 
 
 class ShardServer:
-    """Serve one shard group's :class:`ExplanationService` over a socket."""
+    """Serve one shard group's :class:`ExplanationService` over a socket.
+
+    *wires* restricts the codecs this server understands and advertises
+    (``("json",)`` simulates a v1-era JSON-only peer); *mux* gates the
+    correlation-id dispatch the same way.
+    """
 
     def __init__(
         self,
@@ -79,13 +113,20 @@ class ShardServer:
         shard_id: int = 0,
         num_shards: int = 1,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        wires: tuple[str, ...] = SUPPORTED_WIRES,
+        mux: bool = True,
     ) -> None:
         if not 0 <= shard_id < num_shards:
             raise ValueError(f"shard_id {shard_id} out of range for {num_shards} shard(s)")
+        unknown = [wire for wire in wires if wire not in SUPPORTED_WIRES]
+        if unknown or not wires:
+            raise ValueError(f"unsupported wire codec(s) {unknown or wires!r}")
         self.service = service
         self.shard_id = shard_id
         self.num_shards = num_shards
         self.max_frame_bytes = max_frame_bytes
+        self.wires = tuple(wires)
+        self.mux = mux
         self._listener: socket.socket | None = None
         self._address: str | None = None
         self._unix_path: str | None = None
@@ -93,8 +134,13 @@ class ShardServer:
         self._conn_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
         self._thread: threading.Thread | None = None
+        self._dispatch_slots = threading.BoundedSemaphore(_MUX_DISPATCH_LIMIT)
         #: (token, count) cache of this shard's pair-partition size
         self._pairs_cache: tuple[tuple, int] | None = None
+        #: (kind, source, target) -> pre-encoded binary blob, per generation
+        self._encode_lock = threading.Lock()
+        self._encode_cache: dict[tuple, object] = {}
+        self._encode_token: tuple | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -228,26 +274,71 @@ class ShardServer:
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    def _decode_request(self, body: bytes) -> tuple[str, int, dict]:
+        """Decode one request body into ``(wire, request_id, payload)``.
+
+        Rejects codecs this server was configured without — a JSON-only
+        server answers a binary frame with a protocol error rather than
+        guessing, which is what lets negotiation-free old peers stay
+        deterministic.
+        """
+        if is_binary_body(body):
+            if WIRE_BINARY not in self.wires:
+                raise ProtocolError(
+                    "this server speaks JSON frames only (binary wire disabled)"
+                )
+            request_id, payload = decode_binary(body)
+            return WIRE_BINARY, request_id, payload
+        if WIRE_JSON not in self.wires:
+            raise ProtocolError(
+                "this server speaks binary v2 frames only (JSON wire disabled)"
+            )
+        payload = decode_json_body(body)
+        request_id = payload.get("id", 0)
+        if not isinstance(request_id, int) or isinstance(request_id, bool) or request_id < 0:
+            request_id = 0
+        return WIRE_JSON, request_id, payload
+
     def _serve_connection(self, conn: socket.socket) -> None:
-        """One request/response loop; the connection closes on any protocol error."""
+        """One connection's read loop; closes on any protocol error.
+
+        Requests with a correlation id run on bounded worker threads and
+        answer out of order (under the connection's send lock); id-less
+        requests keep the serial exchange loop.
+        """
         with self._conn_lock:
             self._connections.add(conn)
+        send_lock = threading.Lock()
+        wire_stats = self.service.stats.wire
         try:
             with conn:
                 if conn.family == socket.AF_INET:
                     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 while not self._stop.is_set():
                     try:
-                        request = recv_frame(conn, self.max_frame_bytes)
+                        body = recv_frame_raw(conn, self.max_frame_bytes)
+                        if body is None:
+                            return  # clean disconnect
+                        started = time.perf_counter_ns()
+                        wire, request_id, request = self._decode_request(body)
+                        wire_stats.record_received(
+                            4 + len(body), time.perf_counter_ns() - started
+                        )
                     except ProtocolError as error:
                         # The stream is poisoned (e.g. an oversized frame's
                         # body was never read) — report, then hang up.
-                        self._try_send(conn, {"error": encode_error(error)})
+                        self._try_send(conn, send_lock, {"error": encode_error(error)}, WIRE_JSON, 0)
                         return
-                    if request is None:
-                        return  # clean disconnect
-                    response = self._dispatch(request)
-                    if not self._try_send(conn, response):
+                    if request_id and self.mux:
+                        self._dispatch_slots.acquire()
+                        threading.Thread(
+                            target=self._serve_tagged,
+                            args=(conn, send_lock, request, wire, request_id),
+                            daemon=True,
+                        ).start()
+                        continue
+                    response = self._dispatch(request, wire)
+                    if not self._try_send(conn, send_lock, response, wire, request_id):
                         return
                     if request.get("op") == OP_SHUTDOWN:
                         self.stop()
@@ -256,7 +347,48 @@ class ShardServer:
             with self._conn_lock:
                 self._connections.discard(conn)
 
-    def _try_send(self, conn: socket.socket, payload: dict) -> bool:
+    def _serve_tagged(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        request: dict,
+        wire: str,
+        request_id: int,
+    ) -> None:
+        """One id-tagged request on its own thread (out-of-order completion)."""
+        try:
+            response = self._dispatch(request, wire)
+            self._try_send(conn, send_lock, response, wire, request_id)
+            if request.get("op") == OP_SHUTDOWN:
+                self.stop()
+        finally:
+            self._dispatch_slots.release()
+
+    def _encode_response(self, payload: dict, wire: str, request_id: int) -> bytes:
+        """Encode one response frame in the request's codec, counting time."""
+        started = time.perf_counter_ns()
+        if wire == WIRE_BINARY:
+            frame = frame_raw(
+                encode_binary(payload, request_id, self.max_frame_bytes),
+                self.max_frame_bytes,
+            )
+        else:
+            if request_id:
+                payload = {**payload, "id": request_id}
+            frame = encode_frame(payload, self.max_frame_bytes)
+        self.service.stats.wire.record_sent(
+            len(frame), time.perf_counter_ns() - started
+        )
+        return frame
+
+    def _try_send(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        payload: dict,
+        wire: str,
+        request_id: int,
+    ) -> bool:
         """Best-effort frame send; False when the connection is gone.
 
         A response too large for the frame bound is reported to the
@@ -266,30 +398,35 @@ class ShardServer:
         connection-closed error, and the connection stays usable.
         """
         try:
-            send_frame(conn, payload, self.max_frame_bytes)
-            return True
+            frame = self._encode_response(payload, wire, request_id)
         except FrameTooLargeError as error:
             try:
-                send_frame(conn, {"error": encode_error(error)}, self.max_frame_bytes)
-                return True
+                frame = self._encode_response({"error": encode_error(error)}, wire, request_id)
             except ProtocolError:
                 return False
         except ProtocolError:
+            return False
+        try:
+            with send_lock:
+                conn.sendall(frame)
+            return True
+        except OSError:
             return False
 
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
-    def _dispatch(self, request: dict) -> dict:
+    def _dispatch(self, request: dict, wire: str = WIRE_JSON) -> dict:
         """Map one request frame to its response frame (never raises)."""
         try:
             op = request.get("op")
+            binary = wire == WIRE_BINARY
             if op == OP_PING:
                 return {"ok": self._describe()}
             if op in REQUEST_KINDS:
-                return self._handle_single(op, request)
+                return self._handle_single(op, request, binary)
             if op == OP_BATCH:
-                return self._handle_batch(request)
+                return self._handle_batch(request, binary)
             if op == OP_STATS:
                 return {"ok": self._stats_payload()}
             if op == OP_PAIRS:
@@ -309,12 +446,17 @@ class ShardServer:
         Carries the dataset/model names and the generation token so the
         client can refuse a cluster whose shards serve different data —
         matching shard ids alone would not catch two processes started
-        against different datasets or snapshots.
+        against different datasets or snapshots.  ``wires`` and ``mux``
+        advertise the transport capabilities the client's negotiation
+        upgrades to; ``protocol`` stays at the v1 revision because every
+        v1 exchange still works unchanged.
         """
         return {
             "shard_id": self.shard_id,
             "num_shards": self.num_shards,
             "protocol": PROTOCOL_VERSION,
+            "wires": list(self.wires),
+            "mux": self.mux,
             "dataset": self.service.dataset.name,
             "model": self.service.model.name,
             "token": list(self.service.generation_token()),
@@ -344,14 +486,45 @@ class ShardServer:
             self._pairs_cache = (token, count)
         return self._pairs_cache[1]
 
-    def _handle_single(self, kind: str, request: dict) -> dict:
-        """One submit-and-wait operation (explain / confidence / verify)."""
-        future = self.service.submit(
-            kind, request["source"], request["target"], request.get("deadline_ms")
-        )
-        return {"ok": encode_value(kind, future.result())}
+    def _result_value(self, kind: str, source: str, target: str, value, binary: bool):
+        """One operation result in its wire form.
 
-    def _handle_batch(self, request: dict) -> dict:
+        JSON peers get the flattened v1 form.  Binary peers get
+        confidence/verify as raw scalars and explain results as
+        generation-scoped pre-encoded blobs: the first request for a pair
+        pays one codec pass, every later response splices the same bytes
+        (and the client's decode cache recognises them), which is where
+        the warm replay's 50× JSON tax goes away.
+        """
+        if not binary:
+            return encode_value(kind, value)
+        if kind not in REQUEST_KINDS:
+            raise ValueError(f"unknown result kind {kind!r}")
+        if kind != OP_EXPLAIN:
+            return encode_value(kind, value)
+        token = self.service.generation_token()
+        key = (kind, source, target)
+        with self._encode_lock:
+            if self._encode_token != token:
+                self._encode_token = token
+                self._encode_cache.clear()
+            blob = self._encode_cache.get(key)
+        if blob is None:
+            blob = encode_binary_value(value)
+            with self._encode_lock:
+                if len(self._encode_cache) >= _ENCODE_CACHE_CAPACITY:
+                    self._encode_cache.clear()
+                if self._encode_token == token:
+                    self._encode_cache[key] = blob
+        return blob
+
+    def _handle_single(self, kind: str, request: dict, binary: bool = False) -> dict:
+        """One submit-and-wait operation (explain / confidence / verify)."""
+        source, target = request["source"], request["target"]
+        future = self.service.submit(kind, source, target, request.get("deadline_ms"))
+        return {"ok": self._result_value(kind, source, target, future.result(), binary)}
+
+    def _handle_batch(self, request: dict, binary: bool = False) -> dict:
         """Submit every item before gathering — the remote batching driver.
 
         Admission control is honoured *per item*: an overloaded queue is
@@ -389,7 +562,10 @@ class ShardServer:
                     break
         for index, kind, future in futures:
             try:
-                slots[index] = {"ok": encode_value(kind, future.result())}
+                source, target = items[index][1], items[index][2]
+                slots[index] = {
+                    "ok": self._result_value(kind, source, target, future.result(), binary)
+                }
             except BaseException as error:  # noqa: BLE001 - per-item isolation
                 slots[index] = {"error": encode_error(error)}
         return {"results": slots}

@@ -436,7 +436,10 @@ class TestFailoverSemantics:
         healthy_listener, healthy_address = fake_replica(healthy_handler)
         topology = topology_for_endpoints([[overloaded_address, healthy_address]])
         manager = _manual_manager(topology)
-        client = ClusterClient(topology, manager=manager, check_topology=False)
+        # Pin json/no-mux: the fake replicas above speak v1 JSON frames only.
+        client = ClusterClient(
+            topology, manager=manager, check_topology=False, wire="json", mux=False
+        )
         try:
             # Drive until the overloaded replica has been tried at least
             # once (selection is load-scored, so the first pick may

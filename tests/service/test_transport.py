@@ -277,12 +277,14 @@ class TestWireErrors:
         service = ExplanationService(
             fitted_model, service_dataset, ServiceConfig(num_workers=1)
         ).start()
-        server = ShardServer(service, max_frame_bytes=256)  # responses won't fit
+        server = ShardServer(service, max_frame_bytes=256)  # JSON responses won't fit
         address = server.bind("127.0.0.1:0")
         server.start_in_thread()
         try:
             pair = predicted_pairs(fitted_model, limit=1)[0]
-            client = RemoteShardClient(address, timeout=30)
+            # Pin json: the interned binary encoding fits the same result
+            # under 256 bytes (the v2 suite covers its oversized path).
+            client = RemoteShardClient(address, timeout=30, wire="json", mux=False)
             with pytest.raises(FrameTooLargeError):
                 client.call({"op": EXPLAIN, "source": pair[0], "target": pair[1]})
             # The connection survived; small exchanges still work on it.
@@ -447,7 +449,7 @@ class TestConnectionFailures:
         responder = threading.Thread(target=answer_short, daemon=True)
         responder.start()
         client = RemoteShardedClient(
-            [f"{host}:{port}"], timeout=10, check_topology=False
+            [f"{host}:{port}"], timeout=10, check_topology=False, wire="json", mux=False
         )
         with pytest.raises(ProtocolError, match="batch"):
             client.replay([(VERIFY, "a", "b"), (VERIFY, "c", "d")])
@@ -465,7 +467,8 @@ class TestConnectionFailures:
 
     def test_stale_pooled_connection_reconnects(self, loopback_server):
         _, _, address = loopback_server
-        client = RemoteShardClient(address, timeout=10)
+        # Pin the v1 pooled transport: the test reaches into `_pool`.
+        client = RemoteShardClient(address, timeout=10, wire="json", mux=False)
         assert client.ping()["shard_id"] == 0
         # Sever the pooled socket under the client; the next call must
         # notice the stale connection, re-dial and succeed.
@@ -505,7 +508,9 @@ class TestConnectionFailures:
 
         server = threading.Thread(target=serve_one_then_hang_up, daemon=True)
         server.start()
-        client = RemoteShardClient(f"{host}:{port}", timeout=10)
+        # Pin json/no-mux: the fake server counts connections, and a
+        # negotiation ping would add one.
+        client = RemoteShardClient(f"{host}:{port}", timeout=10, wire="json", mux=False)
         first = client.call({"op": OP_PING, "n": 1})
         assert first["echo"] == 1
         assert len(client._pool) == 1  # the (already dead) socket went back
@@ -536,7 +541,9 @@ class TestConnectionFailures:
 
         staller = threading.Thread(target=accept_and_stall, daemon=True)
         staller.start()
-        client = RemoteShardClient(f"{host}:{port}", timeout=10)
+        # Pin json/no-mux so the stalled frame is the request itself, not
+        # a negotiation ping.
+        client = RemoteShardClient(f"{host}:{port}", timeout=10, wire="json", mux=False)
         start = time.monotonic()
         with pytest.raises(FrameTimeoutError):
             client.call({"op": OP_PING}, timeout=0.5)
@@ -550,7 +557,10 @@ class TestConnectionFailures:
     def test_local_oversized_request_spares_the_pooled_connection(self, loopback_server):
         """An oversized request must fail before touching any socket."""
         _, _, address = loopback_server
-        client = RemoteShardClient(address, timeout=10, max_frame_bytes=512)
+        # Pin the v1 pooled transport: the test reaches into `_pool`.
+        client = RemoteShardClient(
+            address, timeout=10, max_frame_bytes=512, wire="json", mux=False
+        )
         assert client.ping()["shard_id"] == 0
         assert len(client._pool) == 1
         pooled = client._pool[0]
