@@ -23,6 +23,7 @@ from repro.core import ExplanationConfig, ExplanationGenerator
 from repro.core.explanation import RelationPath
 from repro.core.explanation.subgraph import Explanation, MatchedPath
 from repro.embedding import cosine_matrix, mutual_nearest_pairs
+from repro.experiments import run_metadata
 from repro.experiments import sample_correct_pairs
 from repro.kg import EADataset
 
@@ -223,7 +224,7 @@ def test_engine_speedup(benchmark, max_hops, dataset_cache, model_cache, bench_s
     existing = {}
     if ARTIFACT.exists():
         existing = json.loads(ARTIFACT.read_text())
-    existing[row["workload"]] = row
+    existing[row["workload"]] = {**row, "meta": run_metadata()}
     ARTIFACT.write_text(json.dumps(existing, indent=2, sort_keys=True))
 
     assert row["pairs_with_identical_matches"] == row["num_pairs"]

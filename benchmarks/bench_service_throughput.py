@@ -47,7 +47,7 @@ from pathlib import Path
 from conftest import run_once
 from repro.core import ExEA, ExEAConfig, ExplanationConfig
 from repro.datasets import replay_workload
-from repro.experiments import sample_correct_pairs
+from repro.experiments import run_metadata, sample_correct_pairs
 from repro.service import (
     CONFIDENCE,
     EXPLAIN,
@@ -80,7 +80,7 @@ def _write_row(key: str, row: dict) -> None:
     existing = {}
     if ARTIFACT.exists():
         existing = json.loads(ARTIFACT.read_text())
-    existing[key] = row
+    existing[key] = {**row, "meta": run_metadata()}
     ARTIFACT.write_text(json.dumps(existing, indent=2, sort_keys=True))
 
 

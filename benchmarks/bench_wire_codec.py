@@ -28,7 +28,7 @@ from pathlib import Path
 from conftest import run_once
 from repro.core import ExEA, ExEAConfig, ExplanationConfig
 from repro.datasets import replay_workload
-from repro.experiments import sample_correct_pairs
+from repro.experiments import run_metadata, sample_correct_pairs
 from repro.service.transport import decode_binary, encode_binary
 from repro.service.transport.protocol import OP_EXPLAIN, encode_value
 from repro.service.transport.wire import encode_binary_value
@@ -166,7 +166,11 @@ def test_wire_codec(benchmark, dataset_cache, model_cache, bench_scale, quick):
     assert len(decoded["results"]) == batch
     if quick:
         return  # smoke mode: no numeric assertions, no artifact writes
-    ARTIFACT.write_text(json.dumps({row["workload"]: row}, indent=2, sort_keys=True))
+    ARTIFACT.write_text(
+        json.dumps(
+            {row["workload"]: {**row, "meta": run_metadata()}}, indent=2, sort_keys=True
+        )
+    )
     # Interning must shrink the URI-heavy frame, and the warm blob paths
     # must beat the JSON codec on both directions.
     assert row["binary_vs_json_bytes"] > 1.5

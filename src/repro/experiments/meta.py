@@ -1,0 +1,61 @@
+"""Run metadata stamped into every benchmark artifact.
+
+A ``BENCH_*.json`` row without provenance is a number nobody can trust
+six months later: was it measured before or after the dispatcher rework,
+on which commit, when?  :func:`run_metadata` answers those questions with
+three fields every artifact writer embeds under ``"meta"``:
+
+* ``git_commit`` — the repository HEAD at measurement time (``unknown``
+  outside a git checkout or without a ``git`` binary; artifacts must
+  still be writable from an exported tarball).
+* ``schema`` — :data:`ARTIFACT_SCHEMA_VERSION`, bumped when the shape of
+  the benchmark rows changes incompatibly, so downstream tooling can
+  refuse or adapt instead of misreading old files.
+* ``timestamp`` — wall-clock UTC in ISO-8601.  ``REPRO_RUN_TIMESTAMP``
+  overrides it for byte-reproducible artifact builds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Version of the benchmark-artifact row shape; see module docstring.
+ARTIFACT_SCHEMA_VERSION = 2
+
+
+def git_commit() -> str:
+    """The repository's HEAD commit hash, or ``"unknown"``.
+
+    Never raises: benchmarks must run identically from a git checkout, an
+    exported tarball, and a container without a ``git`` binary.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = result.stdout.strip()
+    return commit if result.returncode == 0 and commit else "unknown"
+
+
+def run_metadata() -> dict:
+    """Provenance dict (``git_commit``/``schema``/``timestamp``) for artifacts."""
+    timestamp = os.environ.get("REPRO_RUN_TIMESTAMP")
+    if not timestamp:
+        timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    return {
+        "git_commit": git_commit(),
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "timestamp": timestamp,
+    }
+
+
+__all__ = ["ARTIFACT_SCHEMA_VERSION", "git_commit", "run_metadata"]

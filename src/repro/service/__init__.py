@@ -24,6 +24,11 @@ ROADMAP.md, "Service architecture").  The pieces compose bottom-up:
   rate, per-operation attribution, batch occupancy, p50/p95 latency) and
   :func:`merge_stats` / :func:`merge_raw` for overall-across-shards
   reporting.
+* :mod:`~repro.service.observability` — the tracing/metrics plane:
+  :class:`TraceContext` propagation through every layer and both wire
+  codecs, per-process :class:`Span` rings stitched fleet-wide by
+  :func:`stitch_trace`, log-bucketed per-stage histograms, the
+  slow-request log, and the :func:`prometheus_text` exporter.
 * :mod:`~repro.service.transport` — the process boundary:
   :class:`ShardServer` hosts one shard group per server process and
   :class:`RemoteShardedClient` speaks the same client facade to a
@@ -67,6 +72,14 @@ from .errors import (
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
+)
+from .observability import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    new_trace,
+    prometheus_text,
+    stitch_trace,
 )
 from .service import (
     CONFIDENCE,
@@ -127,7 +140,10 @@ __all__ = [
     "ShardServer",
     "ShardedExEAClient",
     "ShardedExplanationService",
+    "Span",
+    "SpanRecorder",
     "TopologyError",
+    "TraceContext",
     "VERIFY",
     "WIRE_AUTO",
     "WIRE_BINARY",
@@ -139,8 +155,11 @@ __all__ = [
     "load_topology",
     "merge_raw",
     "merge_stats",
+    "new_trace",
     "parse_topology",
+    "prometheus_text",
     "replay_cluster_concurrently",
     "replay_concurrently",
     "replay_remote_concurrently",
+    "stitch_trace",
 ]

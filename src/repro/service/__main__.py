@@ -1,6 +1,6 @@
 """CLI of the service stack: in-process replay, shard serving, remote replay.
 
-Four subcommands (see ``docs/OPERATIONS.md`` for the full reference):
+Five subcommands (see ``docs/OPERATIONS.md`` for the full reference):
 
 * ``replay`` (the default when no subcommand is given, preserving the
   historic invocation) — load a registry dataset, fit a model, serve a
@@ -33,11 +33,19 @@ Four subcommands (see ``docs/OPERATIONS.md`` for the full reference):
       PYTHONPATH=src python -m repro.service cluster \\
           --topology cluster.json --requests 400 --clients 8
 
-All of them print a JSON report; ``--stats-json PATH`` additionally dumps
-the raw :class:`~repro.service.stats.ServiceStats` snapshot (overall +
-per-shard rows) for machine consumption.  Replays are deterministic
-(seeded Zipf traffic over the model's predicted pairs) and results are
-bit-identical across ``--shards`` / ``--scheduler`` / transport choices.
+* ``metrics`` — scrape running servers and emit their merged telemetry in
+  Prometheus text-exposition format (to stdout or ``--out``)::
+
+      PYTHONPATH=src python -m repro.service metrics \\
+          --endpoints 127.0.0.1:7401,127.0.0.1:7402
+
+All of the replay subcommands print a JSON report; ``--stats-json PATH``
+additionally dumps the raw :class:`~repro.service.stats.ServiceStats`
+snapshot (overall + per-shard rows) for machine consumption and
+``--metrics-out PATH`` writes the same telemetry in Prometheus text
+format.  Replays are deterministic (seeded Zipf traffic over the model's
+predicted pairs) and results are bit-identical across ``--shards`` /
+``--scheduler`` / transport choices.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ from .cluster import (
     replay_cluster_concurrently,
 )
 from .config import ServiceConfig
+from .observability import prometheus_text
 from .service import CONFIDENCE, EXPLAIN, VERIFY, replay_concurrently
 from .sharding import ShardedExplanationService
 from .transport import (
@@ -67,7 +76,7 @@ from .transport import (
     replay_remote_concurrently,
 )
 
-SUBCOMMANDS = ("replay", "serve", "connect", "cluster")
+SUBCOMMANDS = ("replay", "serve", "connect", "cluster", "metrics")
 
 
 # ----------------------------------------------------------------------
@@ -98,6 +107,21 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline-ms", type=float, default=None, help="per-request deadline (default: none)"
     )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help=(
+            "log any request slower than this many milliseconds (pair, latency, "
+            "per-stage breakdown) into the slow-request ring shown by --stats-json"
+        ),
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=2048,
+        help="per-process span ring capacity for traced requests (0 disables tracing)",
+    )
 
 
 def _add_traffic_arguments(parser: argparse.ArgumentParser) -> None:
@@ -117,6 +141,12 @@ def _add_traffic_arguments(parser: argparse.ArgumentParser) -> None:
         dest="stats_json_path",
         default=None,
         help="write the raw ServiceStats snapshot (overall + per-shard rows) here",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        dest="metrics_out_path",
+        default=None,
+        help="write the final telemetry in Prometheus text-exposition format here",
     )
 
 
@@ -157,6 +187,8 @@ def _service_config(args: argparse.Namespace, num_shards: int = 1) -> ServiceCon
         default_deadline_ms=args.deadline_ms,
         scheduler=args.scheduler,
         num_shards=num_shards,
+        trace_buffer=args.trace_buffer,
+        slow_request_ms=args.slow_ms,
     )
 
 
@@ -185,6 +217,9 @@ def _emit_report(report: dict, stats: dict, args: argparse.Namespace) -> None:
     if args.stats_json_path:
         with open(args.stats_json_path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    if getattr(args, "metrics_out_path", None):
+        with open(args.metrics_out_path, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(stats))
 
 
 # ----------------------------------------------------------------------
@@ -505,6 +540,57 @@ def cluster_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# metrics — scrape running servers into Prometheus text exposition
+# ----------------------------------------------------------------------
+def build_metrics_parser() -> argparse.ArgumentParser:
+    """Parser of the ``metrics`` subcommand (Prometheus-text scrape)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service metrics",
+        description=(
+            "Pull the merged telemetry of running shard servers (or a replicated "
+            "cluster) and print it in Prometheus text-exposition format."
+        ),
+    )
+    parser.add_argument(
+        "--endpoints",
+        default=None,
+        help="comma-separated shard endpoints ordered by shard id (host:port or unix:/path)",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        help="cluster topology file (.json or .toml) to scrape instead of --endpoints",
+    )
+    _add_client_wire_arguments(parser)
+    parser.add_argument("--timeout", type=float, default=10.0, help="per-request socket timeout (s)")
+    parser.add_argument("--out", default=None, help="also write the exposition text here")
+    return parser
+
+
+def metrics_main(argv: list[str]) -> int:
+    """Scrape server telemetry and emit Prometheus text exposition."""
+    args = build_metrics_parser().parse_args(argv)
+    if bool(args.endpoints) == bool(args.topology):
+        print("metrics: exactly one of --endpoints or --topology is required", file=sys.stderr)
+        return 2
+    client_kwargs = _client_transport_kwargs(args)
+    if args.endpoints:
+        endpoints = [e.strip() for e in args.endpoints.split(",") if e.strip()]
+        with RemoteShardedClient(endpoints, timeout=args.timeout, **client_kwargs) as client:
+            stats = client.stats_snapshot()
+    else:
+        topology = load_topology(args.topology)
+        with ClusterClient(topology, timeout=args.timeout, **client_kwargs) as client:
+            stats = client.stats_snapshot()
+    text = prometheus_text(stats)
+    print(text, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch to replay (default) / serve / connect / cluster.
 
@@ -520,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
             return connect_main(argv[1:])
         if argv[0] == "cluster":
             return cluster_main(argv[1:])
+        if argv[0] == "metrics":
+            return metrics_main(argv[1:])
         if argv[0] == "replay":
             argv = argv[1:]
         else:

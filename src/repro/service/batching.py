@@ -20,6 +20,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from .errors import ServiceClosedError, ServiceOverloadedError
+from .observability.context import TraceContext
 
 
 @dataclass
@@ -32,6 +33,14 @@ class ServiceRequest:
     #: absolute ``time.monotonic()`` deadline, or ``None`` for no deadline
     deadline: float | None = None
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: trace context carried by the request, or ``None`` when untraced
+    trace: TraceContext | None = None
+    #: ``time.monotonic()`` when the batcher popped the request from the
+    #: queue (queue-wait stage ends here); ``None`` until gathered
+    gathered_at: float | None = None
+    #: ``time.monotonic()`` when a worker started executing the batch
+    #: holding this request (batch-gather stage ends here)
+    started_at: float | None = None
 
 
 class RequestQueue:
@@ -115,11 +124,13 @@ class MicroBatcher:
         first = self.queue.get()
         if first is None:
             return []
+        first.gathered_at = time.monotonic()
         batch = [first]
-        wait_until = time.monotonic() + self.max_wait_seconds
+        wait_until = first.gathered_at + self.max_wait_seconds
         while len(batch) < self.max_batch_size:
             request = self.queue.get(timeout=wait_until - time.monotonic())
             if request is None:
                 break
+            request.gathered_at = time.monotonic()
             batch.append(request)
         return batch

@@ -39,6 +39,8 @@ import time
 from typing import Callable, Iterable
 
 from ..errors import RemoteTransportError, ServiceOverloadedError
+from ..observability.context import TraceContext, new_span_id
+from ..observability.spans import Span
 from ..stats import imbalance_summary, merge_raw
 from ..transport.client import RemoteShardClient
 from ..transport.facade import (
@@ -271,7 +273,16 @@ class ClusterClient(ShardedClientFacade):
         backpressure re-raises the service's own
         :class:`ServiceOverloadedError` so callers keep the in-process
         retry semantics.
+
+        When the request carries a sampled trace context, every attempt
+        that fails over records a ``retry`` span in the client's ring —
+        the failover's cost is otherwise invisible in the stitched
+        timeline (the dead replica recorded nothing, and the serving
+        replica's spans only start once the retry reaches it).
         """
+        trace = payload.get("trace")
+        if not isinstance(trace, TraceContext):
+            trace = None
         excluded: set[str] = set()
         last_error: Exception | None = None
         for _ in range(len(self.topology.shards[shard_id])):
@@ -285,6 +296,7 @@ class ClusterClient(ShardedClientFacade):
                 response = self._clients[route.endpoint].call(payload, timeout=timeout)
             except ServiceOverloadedError as error:
                 load.end(time.monotonic() - start, ok=False)
+                self._record_retry(trace, route.endpoint, error, time.monotonic() - start)
                 excluded.add(route.endpoint)
                 last_error = error
                 continue  # a peer replica may have queue capacity
@@ -293,6 +305,7 @@ class ClusterClient(ShardedClientFacade):
                 if is_request_shaped(error):
                     raise  # timeout/oversized/malformed: fails the same anywhere
                 self.manager.report_failure(route.endpoint, error)
+                self._record_retry(trace, route.endpoint, error, time.monotonic() - start)
                 excluded.add(route.endpoint)
                 last_error = error
                 continue
@@ -302,6 +315,7 @@ class ClusterClient(ShardedClientFacade):
             rejection = reject(response) if reject is not None else None
             if rejection is not None:
                 load.end(time.monotonic() - start, ok=False)
+                self._record_retry(trace, route.endpoint, rejection, time.monotonic() - start)
                 excluded.add(route.endpoint)
                 last_error = rejection
                 continue
@@ -310,6 +324,45 @@ class ClusterClient(ShardedClientFacade):
         if last_error is not None:
             raise last_error
         raise RemoteTransportError(f"no replica of shard {shard_id} is reachable")
+
+    def _record_retry(
+        self,
+        trace: TraceContext | None,
+        endpoint: str,
+        error: BaseException,
+        seconds: float,
+    ) -> None:
+        """Record one failed-over attempt as a ``retry`` span (traced requests)."""
+        if trace is None:
+            return
+        self.tracer.add(
+            "retry",
+            trace,
+            seconds,
+            attrs={"endpoint": endpoint, "error": type(error).__name__},
+            span_id=new_span_id(),
+            parent_span_id=trace.span_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def trace_spans(self, trace_id: str | None = None) -> list[Span]:
+        """Spans pulled from **every replica of every shard**.
+
+        A traced request's server spans live in whichever replica served
+        it (which failover may have changed mid-request), so the pull
+        must cover them all.  Unreachable replicas and peers that predate
+        tracing contribute nothing — a timeline must stay readable
+        mid-outage, which is exactly when it is wanted.
+        """
+        spans: list[Span] = []
+        for endpoint in self.topology.endpoints():
+            try:
+                spans.extend(self._clients[endpoint].trace_spans(trace_id))
+            except RemoteTransportError:
+                continue
+        return spans
 
     # ------------------------------------------------------------------
     # Bulk operations
@@ -383,6 +436,7 @@ class ClusterClient(ShardedClientFacade):
         per_replica: list[list[dict | None]] = []
         pair_counts: list[int] = []
         unreachable: list[str] = []
+        slow_requests: list[dict] = []
         for replicas in self.topology.shards:
             parts: list[tuple[dict, list[float]]] = []
             rows: list[dict | None] = []
@@ -397,11 +451,13 @@ class ClusterClient(ShardedClientFacade):
                 parts.append((payload["counters"], payload["latencies"]))
                 rows.append(payload["snapshot"])
                 shard_pairs = int(payload.get("num_pairs", shard_pairs))
+                slow_requests.extend(payload.get("slow_requests", []))
             per_shard_parts.append(parts)
             per_replica.append(rows)
             pair_counts.append(shard_pairs)
         shard_submitted = [
-            sum(counters["submitted"] for counters, _ in parts) for parts in per_shard_parts
+            sum(counters.get("submitted", 0) for counters, _ in parts)
+            for parts in per_shard_parts
         ]
         overall = merge_raw(part for parts in per_shard_parts for part in parts)
         overall["shard_imbalance"] = {
@@ -415,6 +471,7 @@ class ClusterClient(ShardedClientFacade):
             "per_shard": [merge_raw(parts) for parts in per_shard_parts],
             "per_replica": per_replica,
             "pairs_per_shard": pair_counts,
+            "slow_requests": slow_requests,
             "unreachable": unreachable,
             "routing": self.routing_snapshot(),
             "client_wire": self.wire_snapshot(),

@@ -41,6 +41,14 @@ class ServiceConfig:
             partitions the pair space into; each shard gets its own
             dispatcher, worker pool and result cache.  Plain
             :class:`~repro.service.service.ExplanationService` ignores it.
+        trace_buffer: capacity of the per-process span ring buffer that
+            holds stage spans of traced requests; ``0`` disables span
+            recording entirely (stage histograms keep working).
+        slow_request_ms: completed requests slower than this threshold
+            get their per-stage timeline appended to the slow-request
+            log automatically, traced or not; ``None`` disables the log.
+        slow_log_capacity: how many slow-request entries the bounded log
+            retains (oldest age out).
     """
 
     max_batch_size: int = 32
@@ -52,6 +60,9 @@ class ServiceConfig:
     latency_reservoir: int = 100_000
     scheduler: str = "dispatcher"
     num_shards: int = 1
+    trace_buffer: int = 2048
+    slow_request_ms: float | None = None
+    slow_log_capacity: int = 128
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -70,3 +81,9 @@ class ServiceConfig:
             raise ValueError('scheduler must be "dispatcher" or "per-worker"')
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if self.trace_buffer < 0:
+            raise ValueError("trace_buffer must be >= 0")
+        if self.slow_request_ms is not None and self.slow_request_ms < 0:
+            raise ValueError("slow_request_ms must be >= 0 when set")
+        if self.slow_log_capacity < 1:
+            raise ValueError("slow_log_capacity must be >= 1")

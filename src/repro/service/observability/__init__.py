@@ -1,0 +1,55 @@
+"""Observability plane: trace propagation, spans, histograms, exporters.
+
+Three small modules that together answer "where did this request's time
+go, anywhere in the fleet":
+
+* :mod:`~repro.service.observability.context` — the
+  :class:`TraceContext` minted at a client facade and propagated through
+  the dispatcher, shard routing and both wire codecs.
+* :mod:`~repro.service.observability.spans` — per-stage :class:`Span`
+  records in bounded per-process rings, the slow-request log, and
+  :func:`stitch_trace` to reassemble a fleet-wide timeline.
+* :mod:`~repro.service.observability.metrics` — fixed-ladder
+  log-bucketed histograms (mergeable exactly across processes) and the
+  Prometheus text exporter behind ``--metrics-out`` / the ``metrics``
+  CLI subcommand.
+"""
+
+from .context import TraceContext, new_span_id, new_trace, trace_from_wire
+from .metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    merge_histogram_raw,
+    prometheus_text,
+    summarize_histogram_raw,
+)
+from .spans import (
+    ServiceTracer,
+    SlowRequestLog,
+    Span,
+    SpanRecorder,
+    span_from_wire,
+    stitch_trace,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceTracer",
+    "SlowRequestLog",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "histogram_quantile",
+    "merge_histogram_raw",
+    "new_span_id",
+    "new_trace",
+    "prometheus_text",
+    "span_from_wire",
+    "stitch_trace",
+    "summarize_histogram_raw",
+    "trace_from_wire",
+]

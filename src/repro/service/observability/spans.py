@@ -1,0 +1,263 @@
+"""Spans, bounded span ring buffers, and fleet-wide trace stitching.
+
+A :class:`Span` records one named stage of one traced request — queue
+wait, batch gather, engine compute, wire encode/decode, a failover
+retry, the client's own send — as wall-clock start plus duration.  Each
+process (client facade and every shard server) keeps its spans in a
+bounded :class:`SpanRecorder` ring; nothing is shipped anywhere at
+record time.  The ``trace`` wire op later pulls the rings on demand and
+:func:`stitch_trace` reassembles everything that shares a ``trace_id``
+into one per-request timeline.
+
+Wall-clock (``time.time``) rather than monotonic time is used for span
+starts because spans from different processes must land on one shared
+axis; durations are measured monotonically by the callers and only the
+placement uses the wall clock.  Sub-millisecond clock skew between
+processes on one machine shows up as slight span overlap, which the
+stitched view tolerates (ordering is by start, sums are per-stage).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .context import TraceContext
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded stage of a traced request."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None
+    name: str
+    #: wall-clock start (``time.time()`` seconds)
+    start: float
+    duration_ms: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        """JSON-safe dict form (what the ``trace`` wire op returns)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": self.duration_ms,
+            "attrs": dict(self.attrs),
+        }
+
+
+def span_from_wire(value: object) -> Span | None:
+    """Parse one wire-form span dict; ``None`` for malformed entries."""
+    if not isinstance(value, dict):
+        return None
+    try:
+        return Span(
+            trace_id=str(value["trace_id"]),
+            span_id=str(value["span_id"]),
+            parent_span_id=value.get("parent_span_id") or None,
+            name=str(value["name"]),
+            start=float(value["start"]),
+            duration_ms=float(value["duration_ms"]),
+            attrs=dict(value.get("attrs") or {}),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class SpanRecorder:
+    """Thread-safe bounded ring of the most recent spans in this process.
+
+    A ``deque(maxlen=capacity)`` under a lock: recording is O(1), old
+    spans age out silently, and a capacity of 0 disables recording
+    entirely (every ``record`` becomes a cheap no-op) — that is how
+    ``ServiceConfig(trace_buffer=0)`` turns tracing off serverside.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=max(capacity, 1))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def record(self, span: Span) -> None:
+        """Append one span (drops the oldest when the ring is full)."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._spans.append(span)
+
+    def add(
+        self,
+        name: str,
+        trace: TraceContext,
+        duration_seconds: float,
+        attrs: dict | None = None,
+        span_id: str | None = None,
+        parent_span_id: str | None = None,
+        end_wall: float | None = None,
+    ) -> Span | None:
+        """Build and record a span ending now (or at *end_wall*) under *trace*.
+
+        Returns the recorded span, or ``None`` when the trace is
+        unsampled or recording is disabled.  ``span_id`` defaults to the
+        context's own span id and ``parent_span_id`` to its parent — the
+        shape used for the root ``client_send`` span; stage spans inside
+        a server instead pass ``parent_span_id=trace.span_id`` so they
+        hang off the request that carried them.
+        """
+        if self.capacity <= 0 or trace is None or not trace.sampled:
+            return None
+        end = time.time() if end_wall is None else end_wall
+        span = Span(
+            trace_id=trace.trace_id,
+            span_id=span_id if span_id is not None else trace.span_id,
+            parent_span_id=(
+                parent_span_id if parent_span_id is not None else trace.parent_span_id
+            ),
+            name=name,
+            start=end - duration_seconds,
+            duration_ms=duration_seconds * 1000.0,
+            attrs=attrs or {},
+        )
+        self.record(span)
+        return span
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Copy of the ring, optionally filtered to one trace."""
+        with self._lock:
+            items = list(self._spans)
+        if trace_id is None:
+            return items
+        return [span for span in items if span.trace_id == trace_id]
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        with self._lock:
+            self._spans.clear()
+
+
+class SlowRequestLog:
+    """Bounded log of the slowest-request timelines, captured automatically.
+
+    When a completed request's latency crosses the configured threshold
+    the service appends one entry — pair, kind, total latency and the
+    per-stage breakdown that was computed for the stage histograms
+    anyway — so the tail is explained after the fact without anyone
+    having traced the request up front.
+    """
+
+    def __init__(self, threshold_ms: float, capacity: int = 128) -> None:
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=max(capacity, 1))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def record(
+        self,
+        kind: str,
+        pair: tuple[str, str],
+        latency_ms: float,
+        stages_ms: dict,
+        trace_id: str | None = None,
+    ) -> None:
+        """Append one slow-request entry (oldest entries age out)."""
+        entry = {
+            "kind": kind,
+            "source": pair[0],
+            "target": pair[1],
+            "latency_ms": latency_ms,
+            "stages_ms": dict(stages_ms),
+            "trace_id": trace_id,
+            "at": time.time(),
+        }
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self) -> list[dict]:
+        """Copy of the logged entries, oldest first (JSON-safe)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+
+class ServiceTracer:
+    """One process's tracing state: span ring plus optional slow-request log."""
+
+    def __init__(
+        self,
+        trace_buffer: int = 2048,
+        slow_request_ms: float | None = None,
+        slow_log_capacity: int = 128,
+    ) -> None:
+        self.recorder = SpanRecorder(trace_buffer)
+        self.slow_log = (
+            SlowRequestLog(slow_request_ms, slow_log_capacity)
+            if slow_request_ms is not None
+            else None
+        )
+
+    def should_record(self, trace: TraceContext | None) -> bool:
+        """True when spans for *trace* would actually be kept."""
+        return trace is not None and trace.sampled and self.recorder.capacity > 0
+
+    def slow_entries(self) -> list[dict]:
+        """The slow-request log's entries (empty when no threshold is set)."""
+        return self.slow_log.entries() if self.slow_log is not None else []
+
+
+def stitch_trace(spans: list[Span], trace_id: str | None = None) -> dict:
+    """Assemble spans (possibly from many processes) into one timeline.
+
+    Returns ``{"trace_id", "total_ms", "stage_totals_ms", "spans"}``:
+    spans sorted by wall-clock start with an ``offset_ms`` relative to
+    the earliest one, per-stage duration sums, and ``total_ms`` — the
+    root span's duration when a parentless span (the client's
+    ``client_send``) is present, otherwise the observed wall-clock
+    extent.  Stage sums exclude the root span itself, since it envelopes
+    the others.
+    """
+    if trace_id is not None:
+        spans = [span for span in spans if span.trace_id == trace_id]
+    if not spans:
+        return {"trace_id": trace_id, "total_ms": 0.0, "stage_totals_ms": {}, "spans": []}
+    spans = sorted(spans, key=lambda span: (span.start, span.name))
+    origin = spans[0].start
+    root = next((span for span in spans if span.parent_span_id is None), None)
+    if root is not None:
+        total_ms = root.duration_ms
+    else:
+        total_ms = max((span.start - origin) * 1000.0 + span.duration_ms for span in spans)
+    stage_totals: dict[str, float] = {}
+    rows = []
+    for span in spans:
+        if span is not root:
+            stage_totals[span.name] = stage_totals.get(span.name, 0.0) + span.duration_ms
+        rows.append({**span.to_wire(), "offset_ms": (span.start - origin) * 1000.0})
+    return {
+        "trace_id": spans[0].trace_id,
+        "total_ms": total_ms,
+        "stage_totals_ms": stage_totals,
+        "spans": rows,
+    }
+
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "SlowRequestLog",
+    "ServiceTracer",
+    "span_from_wire",
+    "stitch_trace",
+]

@@ -64,6 +64,8 @@ from .errors import (
     ServiceError,
     ServiceOverloadedError,
 )
+from .observability.context import TraceContext, new_span_id, new_trace
+from .observability.spans import ServiceTracer, Span, SpanRecorder, stitch_trace
 from .stats import ServiceStats
 from .worker import MicroBatchWorkerPool, WorkerPool
 
@@ -99,6 +101,12 @@ class ExplanationService:
         self.config = config or ServiceConfig()
         self.exea_config = exea_config or ExEAConfig()
         self.stats = ServiceStats(latency_reservoir=self.config.latency_reservoir)
+        #: span ring + slow-request log for this service's side of a trace
+        self.tracer = ServiceTracer(
+            trace_buffer=self.config.trace_buffer,
+            slow_request_ms=self.config.slow_request_ms,
+            slow_log_capacity=self.config.slow_log_capacity,
+        )
         self.cache = ResultCache(self.config.cache_capacity, stats=self.stats)
         self.queue = RequestQueue(self.config.queue_capacity)
         #: one engine backend per worker — engine caches are single-threaded
@@ -176,6 +184,14 @@ class ExplanationService:
         """
         return self._token()
 
+    def trace_spans(self, trace_id: str | None = None) -> list[Span]:
+        """Spans recorded by this service, optionally filtered to one trace."""
+        return self.tracer.recorder.spans(trace_id)
+
+    def slow_requests(self) -> list[dict]:
+        """Entries of the slow-request log (empty when no threshold is set)."""
+        return self.tracer.slow_entries()
+
     def reference_alignment(self) -> AlignmentSet:
         """Model predictions ∪ seed alignment, recomputed once per generation."""
         if self._reference_provider is not None:
@@ -196,8 +212,13 @@ class ExplanationService:
         source: str,
         target: str,
         deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> Future:
         """Submit one operation; returns a future resolving to its result.
+
+        When *trace* is given (and sampled) the request's stage spans —
+        cache lookup, queue wait, batch gather, engine compute — are
+        recorded into this service's span ring under that trace.
 
         Raises:
             ServiceOverloadedError: the bounded queue is full (backpressure).
@@ -211,7 +232,19 @@ class ExplanationService:
         # Fast path: answer straight from the cache, no queueing at all.
         # verify lookups read the confidence cache but are attributed to
         # their own per-operation hit counter.
+        lookup_started = time.perf_counter()
         found, value = self.cache.lookup(_cache_kind(kind), pair, self._token())
+        lookup_seconds = time.perf_counter() - lookup_started
+        self.stats.record_stage("cache", lookup_seconds)
+        if self.tracer.should_record(trace):
+            self.tracer.recorder.add(
+                "cache",
+                trace,
+                lookup_seconds,
+                attrs={"kind": kind, "hit": found},
+                span_id=new_span_id(),
+                parent_span_id=trace.span_id,
+            )
         if found:
             self.stats.record_hit(kind)
             future: Future = Future()
@@ -223,6 +256,7 @@ class ExplanationService:
             kind=kind,
             pair=pair,
             deadline=None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0,
+            trace=trace,
         )
         try:
             self.queue.put(request)
@@ -243,8 +277,67 @@ class ExplanationService:
     def _complete(self, request: ServiceRequest, raw_value) -> None:
         if not request.future.set_running_or_notify_cancel():
             return
+        now = time.monotonic()
+        latency = now - request.enqueued_at
+        self.stats.record_completed(latency)
+        # Stages and spans are recorded *before* the future resolves so a
+        # caller that sees the result and immediately pulls the trace is
+        # guaranteed to find the request's stage spans.
+        self._record_request_stages(request, now, latency)
         request.future.set_result(self._present(request.kind, raw_value))
-        self.stats.record_completed(time.monotonic() - request.enqueued_at)
+
+    def _record_request_stages(
+        self, request: ServiceRequest, now: float, latency: float
+    ) -> None:
+        """Record the per-stage breakdown of one completed request.
+
+        The stage boundaries are the request's lifecycle stamps —
+        ``enqueued_at`` → ``gathered_at`` (queue wait), → ``started_at``
+        (batch gather/packing), → *now* (engine compute) — so the three
+        stage durations sum exactly to the request's completion latency.
+        Every completion feeds the stage histograms; span objects are
+        built only for sampled traces, and the slow-request log captures
+        the same breakdown when the latency crosses its threshold.
+        """
+        gathered = request.gathered_at
+        started = request.started_at
+        stages: dict[str, float] = {}
+        if gathered is not None:
+            stages["queue"] = max(gathered - request.enqueued_at, 0.0)
+            batch_end = started if started is not None else now
+            stages["batch"] = max(batch_end - gathered, 0.0)
+            if started is not None:
+                stages["engine"] = max(now - started, 0.0)
+        for stage, seconds in stages.items():
+            self.stats.record_stage(stage, seconds)
+        trace = request.trace
+        if stages and self.tracer.should_record(trace):
+            # Walk the stages backwards from "now" so the spans tile the
+            # request's wall-clock interval end to end.
+            cursor = time.time()
+            for name in ("engine", "batch", "queue"):
+                seconds = stages.get(name)
+                if seconds is None:
+                    continue
+                self.tracer.recorder.add(
+                    name,
+                    trace,
+                    seconds,
+                    attrs={"kind": request.kind},
+                    span_id=new_span_id(),
+                    parent_span_id=trace.span_id,
+                    end_wall=cursor,
+                )
+                cursor -= seconds
+        slow = self.tracer.slow_log
+        if slow is not None and latency * 1000.0 >= slow.threshold_ms:
+            slow.record(
+                request.kind,
+                request.pair,
+                latency * 1000.0,
+                {name: seconds * 1000.0 for name, seconds in stages.items()},
+                trace_id=trace.trace_id if trace is not None else None,
+            )
 
     def _fail(self, request: ServiceRequest, error: BaseException) -> None:
         if not request.future.set_running_or_notify_cancel():
@@ -287,6 +380,9 @@ class ExplanationService:
         backend = self._backends[worker_id]
         token = self._token()
         reference = self.reference_alignment()
+        execution_started = time.monotonic()
+        for request in batch:
+            request.started_at = execution_started
         if self._per_worker:
             # Dispatcher mode already counted this cycle via on_gather;
             # both modes therefore record the raw gathered size, keeping
@@ -382,6 +478,36 @@ class ExEAClient:
 
     def __init__(self, service: ExplanationService) -> None:
         self.service = service
+        #: client-side span ring: one ``client_send`` span per traced call
+        self.tracer = SpanRecorder(512)
+
+    # ------------------------------------------------------------------
+    def traced(
+        self, kind: str, source: str, target: str, timeout: float | None = None
+    ) -> tuple[object, TraceContext]:
+        """Run one traced operation; returns ``(result, trace_context)``.
+
+        Mints a root :class:`TraceContext`, submits the request under it
+        (the service records its stage spans into its own ring), and
+        records the enveloping ``client_send`` span — submit to result —
+        into this client's ring.  Feed the context's ``trace_id`` to
+        :meth:`trace_timeline` for the stitched per-request view.
+        """
+        trace = new_trace()
+        started = time.perf_counter()
+        value = self.service.submit(kind, source, target, trace=trace).result(timeout)
+        self.tracer.add(
+            "client_send",
+            trace,
+            time.perf_counter() - started,
+            attrs={"kind": kind, "source": source, "target": target},
+        )
+        return value, trace
+
+    def trace_timeline(self, trace_id: str) -> dict:
+        """Stitched timeline of one trace: client spans + the service's spans."""
+        spans = self.tracer.spans(trace_id) + self.service.trace_spans(trace_id)
+        return stitch_trace(spans, trace_id)
 
     # ------------------------------------------------------------------
     def explain(self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None):

@@ -35,6 +35,8 @@ from ..kg import AlignmentSet, EADataset
 from ..models import EAModel
 from .cache import GenerationToken
 from .config import ServiceConfig
+from .observability.context import TraceContext
+from .observability.spans import Span
 from .service import ExEAClient, ExplanationService
 from .stats import imbalance_summary, merge_stats
 
@@ -162,6 +164,7 @@ class ShardedExplanationService:
         source: str,
         target: str,
         deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> Future:
         """Route one operation to its shard; returns the shard's future.
 
@@ -169,10 +172,11 @@ class ShardedExplanationService:
         full shard queue raises
         :class:`~repro.service.errors.ServiceOverloadedError` even while
         other shards have capacity (load shedding is per partition, as it
-        would be across processes).
+        would be across processes).  A trace context travels with the
+        request, so its stage spans land in the serving shard's ring.
         """
         shard = self.shards[self.router.shard_of(source, target)]
-        return shard.submit(kind, source, target, deadline_ms)
+        return shard.submit(kind, source, target, deadline_ms, trace=trace)
 
     def shard_of(self, source: str, target: str) -> int:
         """Shard index that serves the given pair."""
@@ -181,6 +185,20 @@ class ShardedExplanationService:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def trace_spans(self, trace_id: str | None = None) -> list[Span]:
+        """Spans recorded by every shard, optionally filtered to one trace."""
+        spans: list[Span] = []
+        for shard in self.shards:
+            spans.extend(shard.trace_spans(trace_id))
+        return spans
+
+    def slow_requests(self) -> list[dict]:
+        """Slow-request log entries pooled across every shard."""
+        entries: list[dict] = []
+        for shard in self.shards:
+            entries.extend(shard.slow_requests())
+        return entries
+
     @property
     def stats(self):
         """Per-shard :class:`ServiceStats` objects (index = shard id)."""
@@ -223,6 +241,7 @@ class ShardedExplanationService:
             "overall": overall,
             "per_shard": [shard.stats.snapshot() for shard in self.shards],
             "pairs_per_shard": pair_counts,
+            "slow_requests": self.slow_requests(),
         }
 
 

@@ -17,6 +17,12 @@ from __future__ import annotations
 import threading
 from typing import Iterable
 
+from .observability.metrics import (
+    MetricsRegistry,
+    merge_histogram_raw,
+    summarize_histogram_raw,
+)
+
 
 class WireCounters:
     """Thread-safe per-connection transport telemetry.
@@ -115,6 +121,10 @@ class ServiceStats:
         #: transport telemetry for whatever wire serves this service (the
         #: shard server aggregates every connection into this object)
         self.wire = WireCounters()
+        #: per-stage log-bucketed duration histograms (queue / batch /
+        #: engine / cache / wire_encode / wire_decode); fixed shared
+        #: bucket ladder, so fleet merges are exact
+        self.stages = MetricsRegistry()
         self._latencies: list[float] = []
 
     # ------------------------------------------------------------------
@@ -185,6 +195,15 @@ class ServiceStats:
                 self._latencies[self._latency_position] = latency_seconds
                 self._latency_position = (self._latency_position + 1) % self._latency_reservoir
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Record one per-stage duration into its log-bucketed histogram.
+
+        Stage histograms live outside the main lock (each histogram has
+        its own); the hot path pays one dict lookup and one bucket
+        increment per stage.
+        """
+        self.stages.observe(stage, seconds)
+
     # ------------------------------------------------------------------
     def _raw(self) -> tuple[dict, list[float]]:
         """Copy of the raw counters and latency samples (caller gets fresh objects)."""
@@ -206,7 +225,10 @@ class ServiceStats:
                 "misses_by_kind": dict(self.misses_by_kind),
                 "wire": self.wire.raw(),
             }
-            return counters, list(self._latencies)
+            latencies = list(self._latencies)
+        # The registry has its own locks; taken outside the stats lock.
+        counters["stages"] = self.stages.raw()
+        return counters, latencies
 
     def raw(self) -> tuple[dict, list[float]]:
         """Public copy of the raw counters and latency samples.
@@ -224,16 +246,29 @@ class ServiceStats:
 
 
 def _derive_snapshot(counters: dict, latencies: list[float]) -> dict:
-    """Turn raw counters + latency samples into the reported snapshot."""
+    """Turn raw counters + latency samples into the reported snapshot.
+
+    Tolerant of raw parts from version-skewed peers: keys a peer's
+    release predates (``wire``, ``stages``) are simply absent from its
+    part and the derived figures treat them as zeros.
+    """
     latencies = sorted(latencies)
-    lookups = counters["cache_hits"] + counters["cache_misses"]
-    kinds = sorted(set(counters["hits_by_kind"]) | set(counters["misses_by_kind"]))
+    hits_by_kind = counters.get("hits_by_kind", {})
+    misses_by_kind = counters.get("misses_by_kind", {})
+    lookups = counters.get("cache_hits", 0) + counters.get("cache_misses", 0)
+    kinds = sorted(set(hits_by_kind) | set(misses_by_kind))
     per_operation = {
         kind: {
-            "cache_hits": counters["hits_by_kind"].get(kind, 0),
-            "cache_misses": counters["misses_by_kind"].get(kind, 0),
+            "cache_hits": hits_by_kind.get(kind, 0),
+            "cache_misses": misses_by_kind.get(kind, 0),
         }
         for kind in kinds
+    }
+    stages = counters.get("stages", {})
+    stage_latency_ms = {
+        stage: summarize_histogram_raw(raw)
+        for stage, raw in stages.items()
+        if isinstance(raw, dict)
     }
     snapshot = {
         key: value
@@ -242,13 +277,14 @@ def _derive_snapshot(counters: dict, latencies: list[float]) -> dict:
     }
     snapshot.update(
         {
-            "cache_hit_rate": counters["cache_hits"] / lookups if lookups else 0.0,
+            "cache_hit_rate": counters.get("cache_hits", 0) / lookups if lookups else 0.0,
             "mean_batch_occupancy": (
-                counters["batched_requests"] / counters["num_batches"]
-                if counters["num_batches"]
+                counters.get("batched_requests", 0) / counters["num_batches"]
+                if counters.get("num_batches")
                 else 0.0
             ),
             "per_operation": per_operation,
+            "stage_latency_ms": stage_latency_ms,
             "p50_ms": _percentile(latencies, 0.50) * 1000.0,
             "p95_ms": _percentile(latencies, 0.95) * 1000.0,
             "latency_samples": len(latencies),
@@ -309,26 +345,44 @@ def merge_raw(parts: Iterable[tuple[dict, list[float]]]) -> dict:
         all_latencies.extend(latencies)
         per_part_submitted.append(counters.get("submitted", 0))
         if total is None:
-            total = {
-                key: dict(value) if isinstance(value, dict) else value
-                for key, value in counters.items()
-            }
-            continue
-        for key, value in counters.items():
-            if isinstance(value, dict):
-                # Nested attribution maps (hits/misses_by_kind, wire)
-                # merge per key; a part from an older peer may lack the
-                # map entirely, so the accumulator slot is created lazily.
-                merged = total.setdefault(key, {})
-                for inner, count in value.items():
-                    merged[inner] = merged.get(inner, 0) + count
-            elif key == "max_batch_size":
-                total[key] = max(total.get(key, 0), value)
-            else:
-                total[key] = total.get(key, 0) + value
+            total = {}
+        _merge_counters(total, counters)
     if total is None:
         empty = ServiceStats(latency_reservoir=1)
         total, all_latencies = empty._raw()
     snapshot = _derive_snapshot(total, all_latencies)
     snapshot["shard_imbalance"] = {"request_share": imbalance_summary(per_part_submitted)}
     return snapshot
+
+
+def _merge_counters(total: dict, part: dict) -> None:
+    """Merge one raw counters dict into the *total* accumulator, in place.
+
+    Recursive and shape-tolerant on purpose — this is the version-skew
+    boundary of the stats plane.  Peers in a mixed-version fleet ship
+    whatever keys their release knows about: an older peer's part may
+    lack ``wire`` or ``stages`` entirely (they merge as zeros via the
+    lazily-created accumulator slot), a newer peer may ship maps nested
+    arbitrarily deep (histogram raw forms inside ``stages``) or keys this
+    release has never heard of (summed as opaque counters).  Lists merge
+    element-wise with length padding, so histogram ``counts`` arrays from
+    releases with different ladder lengths still add up.
+    ``max_batch_size`` stays a high watermark rather than a sum.
+    """
+    for key, value in part.items():
+        if isinstance(value, dict):
+            slot = total.setdefault(key, {})
+            if isinstance(slot, dict):
+                _merge_counters(slot, value)
+        elif isinstance(value, (list, tuple)):
+            slot = total.setdefault(key, [])
+            if isinstance(slot, list):
+                for index, item in enumerate(value):
+                    if index < len(slot):
+                        slot[index] += item
+                    else:
+                        slot.append(item)
+        elif key == "max_batch_size":
+            total[key] = max(total.get(key, 0), value)
+        else:
+            total[key] = total.get(key, 0) + value

@@ -44,7 +44,9 @@ import threading
 import time
 from typing import Iterable
 
-from ..errors import RemoteTransportError
+from ..errors import RemoteOperationError, RemoteTransportError
+from ..observability.context import TraceContext
+from ..observability.spans import Span, span_from_wire
 from ..stats import WireCounters, imbalance_summary, merge_raw
 from .facade import (
     BATCH_CHUNK_SIZE,
@@ -72,6 +74,7 @@ from .protocol import (
     OP_PING,
     OP_SHUTDOWN,
     OP_STATS,
+    OP_TRACE,
     decode_error,
 )
 from .server import parse_listen_address
@@ -122,6 +125,9 @@ class RemoteShardClient:
         self._active_wire = self.wire if self.wire != WIRE_AUTO else WIRE_JSON
         self._use_mux = bool(mux)
         self._negotiated = self.wire != WIRE_AUTO and mux is not None
+        #: Whether the peer advertised the ``trace`` capability; ``None``
+        #: until a ping answers (a fully pinned client may never ping).
+        self._peer_trace: bool | None = None
 
     # ------------------------------------------------------------------
     # Connection pool (v1 transport + negotiation carrier)
@@ -200,6 +206,7 @@ class RemoteShardClient:
             info = response.get("ok", response)
             peer_wires = info.get("wires", [WIRE_JSON])
             peer_mux = bool(info.get("mux", False))
+            self._peer_trace = bool(info.get("trace", False))
             if self.wire == WIRE_AUTO:
                 self._active_wire = (
                     WIRE_BINARY if WIRE_BINARY in peer_wires else WIRE_JSON
@@ -354,14 +361,46 @@ class RemoteShardClient:
                 self._mux_conn = None
         conn.close()
 
+    def _prepare_trace(self, payload: dict) -> dict:
+        """Adapt a payload's trace context to the negotiated peer + wire.
+
+        Runs after negotiation, so ``_peer_trace`` reflects the ping when
+        one happened.  A peer that predates tracing must never see the
+        field — the JSON path would merely waste bytes, but the binary
+        decoder treats an unknown TLV tag as a protocol violation — so
+        the context is stripped unless the capability was advertised.  A
+        fully pinned client never pings: there the JSON wire keeps the
+        field (old JSON servers ignore unknown request keys) while the
+        binary wire strips it (fatal on an old decoder).  On the JSON
+        wire the :class:`TraceContext` object is replaced by its
+        ``to_wire()`` list, which ``json.dumps`` can carry; the binary
+        codec encodes the object natively via its trace tag.
+        """
+        trace = payload.get("trace")
+        if not isinstance(trace, TraceContext):
+            return payload
+        allowed = self._peer_trace
+        if allowed is None:
+            allowed = self._active_wire == WIRE_JSON
+        if not allowed:
+            payload = dict(payload)
+            del payload["trace"]
+            return payload
+        if self._active_wire == WIRE_JSON:
+            return {**payload, "trace": trace.to_wire()}
+        return payload
+
     def call(self, payload: dict, timeout: float | None = None):
         """Send one request; return the decoded ``ok`` payload.
 
         Routes over the multiplexed connection when negotiated (or
         pinned), otherwise over the v1 pool.  Wire-level error responses
-        re-raise as their mapped exception types either way.
+        re-raise as their mapped exception types either way.  A trace
+        context riding under ``payload["trace"]`` is converted (or
+        stripped) to match the peer — see :meth:`_prepare_trace`.
         """
         self._ensure_negotiated(timeout)
+        payload = self._prepare_trace(payload)
         if self._use_mux:
             response = self._mux_call(payload, timeout)
         else:
@@ -373,6 +412,27 @@ class RemoteShardClient:
     def ping(self) -> dict:
         """Topology/identity of the server (shard id, shard count, token)."""
         return self.call({"op": OP_PING})
+
+    def trace_spans(self, trace_id: str | None = None) -> list[Span]:
+        """Pull the server's span ring (optionally one trace's spans).
+
+        Returns an empty list when the peer predates tracing or has it
+        disabled (it rejects ``trace`` as an unknown op) — a mixed-version
+        fleet must still stitch what the capable servers recorded.
+        """
+        payload: dict = {"op": OP_TRACE}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        try:
+            response = self.call(payload)
+        except (ValueError, RemoteOperationError):
+            return []  # peer without the trace capability
+        spans = []
+        for item in response.get("spans", []):
+            span = span_from_wire(item)
+            if span is not None:
+                spans.append(span)
+        return spans
 
 
 class RemoteShardedClient(ShardedClientFacade):
@@ -479,6 +539,20 @@ class RemoteShardedClient(ShardedClientFacade):
         """
         return [shard.call({"op": OP_INVALIDATE}) for shard in self.shards]
 
+    def trace_spans(self, trace_id: str | None = None) -> list[Span]:
+        """Spans recorded by every shard server, pulled over the wire.
+
+        Shards that predate tracing contribute nothing (their unknown-op
+        rejection is swallowed per shard), so a partially upgraded fleet
+        still yields the capable shards' spans.  Combined with the
+        client's own ring via :meth:`trace_timeline` this stitches the
+        full cross-process picture of one request.
+        """
+        spans: list[Span] = []
+        for shard in self.shards:
+            spans.extend(shard.trace_spans(trace_id))
+        return spans
+
     def wire_snapshot(self) -> dict:
         """Client-side wire telemetry, overall and per shard endpoint."""
         per_shard = {shard.endpoint: shard.wire_counters.raw() for shard in self.shards}
@@ -508,6 +582,11 @@ class RemoteShardedClient(ShardedClientFacade):
             "overall": overall,
             "per_shard": [payload["snapshot"] for payload in payloads],
             "pairs_per_shard": pair_counts,
+            "slow_requests": [
+                entry
+                for payload in payloads
+                for entry in payload.get("slow_requests", [])
+            ],
             "client_wire": self.wire_snapshot(),
         }
 

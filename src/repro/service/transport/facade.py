@@ -33,6 +33,8 @@ from typing import Callable
 
 from ...datasets import shard_workload
 from ..errors import RemoteTransportError
+from ..observability.context import TraceContext, new_trace
+from ..observability.spans import Span, SpanRecorder, stitch_trace
 from ..service import _fan_out
 from ..sharding import ShardRouter
 from .framing import ConnectionClosedError, FrameTimeoutError, ProtocolError
@@ -124,8 +126,11 @@ class ShardedClientFacade:
     batching, scatter/gather and result decoding are inherited.
     """
 
-    def __init__(self, num_shards: int) -> None:
+    def __init__(self, num_shards: int, trace_buffer: int = 512) -> None:
         self.router = ShardRouter(num_shards)
+        #: client-side span ring: ``client_send`` envelopes and (for the
+        #: cluster client) ``retry`` spans of traced failovers
+        self.tracer = SpanRecorder(trace_buffer)
 
     # -- the one transport hook ----------------------------------------
     def _call_shard(
@@ -157,12 +162,58 @@ class ShardedClientFacade:
         return self.router.shard_of(source, target)
 
     # -- single-pair operations (the ExEAClient surface) ---------------
-    def _single(self, op: str, source: str, target: str, timeout, deadline_ms):
+    def _single(self, op, source, target, timeout, deadline_ms, trace=None):
         payload = {"op": op, "source": source, "target": target}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if trace is not None:
+            payload["trace"] = trace
         shard_id = self.router.shard_of(source, target)
         return decode_value(op, self._call_shard(shard_id, payload, timeout))
+
+    # -- tracing -------------------------------------------------------
+    def traced(
+        self, kind: str, source: str, target: str, timeout: float | None = None
+    ) -> "tuple[object, TraceContext]":
+        """Run one traced remote operation; returns ``(result, trace_context)``.
+
+        Mints a root :class:`TraceContext` and sends it with the request
+        (each transport negotiates whether its peer understands the
+        field); the serving process records its stage spans under the
+        trace, and the enveloping ``client_send`` span — request out to
+        result in, wire time included — lands in this client's own ring.
+        Feed the context's ``trace_id`` to :meth:`trace_timeline`.
+        """
+        trace = new_trace()
+        started = time.perf_counter()
+        value = self._single(kind, source, target, timeout, None, trace=trace)
+        self.tracer.add(
+            "client_send",
+            trace,
+            time.perf_counter() - started,
+            attrs={"kind": kind, "source": source, "target": target},
+        )
+        return value, trace
+
+    def trace_spans(self, trace_id: str | None = None) -> "list[Span]":
+        """Spans pulled from every serving process (the ``trace`` wire op).
+
+        Subclasses implement the fan-out (per shard, or per replica for
+        the cluster client); peers that predate tracing contribute no
+        spans rather than failing the pull.
+        """
+        raise NotImplementedError
+
+    def trace_timeline(self, trace_id: str) -> dict:
+        """Stitched fleet-wide timeline of one trace.
+
+        Combines this client's own spans (``client_send``, failover
+        ``retry``) with every serving process's spans for *trace_id* into
+        one ordered, per-stage-summed view — the "where did this
+        request's time go" answer.
+        """
+        spans = self.tracer.spans(trace_id) + self.trace_spans(trace_id)
+        return stitch_trace(spans, trace_id)
 
     def explain(
         self, source: str, target: str, timeout: float | None = None, deadline_ms: float | None = None

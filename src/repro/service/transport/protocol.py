@@ -61,6 +61,11 @@ OP_STATS = "stats"
 OP_PAIRS = "pairs"
 #: Drop the shard's result cache (generation fan-out from the client).
 OP_INVALIDATE = "invalidate"
+#: Pull the server's span ring (optionally filtered to one ``trace_id``)
+#: so a client can stitch a fleet-wide per-request timeline.  Advertised
+#: via the ping ``trace`` capability; peers that predate tracing reject
+#: it like any unknown op.
+OP_TRACE = "trace"
 #: Ask the server process to exit after responding.
 OP_SHUTDOWN = "shutdown"
 

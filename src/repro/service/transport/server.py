@@ -41,6 +41,7 @@ import threading
 import time
 
 from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..observability.context import TraceContext, new_span_id, trace_from_wire
 from ..service import ExplanationService
 from ..sharding import ShardRouter
 from .framing import (
@@ -60,6 +61,7 @@ from .protocol import (
     OP_PING,
     OP_SHUTDOWN,
     OP_STATS,
+    OP_TRACE,
     PROTOCOL_VERSION,
     REQUEST_KINDS,
     encode_error,
@@ -104,7 +106,9 @@ class ShardServer:
 
     *wires* restricts the codecs this server understands and advertises
     (``("json",)`` simulates a v1-era JSON-only peer); *mux* gates the
-    correlation-id dispatch the same way.
+    correlation-id dispatch the same way, and *trace* gates the trace
+    capability (``trace=False`` simulates a pre-tracing peer: the ping
+    does not advertise it and the ``trace`` op is rejected as unknown).
     """
 
     def __init__(
@@ -115,6 +119,7 @@ class ShardServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         wires: tuple[str, ...] = SUPPORTED_WIRES,
         mux: bool = True,
+        trace: bool = True,
     ) -> None:
         if not 0 <= shard_id < num_shards:
             raise ValueError(f"shard_id {shard_id} out of range for {num_shards} shard(s)")
@@ -127,6 +132,7 @@ class ShardServer:
         self.max_frame_bytes = max_frame_bytes
         self.wires = tuple(wires)
         self.mux = mux
+        self.trace = trace
         self._listener: socket.socket | None = None
         self._address: str | None = None
         self._unix_path: str | None = None
@@ -321,24 +327,25 @@ class ShardServer:
                             return  # clean disconnect
                         started = time.perf_counter_ns()
                         wire, request_id, request = self._decode_request(body)
-                        wire_stats.record_received(
-                            4 + len(body), time.perf_counter_ns() - started
-                        )
+                        decode_ns = time.perf_counter_ns() - started
+                        wire_stats.record_received(4 + len(body), decode_ns)
+                        self.service.stats.record_stage("wire_decode", decode_ns / 1e9)
                     except ProtocolError as error:
                         # The stream is poisoned (e.g. an oversized frame's
                         # body was never read) — report, then hang up.
                         self._try_send(conn, send_lock, {"error": encode_error(error)}, WIRE_JSON, 0)
                         return
+                    trace = self._request_trace(request, decode_ns)
                     if request_id and self.mux:
                         self._dispatch_slots.acquire()
                         threading.Thread(
                             target=self._serve_tagged,
-                            args=(conn, send_lock, request, wire, request_id),
+                            args=(conn, send_lock, request, wire, request_id, trace),
                             daemon=True,
                         ).start()
                         continue
                     response = self._dispatch(request, wire)
-                    if not self._try_send(conn, send_lock, response, wire, request_id):
+                    if not self._try_send(conn, send_lock, response, wire, request_id, trace):
                         return
                     if request.get("op") == OP_SHUTDOWN:
                         self.stop()
@@ -354,17 +361,44 @@ class ShardServer:
         request: dict,
         wire: str,
         request_id: int,
+        trace: TraceContext | None = None,
     ) -> None:
         """One id-tagged request on its own thread (out-of-order completion)."""
         try:
             response = self._dispatch(request, wire)
-            self._try_send(conn, send_lock, response, wire, request_id)
+            self._try_send(conn, send_lock, response, wire, request_id, trace)
             if request.get("op") == OP_SHUTDOWN:
                 self.stop()
         finally:
             self._dispatch_slots.release()
 
-    def _encode_response(self, payload: dict, wire: str, request_id: int) -> bytes:
+    def _request_trace(self, request: dict, decode_ns: int) -> TraceContext | None:
+        """Trace context carried by one request frame, recording its decode span.
+
+        Frame decode happens before anyone knows whether the frame is
+        traced, so the ``wire_decode`` span is recorded here — right
+        after the fact — for sampled traces; the stage histogram gets
+        every frame's decode time regardless, via
+        :class:`~repro.service.stats.WireCounters` plus the stage record
+        below.
+        """
+        value = request.get("trace")
+        if value is None:
+            return None
+        trace = trace_from_wire(value)
+        if trace is not None and self.service.tracer.should_record(trace):
+            self.service.tracer.recorder.add(
+                "wire_decode",
+                trace,
+                decode_ns / 1e9,
+                span_id=new_span_id(),
+                parent_span_id=trace.span_id,
+            )
+        return trace
+
+    def _encode_response(
+        self, payload: dict, wire: str, request_id: int, trace: TraceContext | None = None
+    ) -> bytes:
         """Encode one response frame in the request's codec, counting time."""
         started = time.perf_counter_ns()
         if wire == WIRE_BINARY:
@@ -376,9 +410,17 @@ class ShardServer:
             if request_id:
                 payload = {**payload, "id": request_id}
             frame = encode_frame(payload, self.max_frame_bytes)
-        self.service.stats.wire.record_sent(
-            len(frame), time.perf_counter_ns() - started
-        )
+        encode_ns = time.perf_counter_ns() - started
+        self.service.stats.wire.record_sent(len(frame), encode_ns)
+        self.service.stats.record_stage("wire_encode", encode_ns / 1e9)
+        if trace is not None and self.service.tracer.should_record(trace):
+            self.service.tracer.recorder.add(
+                "wire_encode",
+                trace,
+                encode_ns / 1e9,
+                span_id=new_span_id(),
+                parent_span_id=trace.span_id,
+            )
         return frame
 
     def _try_send(
@@ -388,6 +430,7 @@ class ShardServer:
         payload: dict,
         wire: str,
         request_id: int,
+        trace: TraceContext | None = None,
     ) -> bool:
         """Best-effort frame send; False when the connection is gone.
 
@@ -398,7 +441,7 @@ class ShardServer:
         connection-closed error, and the connection stays usable.
         """
         try:
-            frame = self._encode_response(payload, wire, request_id)
+            frame = self._encode_response(payload, wire, request_id, trace)
         except FrameTooLargeError as error:
             try:
                 frame = self._encode_response({"error": encode_error(error)}, wire, request_id)
@@ -434,6 +477,8 @@ class ShardServer:
                 return {"ok": [[source, target] for source, target in pairs]}
             if op == OP_INVALIDATE:
                 return {"ok": self._handle_invalidate()}
+            if op == OP_TRACE and self.trace:
+                return {"ok": self._trace_payload(request)}
             if op == OP_SHUTDOWN:
                 return {"ok": True}
             raise ValueError(f"unknown operation {op!r}")
@@ -457,6 +502,7 @@ class ShardServer:
             "protocol": PROTOCOL_VERSION,
             "wires": list(self.wires),
             "mux": self.mux,
+            "trace": self.trace,
             "dataset": self.service.dataset.name,
             "model": self.service.model.name,
             "token": list(self.service.generation_token()),
@@ -521,7 +567,10 @@ class ShardServer:
     def _handle_single(self, kind: str, request: dict, binary: bool = False) -> dict:
         """One submit-and-wait operation (explain / confidence / verify)."""
         source, target = request["source"], request["target"]
-        future = self.service.submit(kind, source, target, request.get("deadline_ms"))
+        trace = trace_from_wire(request.get("trace"))
+        future = self.service.submit(
+            kind, source, target, request.get("deadline_ms"), trace=trace
+        )
         return {"ok": self._result_value(kind, source, target, future.result(), binary)}
 
     def _handle_batch(self, request: dict, binary: bool = False) -> dict:
@@ -535,6 +584,7 @@ class ShardServer:
         """
         items = request["items"]
         deadline_ms = request.get("deadline_ms")
+        trace = trace_from_wire(request.get("trace"))
         slots: list[dict | None] = [None] * len(items)
         futures: list[tuple[int, str, object]] = []
         retry_window = (
@@ -545,7 +595,13 @@ class ShardServer:
             while True:
                 try:
                     futures.append(
-                        (index, kind, self.service.submit(kind, source, target, deadline_ms))
+                        (
+                            index,
+                            kind,
+                            self.service.submit(
+                                kind, source, target, deadline_ms, trace=trace
+                            ),
+                        )
                     )
                     break
                 except ServiceOverloadedError as error:
@@ -570,6 +626,16 @@ class ShardServer:
                 slots[index] = {"error": encode_error(error)}
         return {"results": slots}
 
+    def _trace_payload(self, request: dict) -> dict:
+        """This process's span ring, optionally filtered to one trace id."""
+        trace_id = request.get("trace_id")
+        spans = self.service.trace_spans(trace_id if isinstance(trace_id, str) else None)
+        return {
+            "shard_id": self.shard_id,
+            "pid": os.getpid(),
+            "spans": [span.to_wire() for span in spans],
+        }
+
     def _stats_payload(self) -> dict:
         """Raw + derived telemetry — the ``--stats-json`` equivalent."""
         counters, latencies = self.service.stats.raw()
@@ -580,6 +646,7 @@ class ShardServer:
             "token": list(self.service.generation_token()),
             "queue_depth": len(self.service.queue),
             "num_pairs": self._num_pairs(),
+            "slow_requests": self.service.slow_requests(),
         }
 
     def _handle_invalidate(self) -> dict:

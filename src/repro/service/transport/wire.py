@@ -50,6 +50,7 @@ Value tags::
     0x08 Triple (3 indices)            0x09 RelationPath (src, tgt, triples)
     0x0A MatchedPath (2 paths + sim)   0x0B Explanation (full result)
     0x0C blob (varint length + standalone-encoded value)
+    0x0D TraceContext (trace/span/parent indices + sampled flag)
 """
 
 from __future__ import annotations
@@ -58,6 +59,7 @@ import struct
 
 from ...core.explanation import Explanation, MatchedPath, RelationPath
 from ...kg import Triple
+from ..observability.context import TraceContext
 from .framing import FrameTooLargeError, ProtocolError, decode_json_body
 
 #: First byte of every binary body; never the first byte of a JSON object.
@@ -85,6 +87,7 @@ _TAG_PATH = 0x09
 _TAG_MATCH = 0x0A
 _TAG_EXPL = 0x0B
 _TAG_BLOB = 0x0C
+_TAG_TRACE = 0x0D
 
 
 class Blob:
@@ -200,6 +203,9 @@ class _Encoder:
         elif isinstance(value, MatchedPath):
             body.append(_TAG_MATCH)
             self._write_match(value)
+        elif isinstance(value, TraceContext):
+            body.append(_TAG_TRACE)
+            self._write_trace(value)
         elif isinstance(value, str):  # str subclasses
             body.append(_TAG_STR)
             _write_varint(body, self.intern(str(value)))
@@ -232,6 +238,13 @@ class _Encoder:
         self._write_path(match.path1)
         self._write_path(match.path2)
         self.body += _DOUBLE.pack(match.similarity)
+
+    def _write_trace(self, trace: TraceContext) -> None:
+        body = self.body
+        _write_varint(body, self.intern(trace.trace_id))
+        _write_varint(body, self.intern(trace.span_id))
+        _write_varint(body, self.intern(trace.parent_span_id or ""))
+        body.append(0x01 if trace.sampled else 0x00)
 
     def _write_explanation(self, explanation: Explanation) -> None:
         body = self.body
@@ -414,6 +427,8 @@ class _Decoder:
             return self._read_explanation()
         if tag == _TAG_BLOB:
             return self._read_blob()
+        if tag == _TAG_TRACE:
+            return self._read_trace()
         raise ProtocolError(f"binary frame carries unknown value tag 0x{tag:02X}")
 
     def _read_triple(self) -> Triple:
@@ -454,6 +469,22 @@ class _Decoder:
             matched_paths=matched,
             candidate_triples1=candidates[0],
             candidate_triples2=candidates[1],
+        )
+
+    def _read_trace(self) -> TraceContext:
+        trace_id = self._string()
+        span_id = self._string()
+        parent = self._string()
+        offset = self.offset
+        if offset >= len(self.view):
+            raise ProtocolError("binary frame truncated inside a trace context")
+        sampled = self.view[offset] != 0x00
+        self.offset = offset + 1
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_span_id=parent or None,
+            sampled=sampled,
         )
 
     def _read_blob(self):
