@@ -31,9 +31,15 @@ Cache-invalidation contract
 * Everything the engine caches (endpoint path lists, embedding rows, id
   maps, sorted neighbourhoods) is guarded by the two graphs'
   :attr:`~repro.kg.KnowledgeGraph.version` counters and the model's
-  :attr:`~repro.models.EAModel.embedding_version`; a change of either
-  drops the derived state wholesale (the fidelity protocol removes
-  triples mid-experiment, so this is exercised in practice).
+  :attr:`~repro.models.EAModel.embedding_version`.  A model refit drops
+  the derived state wholesale; a KG mutation is reconciled *scoped* when
+  the graph's bounded mutation log covers the span: only endpoint caches
+  whose central entity falls inside the mutation's ``max_hops`` blast
+  radius are evicted, everything else (including the embedding rows of
+  surviving path blocks) stays live across the generation.  When the log
+  cannot cover the span the engine falls back to the wholesale drop (the
+  fidelity protocol removes triples mid-experiment, so both paths are
+  exercised in practice).
 * KG-level structural memos (adjacency index, hop sets, walk cache) live
   on :class:`repro.kg.KnowledgeGraph` / :class:`repro.kg.KGIndex` and are
   invalidated by the graph itself on mutation.
@@ -54,6 +60,17 @@ from .explanation.paths import RelationPath
 from .explanation.subgraph import Explanation, MatchedPath
 
 _EPS = 1e-12
+
+#: Batch size from which per-pair mutual-NN matmuls are fused into blocked
+#: gemms (one 3-D batched matmul per block shape).  Below this the plain
+#: per-pair dot products win — no stacking overhead.
+_FUSE_MIN_PLANS = 4
+
+#: Scoped invalidation leaves dead rows behind in the embedding store
+#: (their endpoint blocks were evicted).  Once the dead fraction crosses
+#: this bound the store is rebuilt wholesale to reclaim memory.
+_STORE_DEAD_ROW_FACTOR = 4
+_STORE_DEAD_ROW_MIN = 4096
 
 #: Anything answering ``targets_of(source) -> set[str]`` — a full
 #: :class:`repro.kg.AlignmentSet` or a live :class:`repro.kg.AlignmentUnionView`.
@@ -80,6 +97,11 @@ class PathEmbeddingStore:
         self._size = 0
 
     # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of appended rows (including rows no longer referenced)."""
+        return self._size
+
     def reset(self) -> None:
         """Drop every stored row (model refit or graph mutation)."""
         self._unit = None
@@ -170,24 +192,73 @@ class ExplanationEngine:
         self._sorted_neighborhoods: dict[tuple[int, str], tuple[str, ...]] = {}
         self._kg_versions = (dataset.kg1.version, dataset.kg2.version)
         self._model_version = model.embedding_version
+        self._dead_store_rows = 0
 
     # ------------------------------------------------------------------
     # Caches
     # ------------------------------------------------------------------
     def _check_versions(self) -> None:
+        """Reconcile the engine caches with the current graph/model versions.
+
+        A model refit always drops everything (embedding rows are gone).
+        A KG mutation first tries the *scoped* path: if both graphs' bounded
+        mutation logs still cover the span since the engine's last sync,
+        only endpoint caches whose central entity lies inside the mutation
+        blast radius (``KGIndex.blast_radius`` at ``max_hops``) are
+        evicted — every cached path of an entity, and its sorted
+        neighbourhood, can only have changed if some mutated edge lies
+        within ``max_hops`` of it, i.e. if the entity is in the ball.
+        Embedding rows of surviving blocks stay valid because the store is
+        not reset.  The integer id maps are always rebuilt: entity/relation
+        ids shift when the inventory grows.  If a log cannot cover the
+        span, fall back to the pre-PR-8 wholesale drop.
+        """
         versions = (self.dataset.kg1.version, self.dataset.kg2.version)
-        stale = versions != self._kg_versions
         if self.model.embedding_version != self._model_version:
-            stale = True
             self._model_version = self.model.embedding_version
-        if stale:
-            self._path_lists.clear()
+            self._reset_caches(versions)
+            return
+        if versions == self._kg_versions:
+            return
+        records1 = self.dataset.kg1.mutations_since(self._kg_versions[0])
+        records2 = self.dataset.kg2.mutations_since(self._kg_versions[1])
+        if records1 is None or records2 is None:
+            self._reset_caches(versions)
+            return
+        for side, records, kg in ((1, records1, self.dataset.kg1), (2, records2, self.dataset.kg2)):
+            if not records:
+                continue
+            affected = kg.blast_radius(records, self.config.max_hops)
+            if not affected:
+                continue
+            for key in [k for k in self._sorted_neighborhoods if k[0] == side and k[1] in affected]:
+                del self._sorted_neighborhoods[key]
+            for key in [k for k in self._path_lists if k[0] == side and k[1] in affected]:
+                del self._path_lists[key]
+            for key in [k for k in self._path_rows if k[0] == side and k[1] in affected]:
+                self._dead_store_rows += len(self._path_rows.pop(key))
+        self._id_maps.clear()
+        self._triple_relation_ids.clear()
+        self._kg_versions = versions
+        # Reclaim the store once evicted blocks dominate the live rows.
+        live = self.store.size - self._dead_store_rows
+        if self._dead_store_rows > max(
+            _STORE_DEAD_ROW_MIN, _STORE_DEAD_ROW_FACTOR * max(live, 1)
+        ):
             self._path_rows.clear()
-            self._id_maps.clear()
-            self._triple_relation_ids.clear()
-            self._sorted_neighborhoods.clear()
             self.store.reset()
-            self._kg_versions = versions
+            self._dead_store_rows = 0
+
+    def _reset_caches(self, versions: tuple[int, int]) -> None:
+        """The wholesale invalidation path (model refit or uncovered span)."""
+        self._path_lists.clear()
+        self._path_rows.clear()
+        self._id_maps.clear()
+        self._triple_relation_ids.clear()
+        self._sorted_neighborhoods.clear()
+        self.store.reset()
+        self._dead_store_rows = 0
+        self._kg_versions = versions
 
     def _maps(self, side: int) -> tuple[list[int], list[int], bool]:
         """kg-local id -> model id lookup tables for KG *side* (1 or 2).
@@ -389,12 +460,10 @@ class ExplanationEngine:
 
         # Per pair: a small dot product of pre-normalised rows and the
         # mutual-nearest-neighbour pass of the paper's Section III-A.
-        for explanation, neighbor_pair_set, paths1, paths2, keys1, keys2 in plans:
-            rows1 = np.concatenate([path_rows[key] for key in keys1])
-            rows2 = np.concatenate([path_rows[key] for key in keys2])
-            unit1 = self.store.unit_rows(rows1)
-            unit2 = self.store.unit_rows(rows2)
-            similarity = unit1 @ unit2.T
+        similarities = self._plan_similarities(plans)
+        for (explanation, neighbor_pair_set, paths1, paths2, keys1, keys2), similarity in zip(
+            plans, similarities
+        ):
             for i, j in mutual_nearest_pairs(similarity):
                 path1, path2 = paths1[i], paths2[j]
                 # Only keep matches that actually connect a matched
@@ -408,3 +477,41 @@ class ExplanationEngine:
                 explanation.matched_paths.append(MatchedPath(path1, path2, score))
             explanation.matched_paths.sort(key=lambda m: -m.similarity)
         return results
+
+    def _plan_similarities(self, plans: list) -> list[np.ndarray]:
+        """One similarity matrix per plan, fused into blocked gemms at scale.
+
+        Small batches run the straightforward per-pair ``unit1 @ unit2.T``.
+        Larger batches group the plans by block shape ``(n1, n2)`` — path
+        counts are capped per neighbour, so shapes repeat heavily — and
+        compute each group with a single 3-D batched matmul over stacked
+        row gathers.  NumPy dispatches the identical gemm per slice of a
+        stacked operand, so each fused block is bit-identical to its
+        per-pair matmul (asserted in ``tests/core/test_engine.py``).
+        """
+        path_rows = self._path_rows
+        row_sets: list[tuple[np.ndarray, np.ndarray]] = []
+        for _, _, _, _, keys1, keys2 in plans:
+            rows1 = np.concatenate([path_rows[key] for key in keys1])
+            rows2 = np.concatenate([path_rows[key] for key in keys2])
+            row_sets.append((rows1, rows2))
+        out: list[np.ndarray | None] = [None] * len(plans)
+        if len(plans) < _FUSE_MIN_PLANS:
+            for position, (rows1, rows2) in enumerate(row_sets):
+                out[position] = self.store.unit_rows(rows1) @ self.store.unit_rows(rows2).T
+            return out
+        groups: dict[tuple[int, int], list[int]] = {}
+        for position, (rows1, rows2) in enumerate(row_sets):
+            groups.setdefault((len(rows1), len(rows2)), []).append(position)
+        for members in groups.values():
+            if len(members) == 1:
+                position = members[0]
+                rows1, rows2 = row_sets[position]
+                out[position] = self.store.unit_rows(rows1) @ self.store.unit_rows(rows2).T
+                continue
+            stack1 = self.store.unit_rows(np.stack([row_sets[i][0] for i in members]))
+            stack2 = self.store.unit_rows(np.stack([row_sets[i][1] for i in members]))
+            fused = np.matmul(stack1, stack2.transpose(0, 2, 1))
+            for slot, position in enumerate(members):
+                out[position] = fused[slot]
+        return out

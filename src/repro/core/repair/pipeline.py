@@ -90,7 +90,10 @@ class EARepairer:
         self._rules_kg1: NotSameAsRuleSet | None = None
         self._rules_kg2: NotSameAsRuleSet | None = None
         self._conflict_resolver: RelationConflictResolver | None = None
+        #: token the mined artefacts were mined under (None = nothing mined)
+        self._mined_token: tuple[int, int, int] | None = None
         self._similarity_cache: dict[tuple[str, str], float] = {}
+        self._similarity_version: int = model.embedding_version
         #: key -> (confidence, relation conflicts resolved by that ADG build)
         self._confidence_cache: dict[tuple, tuple[float, int]] = {}
         self._confidence_token: tuple[int, int, int] | None = None
@@ -99,25 +102,52 @@ class EARepairer:
     # ------------------------------------------------------------------
     # Lazily mined reasoning artefacts
     # ------------------------------------------------------------------
+    def _token(self) -> tuple[int, int, int]:
+        return (
+            self.dataset.kg1.version,
+            self.dataset.kg2.version,
+            self.model.embedding_version,
+        )
+
+    def _ensure_mined_fresh(self) -> None:
+        """Drop mined artefacts when either graph or the model moved on.
+
+        The relation alignment and ¬sameAs rule sets are mined from the
+        *whole* graphs (relation inventories, full triple scans), so any
+        mutation can change them; re-mining lazily under the current token
+        keeps live results bit-identical with a cold rebuild.
+        """
+        if self._mined_token is not None and self._mined_token != self._token():
+            self._relation_alignment = None
+            self._rules_kg1 = None
+            self._rules_kg2 = None
+            self._conflict_resolver = None
+            self._mined_token = None
+
     @property
     def relation_alignment(self) -> RelationAlignment:
         """Mutual relation alignment between the two KGs (mined on first use)."""
+        self._ensure_mined_fresh()
         if self._relation_alignment is None:
             self._relation_alignment = mine_relation_alignment(
                 self.model, self.dataset.kg1, self.dataset.kg2
             )
+            self._mined_token = self._token()
         return self._relation_alignment
 
     @property
     def not_same_as_rules(self) -> tuple[NotSameAsRuleSet, NotSameAsRuleSet]:
         """¬sameAs rule sets of the two KGs (mined on first use)."""
+        self._ensure_mined_fresh()
         if self._rules_kg1 is None or self._rules_kg2 is None:
             self._rules_kg1 = mine_not_same_as_rules(self.dataset.kg1)
             self._rules_kg2 = mine_not_same_as_rules(self.dataset.kg2)
+            self._mined_token = self._token()
         return self._rules_kg1, self._rules_kg2
 
     @property
     def conflict_resolver(self) -> RelationConflictResolver:
+        self._ensure_mined_fresh()
         if self._conflict_resolver is None:
             rules_kg1, rules_kg2 = self.not_same_as_rules
             self._conflict_resolver = RelationConflictResolver(
@@ -128,6 +158,26 @@ class EARepairer:
                 rules_kg2,
             )
         return self._conflict_resolver
+
+    def _mined_artifacts_changed(self) -> bool:
+        """Re-mine under the current graphs; True when any artefact differs.
+
+        Artefacts that were never mined cannot have influenced any cached
+        confidence, so they do not count as changed.
+        """
+        old_alignment = self._relation_alignment
+        old_rules = (self._rules_kg1, self._rules_kg2)
+        self._relation_alignment = None
+        self._rules_kg1 = None
+        self._rules_kg2 = None
+        self._conflict_resolver = None
+        self._mined_token = None
+        changed = False
+        if old_alignment is not None and self.relation_alignment != old_alignment:
+            changed = True
+        if old_rules[0] is not None and self.not_same_as_rules != old_rules:
+            changed = True
+        return changed
 
     # ------------------------------------------------------------------
     # Confidence oracle shared by the repair stages
@@ -169,9 +219,10 @@ class EARepairer:
         ``(source, target)``, so results are memoized on the key
         ``(pair, matched-neighbour fingerprint)``.  Repair iterations that
         shuffle unrelated parts of the working alignment hit the cache
-        instead of rebuilding the same explanation and ADG.  The cache is
-        dropped whenever either KG or the model's embedding matrices
-        change version.
+        instead of rebuilding the same explanation and ADG.  A model refit
+        drops the cache wholesale; KG mutations evict only the entries in
+        the mutation's relation-seeded blast radius when possible (see
+        :meth:`_sync_confidence_cache`).
 
         Batching happens at three levels for the pairs that miss the
         cache: their matched-neighbour sets are gathered first, one
@@ -188,14 +239,9 @@ class EARepairer:
         implementation (which re-counted on every query).  Duplicate pairs
         collapse: each unique pair is counted once per call.
         """
-        token = (
-            self.dataset.kg1.version,
-            self.dataset.kg2.version,
-            self.model.embedding_version,
-        )
+        token = self._token()
         if token != self._confidence_token:
-            self._confidence_cache.clear()
-            self._confidence_token = token
+            self._sync_confidence_cache(token)
 
         unique_pairs = list(dict.fromkeys(pairs))
         fingerprints: dict[tuple[str, str], list[tuple[str, str]]] = {}
@@ -234,8 +280,48 @@ class EARepairer:
             results[pair] = confidence
         return results
 
+    def _sync_confidence_cache(self, token: tuple[int, int, int]) -> None:
+        """Reconcile the confidence cache with a generation change.
+
+        A model refit drops everything (including the similarity cache).
+        A pure KG mutation tries the scoped path: when both graphs'
+        mutation logs cover the span *and* the mined reasoning artefacts
+        re-mine to the same values, only entries whose pair falls inside
+        the relation-seeded blast radius are evicted — confidence depends
+        on the global functionality statistics of mutated relations, so
+        the ball is seeded with every endpoint of every triple carrying a
+        mutated relation (see :meth:`KnowledgeGraph.blast_radius`).  If a
+        log cannot cover the span or the mined artefacts shifted (they are
+        global functions of the graphs), fall back to the wholesale drop.
+        """
+        old = self._confidence_token
+        self._confidence_token = token
+        if old is not None and token[2] != old[2]:
+            self._similarity_cache.clear()
+        if old is None or not self._confidence_cache:
+            self._confidence_cache.clear()
+            self._ensure_mined_fresh()
+            return
+        if token[2] != old[2]:
+            self._confidence_cache.clear()
+            self._ensure_mined_fresh()
+            return
+        records1 = self.dataset.kg1.mutations_since(old[0])
+        records2 = self.dataset.kg2.mutations_since(old[1])
+        if records1 is None or records2 is None or self._mined_artifacts_changed():
+            self._confidence_cache.clear()
+            return
+        hops = self.config.explanation.max_hops
+        blast1 = self.dataset.kg1.blast_radius(records1, hops, include_relations=True)
+        blast2 = self.dataset.kg2.blast_radius(records2, hops, include_relations=True)
+        for key in [k for k in self._confidence_cache if k[0] in blast1 or k[1] in blast2]:
+            del self._confidence_cache[key]
+
     def similarity(self, source: str, target: str) -> float:
-        """Cached model similarity of a pair."""
+        """Cached model similarity of a pair (dropped on model refit)."""
+        if self.model.embedding_version != self._similarity_version:
+            self._similarity_cache.clear()
+            self._similarity_version = self.model.embedding_version
         key = (source, target)
         if key not in self._similarity_cache:
             self._similarity_cache[key] = self.model.similarity(source, target)

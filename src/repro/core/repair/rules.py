@@ -143,6 +143,14 @@ class NotSameAsRuleSet:
     def __len__(self) -> int:
         return len(self._pairs)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NotSameAsRuleSet):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._pairs))
+
     def __iter__(self):
         for pair in sorted(tuple(sorted(p)) for p in self._pairs):
             yield NotSameAsRule(*pair)

@@ -2,7 +2,7 @@
 
 from .alignment import AlignmentSet, AlignmentUnionView, mapping_to_alignment
 from .dataset import EADataset, split_alignment
-from .graph import KGIndex, KnowledgeGraph
+from .graph import KGIndex, KnowledgeGraph, MutationRecord
 from .io import (
     load_openea_dataset,
     read_links,
@@ -22,6 +22,7 @@ __all__ = [
     "KGIndex",
     "KGStats",
     "KnowledgeGraph",
+    "MutationRecord",
     "Triple",
     "entities_of",
     "load_openea_dataset",

@@ -31,12 +31,40 @@ contract is covered by ``tests/core/test_engine.py``.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from .triple import Triple, make_triples
+
+#: How many mutation records a graph retains.  The log only needs to span
+#: the window between two consecutive scoped invalidations of a derived
+#: cache; anything older falls back to wholesale invalidation.
+MUTATION_LOG_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One structural mutation of a :class:`KnowledgeGraph`.
+
+    ``version`` is the graph version *after* the mutation was applied, so a
+    contiguous run of records reconstructs the exact version history.
+    ``triple`` is ``None`` for entity-only mutations (``add_entity``), which
+    have an empty structural blast radius.
+    """
+
+    op: str  # "add" | "remove" | "add_entity"
+    version: int
+    triple: Triple | None = None
+    entity: str | None = None
+
+    def endpoints(self) -> tuple[str, ...]:
+        """The entities whose neighbourhood the mutation touched."""
+        if self.triple is not None:
+            return (self.triple.head, self.triple.tail)
+        return ()
 
 
 class KGIndex:
@@ -194,6 +222,34 @@ class KGIndex:
             self._walk_cache[key] = cached
         return cached
 
+    def blast_radius(self, entities: Iterable[str], hops: int) -> set[str]:
+        """Entities whose *hops*-hop neighbourhood touches any of *entities*.
+
+        The ball is symmetric: an entity lies within ``hops`` of a seed iff
+        the seed lies within ``hops`` of the entity, so the union of BFS
+        balls around the mutated endpoints is exactly the set of entities
+        whose ``hops``-hop neighbourhood (candidate triples, matched
+        neighbours, relation paths) can differ from the previous
+        generation.  Computing the ball on the *post-mutation* index is
+        conservative for both mutation kinds: an added edge only shrinks
+        distances (any entity newly reaching a seed does so through the new
+        edge, hence lies in the new ball), and for a removed edge the
+        shortest old path from an affected entity to the seed set never
+        used the removed edge (it would have hit one of the removed edge's
+        endpoints — themselves seeds — earlier), so it survives removal.
+        Unknown entity names are ignored.
+        """
+        affected: set[int] = set()
+        expanded: set[int] = set()
+        for entity in entities:
+            entity_id = self.entity_to_id.get(entity)
+            if entity_id is None or entity_id in expanded:
+                continue
+            expanded.add(entity_id)
+            seen, _ = self._bfs(entity_id, hops)
+            affected |= seen
+        return {self.entities[i] for i in affected}
+
     def relation_paths(
         self, source_id: int, target_id: int, max_length: int
     ) -> list[tuple[int, ...]]:
@@ -233,6 +289,7 @@ class KnowledgeGraph:
         self._functionality_cache: dict[str, float] | None = None
         self._inverse_functionality_cache: dict[str, float] | None = None
         self._version = 0
+        self._mutation_log: deque[MutationRecord] = deque(maxlen=MUTATION_LOG_CAPACITY)
         self._index: KGIndex | None = None
         self._neighbor_cache: dict[str, frozenset[str]] = {}
         self._hop_triples_cache: dict[tuple[str, int], frozenset[Triple]] = {}
@@ -259,6 +316,9 @@ class KnowledgeGraph:
         self._incoming[triple.tail].add(triple)
         self._by_relation[triple.relation].add(triple)
         self._invalidate_caches()
+        self._mutation_log.append(
+            MutationRecord(op="add", version=self._version, triple=triple)
+        )
 
     def add_entity(self, entity: str) -> None:
         """Add an isolated entity (no triples required)."""
@@ -266,8 +326,11 @@ class KnowledgeGraph:
             return
         self._entities.add(entity)
         self._invalidate_caches()
+        self._mutation_log.append(
+            MutationRecord(op="add_entity", version=self._version, entity=entity)
+        )
 
-    def remove_triple(self, triple: Triple) -> None:
+    def remove_triple(self, triple: Triple | Sequence[str]) -> None:
         """Remove a triple from the graph.
 
         Entities and relations are kept even if they become isolated, so
@@ -275,6 +338,9 @@ class KnowledgeGraph:
         (this mirrors the fidelity protocol of Section V-B.2, which removes
         triples but keeps the entity inventory fixed).
         """
+        if not isinstance(triple, Triple):
+            head, relation, tail = triple
+            triple = Triple(head, relation, tail)
         if triple not in self._triples:
             return
         self._triples.discard(triple)
@@ -282,6 +348,9 @@ class KnowledgeGraph:
         self._incoming[triple.tail].discard(triple)
         self._by_relation[triple.relation].discard(triple)
         self._invalidate_caches()
+        self._mutation_log.append(
+            MutationRecord(op="remove", version=self._version, triple=triple)
+        )
 
     def remove_triples(self, triples: Iterable[Triple]) -> None:
         """Remove several triples at once."""
@@ -310,6 +379,63 @@ class KnowledgeGraph:
         oracle) key on this value to detect staleness.
         """
         return self._version
+
+    def mutations_since(self, version: int) -> list[MutationRecord] | None:
+        """The ordered mutations applied after *version*, or ``None``.
+
+        ``None`` means the bounded mutation log no longer covers the span
+        ``(version, current]`` (the caller was too far behind, or asked
+        about an unknown/future version) and the caller must fall back to
+        wholesale invalidation.  Versions advance by exactly one per
+        logged mutation, so coverage reduces to the oldest retained record
+        being at most ``version + 1``.
+        """
+        if version == self._version:
+            return []
+        if version > self._version:
+            return None
+        log = self._mutation_log
+        if not log or log[0].version > version + 1:
+            return None
+        return [record for record in log if record.version > version]
+
+    def blast_radius(
+        self,
+        records: Iterable[MutationRecord],
+        hops: int,
+        include_relations: bool = False,
+    ) -> set[str]:
+        """Entities whose *hops*-hop neighbourhood the *records* may have changed.
+
+        Unions the :meth:`KGIndex.blast_radius` balls around every mutated
+        endpoint on the **current** (post-mutation) index; see that method
+        for why the post-mutation ball is conservative.  The multi-record
+        argument extends inductively: with every mutated endpoint a seed,
+        removing a later edge cannot cut the shortest path from an affected
+        entity to the seed set, so the final-graph ball covers each
+        intermediate generation's ball.
+
+        With ``include_relations`` the seeds additionally include the
+        endpoints of every current triple carrying a mutated relation:
+        mutating a triple of relation ``r`` shifts the *global*
+        functionality statistics ``func(r)``/``ifunc(r)``, which feed the
+        ADG edge weights of any pair whose neighbourhood contains an
+        ``r``-triple — and every such pair lies within ``hops`` of one of
+        those triples' endpoints.
+        """
+        seeds: set[str] = set()
+        relations: set[str] = set()
+        for record in records:
+            seeds.update(record.endpoints())
+            if include_relations and record.triple is not None:
+                relations.add(record.triple.relation)
+        for relation in relations:
+            for triple in self.triples_with_relation(relation):
+                seeds.add(triple.head)
+                seeds.add(triple.tail)
+        if not seeds:
+            return set()
+        return self.index().blast_radius(seeds, hops)
 
     def index(self) -> KGIndex:
         """The integer adjacency snapshot, built lazily and cached until mutation."""

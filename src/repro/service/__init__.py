@@ -69,6 +69,7 @@ from .errors import (
     DeadlineExceededError,
     RemoteOperationError,
     RemoteTransportError,
+    ReplicaBehindError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -87,6 +88,7 @@ from .service import (
     VERIFY,
     ExEAClient,
     ExplanationService,
+    MutationSpec,
     replay_concurrently,
 )
 from .sharding import ShardedExEAClient, ShardedExplanationService, ShardRouter
@@ -119,8 +121,10 @@ __all__ = [
     "LocalShardCluster",
     "MicroBatchWorkerPool",
     "MicroBatcher",
+    "MutationSpec",
     "MuxConnection",
     "RemoteOperationError",
+    "ReplicaBehindError",
     "RemoteShardClient",
     "RemoteShardedClient",
     "RemoteTransportError",

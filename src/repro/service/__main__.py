@@ -122,6 +122,15 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         default=2048,
         help="per-process span ring capacity for traced requests (0 disables tracing)",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help=(
+            "head-based sampling rate for traced requests, 0..1 (default 1.0 = keep "
+            "all; the keep/drop decision is made once at the root facade)"
+        ),
+    )
 
 
 def _add_traffic_arguments(parser: argparse.ArgumentParser) -> None:
@@ -169,11 +178,24 @@ def _add_client_wire_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="use the pooled connection-per-request transport even if servers support mux",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help=(
+            "head-based sampling rate for traced requests, 0..1 (default 1.0 = keep "
+            "all; unsampled requests carry no trace context over the wire)"
+        ),
+    )
 
 
 def _client_transport_kwargs(args: argparse.Namespace) -> dict:
     """``wire=``/``mux=`` kwargs for remote clients from the CLI flags."""
-    return {"wire": args.wire, "mux": args.mux}
+    return {
+        "wire": args.wire,
+        "mux": args.mux,
+        "trace_sample_rate": args.trace_sample_rate,
+    }
 
 
 def _service_config(args: argparse.Namespace, num_shards: int = 1) -> ServiceConfig:
@@ -188,6 +210,7 @@ def _service_config(args: argparse.Namespace, num_shards: int = 1) -> ServiceCon
         scheduler=args.scheduler,
         num_shards=num_shards,
         trace_buffer=args.trace_buffer,
+        trace_sample_rate=args.trace_sample_rate,
         slow_request_ms=args.slow_ms,
     )
 

@@ -1,24 +1,57 @@
-"""Versioned LRU result cache.
+"""Versioned LRU result cache with blast-radius scoped invalidation.
 
 Entries are keyed on ``(kind, pair)`` and guarded by a *generation token*
 — the tuple ``(kg1.version, kg2.version, model.embedding_version)`` the
-owning service derives from the PR-1 version counters.  Any KG mutation or
-model refit changes the token, and the first lookup under the new token
-drops the whole cache: results computed against the old graph/embeddings
-can never be served again.  This mirrors the wholesale invalidation the
-engine itself performs, so cached and freshly-computed results are always
-drawn from the same generation.
+owning service derives from the PR-1 version counters.  Since every
+component of the token is a monotonically increasing counter, tokens are
+totally ordered by tuple comparison: a lexicographically greater token is
+a strictly newer generation.
+
+Two invalidation paths advance the cache across generations:
+
+* **Wholesale** (the pre-PR-8 contract, still the fallback): a lookup or
+  put under a *newer* token than the cache's drops every entry.  This is
+  what happens when a KG is mutated behind the service's back, when the
+  model is refit, or when the mutation log no longer covers the span.
+* **Scoped** (:meth:`invalidate_scoped`): the owning service applied a
+  mutation itself, computed the blast radius, and tells the cache to
+  advance to the new token evicting only entries whose pair intersects
+  the affected entity sets.  Untouched entries stay live across the
+  generation change.
+
+Each entry carries an *epoch tag* — the value of a small wrapping counter
+bumped on every scoped advance — recording which invalidation epoch wrote
+it.  Surviving entries keep their tag, so the distance between the cache
+epoch and an entry's tag counts the generations the entry outlived;
+telemetry and the wraparound tests read them via :meth:`entry_epoch`.
+
+Writers that raced a mutation are handled by the token ordering: a
+:meth:`put` carrying a token *older* than the cache's is discarded instead
+of clearing the cache (the value was computed against a superseded
+generation), and a stale :meth:`lookup` simply misses.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Iterable, Mapping
 
 from .stats import ServiceStats
 
 GenerationToken = tuple[int, ...]
+
+#: Modulus of the per-entry epoch tag.  Tags only need to distinguish
+#: "how many scoped generations has this entry survived" over a bounded
+#: window, so they wrap; the tests drive the counter across the boundary.
+EPOCH_MODULUS = 1 << 16
+
+#: ``affected`` mapping for scoped invalidation: cache kind -> either
+#: ``None`` (evict every entry of that kind — the wholesale fallback for
+#: that kind) or a pair of entity-name sets ``(sources, targets)``; an
+#: entry is evicted when its pair's source is in ``sources`` or its
+#: target is in ``targets``.
+AffectedScopes = Mapping[str, tuple[Iterable[str], Iterable[str]] | None]
 
 
 class ResultCache:
@@ -33,22 +66,48 @@ class ResultCache:
         self.capacity = capacity
         self._stats = stats
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        # key -> (value, epoch_tag)
+        self._entries: OrderedDict[Hashable, tuple[object, int]] = OrderedDict()
         self._token: GenerationToken | None = None
+        self._epoch = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def epoch(self) -> int:
+        """The current (wrapping) scoped-invalidation epoch."""
+        with self._lock:
+            return self._epoch
+
+    def entry_epoch(self, kind: str, pair: tuple[str, str]) -> int | None:
+        """The epoch tag the entry was written under, or ``None`` if absent."""
+        with self._lock:
+            entry = self._entries.get((kind, pair))
+            return None if entry is None else entry[1]
+
     # ------------------------------------------------------------------
-    def _sync_token(self, token: GenerationToken) -> None:
-        """Drop everything when the generation changed (caller holds the lock)."""
-        if token != self._token:
-            if self._entries:
-                self._entries.clear()
-                if self._stats is not None:
-                    self._stats.record_invalidation()
+    def _sync_token(self, token: GenerationToken) -> bool:
+        """Advance to *token*, dropping everything if it is newer.
+
+        Returns False when *token* is older than the cache's generation —
+        the caller raced a scoped advance and must not read or write.
+        (Caller holds the lock.)
+        """
+        if self._token is None:
             self._token = token
+            return True
+        if token == self._token:
+            return True
+        if token < self._token:
+            return False
+        if self._entries:
+            self._entries.clear()
+            if self._stats is not None:
+                self._stats.record_invalidation()
+        self._token = token
+        return True
 
     def lookup(self, kind: str, pair: tuple[str, str], token: GenerationToken):
         """Return ``(found, value)`` for the entry of *kind*/*pair* under *token*."""
@@ -56,20 +115,29 @@ class ResultCache:
             return False, None
         key = (kind, pair)
         with self._lock:
-            self._sync_token(token)
-            if key not in self._entries:
+            if not self._sync_token(token):
+                return False, None
+            entry = self._entries.get(key)
+            if entry is None:
                 return False, None
             self._entries.move_to_end(key)
-            return True, self._entries[key]
+            return True, entry[0]
 
     def put(self, kind: str, pair: tuple[str, str], token: GenerationToken, value) -> None:
-        """Store *value*, evicting least-recently-used entries beyond capacity."""
+        """Store *value*, evicting least-recently-used entries beyond capacity.
+
+        A value computed under a generation the cache has already moved
+        past is dropped silently: it may describe a graph that no longer
+        exists, and the scoped entries retained across the advance must
+        not be clobbered by stragglers.
+        """
         if self.capacity == 0:
             return
         key = (kind, pair)
         with self._lock:
-            self._sync_token(token)
-            self._entries[key] = value
+            if not self._sync_token(token):
+                return
+            self._entries[key] = (value, self._epoch)
             self._entries.move_to_end(key)
             evicted = 0
             while len(self._entries) > self.capacity:
@@ -77,6 +145,57 @@ class ResultCache:
                 evicted += 1
             if evicted and self._stats is not None:
                 self._stats.record_eviction(evicted)
+
+    # ------------------------------------------------------------------
+    def invalidate_scoped(
+        self, token: GenerationToken, affected: AffectedScopes
+    ) -> tuple[int, int]:
+        """Advance to *token* evicting only entries intersecting *affected*.
+
+        Returns ``(dropped, retained)``.  Kinds absent from *affected* are
+        retained untouched; a kind mapped to ``None`` is evicted
+        wholesale.  A token at or behind the cache's generation means the
+        scopes were already applied (or superseded) — the call is a no-op.
+        """
+        with self._lock:
+            if self.capacity == 0:
+                self._token = max(self._token or token, token)
+                return 0, 0
+            if self._token is not None and token <= self._token:
+                return 0, len(self._entries)
+            dropped = self._evict_affected(affected)
+            self._token = token
+            self._epoch = (self._epoch + 1) % EPOCH_MODULUS
+            return dropped, len(self._entries)
+
+    def invalidate_pairs(self, affected: AffectedScopes) -> tuple[int, int]:
+        """Evict entries intersecting *affected* without changing generation.
+
+        The in-place flavour of :meth:`invalidate_scoped` for callers that
+        manage the token themselves (tests, manual cache surgery).
+        """
+        with self._lock:
+            if self.capacity == 0:
+                return 0, 0
+            dropped = self._evict_affected(affected)
+            return dropped, len(self._entries)
+
+    def _evict_affected(self, affected: AffectedScopes) -> int:
+        """Evict entries intersecting *affected* (caller holds the lock)."""
+        scopes = {
+            kind: None if scope is None else (set(scope[0]), set(scope[1]))
+            for kind, scope in affected.items()
+        }
+        dropped = 0
+        for key in list(self._entries):
+            kind, (source, target) = key
+            if kind not in scopes:
+                continue
+            scope = scopes[kind]
+            if scope is None or source in scope[0] or target in scope[1]:
+                del self._entries[key]
+                dropped += 1
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry and forget the generation token."""

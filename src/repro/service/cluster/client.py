@@ -38,7 +38,7 @@ import threading
 import time
 from typing import Callable, Iterable
 
-from ..errors import RemoteTransportError, ServiceOverloadedError
+from ..errors import RemoteTransportError, ReplicaBehindError, ServiceOverloadedError
 from ..observability.context import TraceContext, new_span_id
 from ..observability.spans import Span
 from ..stats import imbalance_summary, merge_raw
@@ -142,8 +142,14 @@ class ClusterClient(ShardedClientFacade):
         check_topology: bool = True,
         wire: str | None = None,
         mux: bool | None = None,
+        trace_sample_rate: float = 1.0,
+        sample_seed: int | None = None,
     ) -> None:
-        super().__init__(topology.num_shards)
+        super().__init__(
+            topology.num_shards,
+            trace_sample_rate=trace_sample_rate,
+            sample_seed=sample_seed,
+        )
         self.topology = topology
         self._owns_manager = manager is None
         self.manager = manager or ClusterManager(topology)
@@ -160,6 +166,13 @@ class ClusterClient(ShardedClientFacade):
         self._loads = {endpoint: _ReplicaLoad() for endpoint in self._clients}
         self._rr = 0
         self._rr_lock = threading.Lock()
+        #: ordered mutation log: this client is the single sequencer, so
+        #: ``seq`` values are assigned monotonically here and the log is
+        #: the replay source for replicas that missed entries
+        self._mutation_lock = threading.Lock()
+        self._mutation_log: list[tuple[int, list]] = []
+        self._next_seq = 1
+        self._replica_seq: dict[str, int] = {}
         try:
             if check_topology:
                 self.check_topology()
@@ -421,6 +434,128 @@ class ClusterClient(ShardedClientFacade):
             self._clients[endpoint].call({"op": OP_INVALIDATE})
             for endpoint in self.topology.endpoints()
         ]
+
+    # ------------------------------------------------------------------
+    # Online mutation
+    # ------------------------------------------------------------------
+    def mutate(self, mutations, timeout: float | None = None) -> dict:
+        """Apply one ordered mutation batch to every replica of every shard.
+
+        This client is the **single sequencer**: each batch gets the next
+        monotonic sequence number and is appended to the client-side
+        mutation log before any replica sees it.  The fan-out walks every
+        replica of every shard in topology order and sends each one *all*
+        the log entries it has not yet acknowledged, oldest first — a
+        replica that missed earlier batches (it was down, or the send
+        failed) is caught up before receiving the new one, so no replica
+        ever applies mutations out of order.  Replicas that stay
+        unreachable are simply left behind: the server refuses reads on a
+        gap (:class:`~repro.service.errors.ReplicaBehindError`, which the
+        read path fails over like backpressure) and the next ``mutate``
+        or an explicit :meth:`catch_up` replays the missing entries.
+
+        Raises :class:`RemoteTransportError` only when **no** replica
+        accepted the batch — then nothing serves the new generation and
+        the caller must retry.  Returns an aggregate report (drop/retain
+        counts summed over the replicas reached) with the behind
+        endpoints listed under ``"replicas_behind"``.
+        """
+        specs = list(mutations)
+        with self._mutation_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._mutation_log.append((seq, specs))
+            reports, missed = self._fan_out_log(timeout)
+        if not reports:
+            raise RemoteTransportError(
+                f"mutation seq {seq} reached no replica "
+                f"({'; '.join(missed) or 'empty topology'})"
+            )
+        sample = next(iter(reports.values()))
+        return {
+            "seq": seq,
+            "applied": len(specs),
+            "token": sample.get("token"),
+            "scoped": all(report.get("scoped", True) for report in reports.values()),
+            "entries_dropped": sum(
+                report.get("entries_dropped", 0) for report in reports.values()
+            ),
+            "entries_retained": sum(
+                report.get("entries_retained", 0) for report in reports.values()
+            ),
+            "blast_entities": sample.get("blast_entities", 0),
+            "replicas_applied": sorted(reports),
+            "replicas_behind": missed,
+        }
+
+    def catch_up(self, timeout: float | None = None) -> dict:
+        """Replay missing mutation-log entries to every lagging replica.
+
+        Call after a downed replica comes back: the replay clears its
+        server-side behind flag (restoring it to the read rotation) by
+        delivering the missed entries in log order.  Returns the
+        endpoints now caught up and the ones still unreachable.
+        """
+        with self._mutation_lock:
+            reports, missed = self._fan_out_log(timeout)
+        return {"caught_up": sorted(reports), "behind": missed}
+
+    def _fan_out_log(self, timeout: float | None) -> tuple[dict, list[str]]:
+        """Send unacknowledged log entries to every replica (in order).
+
+        Caller holds ``_mutation_lock``.  Returns ``(reports, behind)``:
+        the last ack per endpoint that took new entries, and the
+        endpoints that could not be reached (reported to the manager so
+        routing shifts off them immediately).
+        """
+        reports: dict[str, dict] = {}
+        missed: list[str] = []
+        for endpoint in self.topology.endpoints():
+            try:
+                report = self._catch_up_replica(endpoint, timeout)
+            except RemoteTransportError as error:
+                self.manager.report_failure(endpoint, error)
+                missed.append(endpoint)
+                continue
+            except ReplicaBehindError:
+                # Its ordered log still disagrees after a reset; leave it
+                # behind (reads fail over) rather than abort the fan-out.
+                missed.append(endpoint)
+                continue
+            if report is not None:
+                reports[endpoint] = report
+        return reports, missed
+
+    def _catch_up_replica(self, endpoint: str, timeout: float | None) -> dict | None:
+        """Deliver every log entry this replica has not acknowledged.
+
+        Entries go oldest-first so the server's ordered log accepts each
+        as ``applied + 1``.  When the server still reports a gap — its
+        applied seq disagrees with our ledger, e.g. it restarted from a
+        fresh snapshot — its actual seq is re-read from a ping and the
+        replay restarts from there, once; a second disagreement
+        re-raises.  Returns the last ack, or ``None`` when the replica
+        was already caught up.
+        """
+        client = self._clients[endpoint]
+        acked = self._replica_seq.get(endpoint, 0)
+        pending = [entry for entry in self._mutation_log if entry[0] > acked]
+        report: dict | None = None
+        reset = False
+        while pending:
+            seq, specs = pending[0]
+            try:
+                report = client.mutate(specs, seq=seq, timeout=timeout)
+            except ReplicaBehindError:
+                if reset:
+                    raise
+                reset = True
+                applied = int(client.ping().get("mutation_seq", 0))
+                pending = [entry for entry in self._mutation_log if entry[0] > applied]
+                continue
+            self._replica_seq[endpoint] = int(report.get("seq", seq))
+            pending = pending[1:]
+        return report
 
     def stats_snapshot(self) -> dict:
         """Cluster telemetry: overall, per shard, per replica, plus imbalance.

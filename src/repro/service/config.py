@@ -49,6 +49,15 @@ class ServiceConfig:
             log automatically, traced or not; ``None`` disables the log.
         slow_log_capacity: how many slow-request entries the bounded log
             retains (oldest age out).
+        scoped_invalidation: when True (default) a mutation applied via
+            :meth:`~repro.service.service.ExplanationService.mutate`
+            evicts only the cache entries whose pair intersects the
+            mutation's blast radius; False forces the pre-PR-8 wholesale
+            drop on every mutation (the benchmark baseline).
+        trace_sample_rate: probability that a root client facade samples
+            a trace for span recording (head-based sampling).  Applies to
+            traces minted by ``traced()`` on the in-process and remote
+            client facades; 1.0 records every trace, 0.0 none.
     """
 
     max_batch_size: int = 32
@@ -63,6 +72,8 @@ class ServiceConfig:
     trace_buffer: int = 2048
     slow_request_ms: float | None = None
     slow_log_capacity: int = 128
+    scoped_invalidation: bool = True
+    trace_sample_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -87,3 +98,5 @@ class ServiceConfig:
             raise ValueError("slow_request_ms must be >= 0 when set")
         if self.slow_log_capacity < 1:
             raise ValueError("slow_log_capacity must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")

@@ -30,6 +30,20 @@ class DeadlineExceededError(ServiceError):
     """The request's deadline elapsed before a worker could serve it."""
 
 
+class ReplicaBehindError(ServiceOverloadedError):
+    """The replica is missing mutation-log entries and refuses reads.
+
+    The ordered mutation log assigns every cluster mutation a sequence
+    number; a replica that observes a gap (it received mutation *n+k*
+    without *n*) would serve answers from a graph in a state no client
+    ever requested.  It refuses reads until the missing log entries are
+    replayed.  Subclassing :class:`ServiceOverloadedError` makes the
+    refusal retryable-by-contract: the cluster client's failover treats
+    it exactly like backpressure and routes the read to a caught-up
+    replica while this one is brought up to date.
+    """
+
+
 class RemoteTransportError(ServiceError):
     """The remote transport failed (connection, framing or protocol).
 

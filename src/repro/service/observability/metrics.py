@@ -252,6 +252,17 @@ def prometheus_text(stats: dict, namespace: str = "repro") -> str:
             metric = f"{namespace}_wire_{key}_total"
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {_format_value(value)}")
+    invalidation = overall.get("invalidation")
+    if isinstance(invalidation, dict):
+        for key in ("scoped", "wholesale", "entries_dropped", "entries_retained", "blast_entities"):
+            if key in invalidation:
+                metric = f"{namespace}_invalidation_{key}_total"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_format_value(invalidation[key])}")
+        if "max_blast_entities" in invalidation:
+            metric = f"{namespace}_invalidation_max_blast_entities"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(invalidation['max_blast_entities'])}")
     per_operation = overall.get("per_operation")
     if isinstance(per_operation, dict):
         for kind, row in sorted(per_operation.items()):

@@ -10,9 +10,26 @@ through the batched ADG path
 is answered from a versioned LRU cache, and the bounded queue sheds load
 when it fills up.  Results are *bit-identical* to direct engine calls:
 batching only changes how work is grouped (the engine and the confidence
-oracle both guarantee batch == sequential), and the cache is invalidated
-wholesale whenever either KG or the model changes version, so a cached
-result is always exactly what a fresh computation would produce.
+oracle both guarantee batch == sequential), and the cache is reconciled
+with every KG/model version change, so a cached result is always exactly
+what a fresh computation would produce.
+
+Online mutation (PR-8)
+----------------------
+
+:meth:`ExplanationService.mutate` applies a batch of
+:class:`MutationSpec` edits to the live graphs and invalidates only the
+mutation's *blast radius*: cached pairs outside the k-hop ball around the
+mutated endpoints (relation-seeded for confidence, which additionally
+depends on global relation-functionality statistics) survive the
+generation change, bit-identical with a cold rebuild.  A mutation falls
+back to the pre-PR-8 wholesale drop when the mutation log cannot cover
+the span, when the mined reasoning artefacts (relation alignment /
+¬sameAs rules — global functions of the graphs) re-mine to different
+values, or when ``ServiceConfig.scoped_invalidation`` is off.  Out-of-band
+mutations (someone editing a KG without going through ``mutate``) keep
+the wholesale contract: the next lookup sees a newer token and drops
+everything.
 
 Operations
 ----------
@@ -44,15 +61,19 @@ benchmark baseline.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import Future
-from typing import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from ..core import ExEA, ExEAConfig
+from ..core.repair.rules import mine_not_same_as_rules, mine_relation_alignment
 from ..core.adg import low_confidence_threshold
 from ..datasets import shard_workload
-from ..kg import AlignmentSet, EADataset
+from ..kg import AlignmentSet, EADataset, Triple
 from ..models import EAModel
 from .batching import MicroBatcher, RequestQueue, ServiceRequest
 from .cache import GenerationToken, ResultCache
@@ -81,6 +102,74 @@ def _cache_kind(kind: str) -> str:
     return CONFIDENCE if kind == VERIFY else kind
 
 
+@dataclass(frozen=True)
+class MutationSpec:
+    """One online KG edit: add or remove a triple in one of the two graphs.
+
+    The unit the mutation plane ships around — service API, wire codec
+    and cluster fan-out all speak lists of these.
+    """
+
+    op: str  #: ``"add"`` or ``"remove"``
+    kg: int  #: 1 or 2 — which side of the dataset to edit
+    triple: Triple
+
+    def __post_init__(self) -> None:
+        if self.op not in ("add", "remove"):
+            raise ValueError(f"unknown mutation op {self.op!r}; expected 'add' or 'remove'")
+        if self.kg not in (1, 2):
+            raise ValueError(f"kg must be 1 or 2, got {self.kg!r}")
+        if not isinstance(self.triple, Triple):
+            raise TypeError("MutationSpec.triple must be a Triple")
+
+
+class _MutationGate:
+    """Reader/writer gate pausing batch execution during graph mutation.
+
+    Workers hold the read side for the duration of a batch — the engine
+    walks shared KG indexes that a concurrent mutation would rewrite
+    under it — and :meth:`ExplanationService.mutate` holds the write side
+    while it edits the graphs and advances the cache.  A writer blocks
+    new readers and waits for in-flight ones to drain.  The sharded
+    service shares one gate across its shards, since they share the
+    graphs.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._condition:
+            while self._writing:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if not self._readers:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._condition:
+            while self._writing:
+                self._condition.wait()
+            self._writing = True
+            while self._readers:
+                self._condition.wait()
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writing = False
+                self._condition.notify_all()
+
+
 class ExplanationService:
     """Dispatcher-batching, caching front-end over the batch explanation engine."""
 
@@ -91,6 +180,7 @@ class ExplanationService:
         config: ServiceConfig | None = None,
         exea_config: ExEAConfig | None = None,
         reference_provider: Callable[[], AlignmentSet] | None = None,
+        mutation_gate: _MutationGate | None = None,
     ) -> None:
         if not model.is_fitted:
             raise ValueError("the EA model must be fitted before serving explanations")
@@ -143,7 +233,18 @@ class ExplanationService:
         self._reference_provider = reference_provider
         self._reference_lock = threading.Lock()
         self._reference_alignment: AlignmentSet | None = None
-        self._reference_token: GenerationToken | None = None
+        self._reference_version: int | None = None
+        #: pauses batch execution while a mutation rewrites the graphs;
+        #: the sharded service passes one shared gate to every shard
+        self._mutation_gate = mutation_gate or _MutationGate()
+        #: while a mutation is in flight, lookups see the pre-mutation
+        #: token instead of a half-advanced live one (see ``mutate``)
+        self._token_override: GenerationToken | None = None
+        #: mined reasoning artefacts (relation alignment + ¬sameAs rules)
+        #: memoized per token — the scoped/wholesale decision compares the
+        #: pre- and post-mutation values
+        self._mined_fingerprint: tuple | None = None
+        self._mined_fingerprint_token: GenerationToken | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -168,13 +269,26 @@ class ExplanationService:
     # ------------------------------------------------------------------
     # Versioning
     # ------------------------------------------------------------------
-    def _token(self) -> GenerationToken:
-        """Generation token tying results to KG/model versions (PR-1 counters)."""
+    def _live_token(self) -> GenerationToken:
+        """The token derived directly from the live version counters."""
         return (
             self.dataset.kg1.version,
             self.dataset.kg2.version,
             self.model.embedding_version,
         )
+
+    def _token(self) -> GenerationToken:
+        """Generation token tying results to KG/model versions (PR-1 counters).
+
+        While :meth:`mutate` is rewriting the graphs the live counters
+        pass through intermediate states no result was ever computed
+        under; the override pins concurrent lookups to the pre-mutation
+        token until the cache has been advanced to the post-mutation one.
+        """
+        override = self._token_override
+        if override is not None:
+            return override
+        return self._live_token()
 
     def generation_token(self) -> GenerationToken:
         """Public view of the generation token guarding this service's cache.
@@ -193,14 +307,19 @@ class ExplanationService:
         return self.tracer.slow_entries()
 
     def reference_alignment(self) -> AlignmentSet:
-        """Model predictions ∪ seed alignment, recomputed once per generation."""
+        """Model predictions ∪ seed alignment, recomputed once per model refit.
+
+        The reference depends only on the model's predictions and the
+        seed alignment — not on the graphs — so it survives online KG
+        mutations and is keyed on the embedding version alone.
+        """
         if self._reference_provider is not None:
             return self._reference_provider()
-        token = self._token()
+        version = self.model.embedding_version
         with self._reference_lock:
-            if self._reference_alignment is None or self._reference_token != token:
+            if self._reference_alignment is None or self._reference_version != version:
                 self._reference_alignment = self._backends[0].generator.reference_alignment()
-                self._reference_token = token
+                self._reference_version = version
             return self._reference_alignment
 
     # ------------------------------------------------------------------
@@ -377,6 +496,13 @@ class ExplanationService:
         return self._try_resolve(request, self._token())
 
     def _handle_batch(self, worker_id: int, batch: list[ServiceRequest]) -> None:
+        # Workers hold the mutation gate's read side for the whole batch:
+        # the engine walks shared KG indexes that a concurrent mutation
+        # would rewrite under it.
+        with self._mutation_gate.read():
+            self._execute_batch(worker_id, batch)
+
+    def _execute_batch(self, worker_id: int, batch: list[ServiceRequest]) -> None:
         backend = self._backends[worker_id]
         token = self._token()
         reference = self.reference_alignment()
@@ -467,6 +593,141 @@ class ExplanationService:
             self.stats.record_miss(request.kind)
             self._complete(request, done[pair])
 
+    # ------------------------------------------------------------------
+    # Online mutation (PR-8)
+    # ------------------------------------------------------------------
+    def mutate(self, mutations: Sequence[MutationSpec]) -> dict:
+        """Apply KG edits and invalidate only their blast radius.
+
+        Pauses batch execution (the mutation gate's write side), applies
+        every spec to the live graphs, computes per-kind entity scopes
+        from the mutation records, and advances the result cache to the
+        post-mutation generation evicting only intersecting entries.
+        Engine-internal caches reconcile themselves on their next batch
+        via the same mutation log (:meth:`KnowledgeGraph.mutations_since`).
+
+        Returns a JSON-safe report::
+
+            {"applied": int, "token": [kg1, kg2, model],
+             "scoped": bool, "entries_dropped": int,
+             "entries_retained": int, "blast_entities": int}
+        """
+        specs = list(mutations)
+        for spec in specs:
+            if not isinstance(spec, MutationSpec):
+                raise TypeError(f"expected MutationSpec, got {type(spec).__name__}")
+        with self._mutation_gate.write():
+            return self._mutate_locked(specs)
+
+    def _mutate_locked(self, specs: list[MutationSpec]) -> dict:
+        """Apply *specs* and reconcile the cache (caller holds the write gate)."""
+        old_token = self._token()
+        fingerprint_before = self._mined_fingerprint_under(old_token)
+        self._token_override = old_token
+        try:
+            records1, records2 = self._apply_specs(specs)
+            new_token = self._live_token()
+            scopes, blast = self._compute_scopes(
+                records1, records2, fingerprint_before, new_token
+            )
+            report = self._advance_cache(new_token, scopes, blast)
+        finally:
+            # Cleared only after the cache reached the new token: a lookup
+            # racing this window sees either the pinned old token (its
+            # entries are still the pre-mutation ones) or the new one.
+            self._token_override = None
+        report["applied"] = len(specs)
+        report["token"] = list(new_token)
+        # Internal (not JSON-safe): the per-kind entity scopes, so hosts
+        # holding derived caches (the shard server's encode cache) can
+        # scope their own eviction.  Wire layers pop it before encoding.
+        report["_scopes"] = scopes
+        return report
+
+    def _apply_specs(self, specs: list[MutationSpec]):
+        """Apply *specs* to the graphs; returns both sides' mutation records.
+
+        Either side's records are ``None`` when its log cannot cover the
+        span (an oversized batch) — the caller falls back to wholesale.
+        """
+        kg1, kg2 = self.dataset.kg1, self.dataset.kg2
+        before1, before2 = kg1.version, kg2.version
+        for spec in specs:
+            kg = kg1 if spec.kg == 1 else kg2
+            if spec.op == "add":
+                kg.add_triple(spec.triple)
+            else:
+                kg.remove_triple(spec.triple)
+        return kg1.mutations_since(before1), kg2.mutations_since(before2)
+
+    def _mined_fingerprint_under(self, token: GenerationToken):
+        """Mined reasoning artefacts under *token*, memoized per token.
+
+        ``None`` when cr1 is disabled — the conflict resolver is never
+        consulted, so no cached confidence depends on the artefacts and
+        the equality check degenerates to "unchanged".  With cr1 on this
+        re-mines (O(triples)) once per generation; the cost is what buys
+        scoped confidence eviction its correctness, because the artefacts
+        are global functions of the graphs.
+        """
+        if not self.exea_config.repair.enable_relation_conflicts:
+            return None
+        if self._mined_fingerprint_token != token:
+            self._mined_fingerprint = (
+                mine_relation_alignment(self.model, self.dataset.kg1, self.dataset.kg2),
+                mine_not_same_as_rules(self.dataset.kg1),
+                mine_not_same_as_rules(self.dataset.kg2),
+            )
+            self._mined_fingerprint_token = token
+        return self._mined_fingerprint
+
+    def _compute_scopes(self, records1, records2, fingerprint_before, new_token):
+        """Per-kind entity scopes for the cache advance.
+
+        Returns ``(scopes, blast_entities)``; ``scopes is None`` means
+        wholesale (log gap, mined-artefact drift, or scoped invalidation
+        disabled).  Explain entries depend only on the structural k-hop
+        ball around the mutated endpoints; confidence entries additionally
+        depend on relation functionality statistics, so their ball is
+        relation-seeded (every endpoint of every triple carrying a mutated
+        relation).  verify shares the confidence cache, hence its scope.
+        """
+        if not self.config.scoped_invalidation:
+            return None, 0
+        if records1 is None or records2 is None:
+            return None, 0
+        if fingerprint_before != self._mined_fingerprint_under(new_token):
+            return None, 0
+        hops = self.exea_config.explanation.max_hops
+        kg1, kg2 = self.dataset.kg1, self.dataset.kg2
+        explain_scope = (
+            kg1.blast_radius(records1, hops),
+            kg2.blast_radius(records2, hops),
+        )
+        confidence_scope = (
+            kg1.blast_radius(records1, hops, include_relations=True),
+            kg2.blast_radius(records2, hops, include_relations=True),
+        )
+        scopes = {EXPLAIN: explain_scope, CONFIDENCE: confidence_scope}
+        return scopes, len(confidence_scope[0]) + len(confidence_scope[1])
+
+    def _advance_cache(self, new_token: GenerationToken, scopes, blast: int) -> dict:
+        """Advance the result cache to *new_token* and record telemetry."""
+        if scopes is None:
+            dropped, retained = self.cache.invalidate_scoped(
+                new_token, {EXPLAIN: None, CONFIDENCE: None}
+            )
+            self.stats.record_invalidation()
+        else:
+            dropped, retained = self.cache.invalidate_scoped(new_token, scopes)
+            self.stats.record_scoped_invalidation(dropped, retained, blast)
+        return {
+            "scoped": scopes is not None,
+            "entries_dropped": dropped,
+            "entries_retained": retained,
+            "blast_entities": blast,
+        }
+
 
 class ExEAClient:
     """Synchronous in-process facade over an :class:`ExplanationService`.
@@ -476,10 +737,32 @@ class ExEAClient:
     does the coalescing underneath.
     """
 
-    def __init__(self, service: ExplanationService) -> None:
+    def __init__(
+        self,
+        service: ExplanationService,
+        trace_sample_rate: float | None = None,
+        sample_seed: int | None = None,
+    ) -> None:
         self.service = service
+        #: head-based sampling rate of ``traced()``; defaults to the
+        #: service config's ``trace_sample_rate``
+        if trace_sample_rate is None:
+            trace_sample_rate = service.config.trace_sample_rate
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        self._trace_sample_rate = trace_sample_rate
+        self._sample_random = random.Random(sample_seed)
         #: client-side span ring: one ``client_send`` span per traced call
         self.tracer = SpanRecorder(512)
+
+    def _sample(self) -> bool:
+        """Head-based sampling decision for one root trace."""
+        rate = self._trace_sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._sample_random.random() < rate
 
     # ------------------------------------------------------------------
     def traced(
@@ -487,21 +770,24 @@ class ExEAClient:
     ) -> tuple[object, TraceContext]:
         """Run one traced operation; returns ``(result, trace_context)``.
 
-        Mints a root :class:`TraceContext`, submits the request under it
-        (the service records its stage spans into its own ring), and
+        Mints a root :class:`TraceContext` — sampled per the head-based
+        ``trace_sample_rate`` decided here, at the root, so every layer
+        downstream agrees — submits the request under it (the service
+        records its stage spans into its own ring when sampled), and
         records the enveloping ``client_send`` span — submit to result —
         into this client's ring.  Feed the context's ``trace_id`` to
         :meth:`trace_timeline` for the stitched per-request view.
         """
-        trace = new_trace()
+        trace = new_trace(sampled=self._sample())
         started = time.perf_counter()
         value = self.service.submit(kind, source, target, trace=trace).result(timeout)
-        self.tracer.add(
-            "client_send",
-            trace,
-            time.perf_counter() - started,
-            attrs={"kind": kind, "source": source, "target": target},
-        )
+        if trace.sampled:
+            self.tracer.add(
+                "client_send",
+                trace,
+                time.perf_counter() - started,
+                attrs={"kind": kind, "source": source, "target": target},
+            )
         return value, trace
 
     def trace_timeline(self, trace_id: str) -> dict:
@@ -607,6 +893,7 @@ __all__ = [
     "VERIFY",
     "ExEAClient",
     "ExplanationService",
+    "MutationSpec",
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadedError",

@@ -37,7 +37,7 @@ from .cache import GenerationToken
 from .config import ServiceConfig
 from .observability.context import TraceContext
 from .observability.spans import Span
-from .service import ExEAClient, ExplanationService
+from .service import ExEAClient, ExplanationService, MutationSpec, _MutationGate
 from .stats import imbalance_summary, merge_stats
 
 
@@ -90,9 +90,12 @@ class ShardedExplanationService:
         self.router = ShardRouter(self.config.num_shards)
         self._reference_lock = threading.Lock()
         self._reference_alignment: AlignmentSet | None = None
-        self._reference_token: GenerationToken | None = None
+        self._reference_version: int | None = None
         self._pairs_lock = threading.Lock()
-        self._pairs_cache: tuple[GenerationToken, list[int]] | None = None
+        self._pairs_cache: tuple[int, list[int]] | None = None
+        #: one gate for all shards: they share the graphs, so a mutation
+        #: must pause every shard's workers, not just one partition's
+        self._mutation_gate = _MutationGate()
         self.shards = [
             ExplanationService(
                 model,
@@ -100,6 +103,7 @@ class ShardedExplanationService:
                 self.config,
                 exea_config=exea_config,
                 reference_provider=self._shared_reference,
+                mutation_gate=self._mutation_gate,
             )
             for _ in range(self.config.num_shards)
         ]
@@ -140,19 +144,21 @@ class ShardedExplanationService:
         )
 
     def _shared_reference(self) -> AlignmentSet:
-        """One reference alignment per generation, shared by every shard.
+        """One reference alignment per model refit, shared by every shard.
 
         The reference (model predictions ∪ seed) is independent of the
         shard, so computing it N times would waste N-1 prediction passes
-        and — worse — allow shards to momentarily disagree mid-refit.
+        and — worse — allow shards to momentarily disagree mid-refit.  It
+        does not depend on the graphs either, so it survives online KG
+        mutations and is keyed on the embedding version alone.
         """
-        token = self._token()
+        version = self.model.embedding_version
         with self._reference_lock:
-            if self._reference_alignment is None or self._reference_token != token:
+            if self._reference_alignment is None or self._reference_version != version:
                 self._reference_alignment = (
                     self.shards[0]._backends[0].generator.reference_alignment()
                 )
-                self._reference_token = token
+                self._reference_version = version
             return self._reference_alignment
 
     # ------------------------------------------------------------------
@@ -183,6 +189,57 @@ class ShardedExplanationService:
         return self.router.shard_of(source, target)
 
     # ------------------------------------------------------------------
+    # Online mutation
+    # ------------------------------------------------------------------
+    def mutate(self, mutations: list[MutationSpec]) -> dict:
+        """Apply KG edits once and advance every shard's cache with one scope.
+
+        The graphs are shared by all shards, so the edits are applied a
+        single time (through shard 0's primitives) under the shared
+        mutation gate — pausing every shard's workers — and the same
+        post-mutation token and blast-radius scopes advance each shard's
+        result cache.  Pinning every shard's token override for the whole
+        window keeps concurrent lookups on any shard answering under the
+        pre-mutation generation until its cache has moved.  Returns the
+        same JSON-safe report as
+        :meth:`~repro.service.service.ExplanationService.mutate`, with
+        entry counts summed across shards.
+        """
+        specs = list(mutations)
+        for spec in specs:
+            if not isinstance(spec, MutationSpec):
+                raise TypeError(f"expected MutationSpec, got {type(spec).__name__}")
+        primary = self.shards[0]
+        with self._mutation_gate.write():
+            old_token = primary._token()
+            fingerprint_before = primary._mined_fingerprint_under(old_token)
+            for shard in self.shards:
+                shard._token_override = old_token
+            try:
+                records1, records2 = primary._apply_specs(specs)
+                new_token = primary._live_token()
+                scopes, blast = primary._compute_scopes(
+                    records1, records2, fingerprint_before, new_token
+                )
+                dropped = retained = 0
+                for shard in self.shards:
+                    shard_report = shard._advance_cache(new_token, scopes, blast)
+                    dropped += shard_report["entries_dropped"]
+                    retained += shard_report["entries_retained"]
+            finally:
+                for shard in self.shards:
+                    shard._token_override = None
+        return {
+            "applied": len(specs),
+            "token": list(new_token),
+            "scoped": scopes is not None,
+            "entries_dropped": dropped,
+            "entries_retained": retained,
+            "blast_entities": blast,
+            "_scopes": scopes,
+        }
+
+    # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def trace_spans(self, trace_id: str | None = None) -> list[Span]:
@@ -210,17 +267,17 @@ class ShardedExplanationService:
         Partitions the current generation's reference alignment (model
         predictions ∪ seed — the pair population the service actually
         answers about) with the same router requests use.  Both the
-        reference and the counts are cached per generation token, so a
-        stats poll pays the CRC-32 pass only after a KG mutation or
-        refit.
+        reference and the counts are cached per model refit (the pair
+        population depends on the predictions and the seed, not on the
+        graphs), so a stats poll pays the CRC-32 pass only after a refit.
         """
-        token = self._token()
+        version = self.model.embedding_version
         with self._pairs_lock:
-            if self._pairs_cache is None or self._pairs_cache[0] != token:
+            if self._pairs_cache is None or self._pairs_cache[0] != version:
                 counts = [0] * len(self.shards)
                 for source, target in self._shared_reference().pairs:
                     counts[self.router.shard_of(source, target)] += 1
-                self._pairs_cache = (token, counts)
+                self._pairs_cache = (version, counts)
             return list(self._pairs_cache[1])
 
     def stats_snapshot(self) -> dict:
@@ -252,8 +309,13 @@ class ShardedExEAClient(ExEAClient):
     the sharded service's ``submit``), plus shard introspection helpers.
     """
 
-    def __init__(self, service: ShardedExplanationService) -> None:
-        super().__init__(service)
+    def __init__(
+        self,
+        service: ShardedExplanationService,
+        trace_sample_rate: float | None = None,
+        sample_seed: int | None = None,
+    ) -> None:
+        super().__init__(service, trace_sample_rate, sample_seed)
 
     def shard_of(self, source: str, target: str) -> int:
         """Which shard serves this pair."""

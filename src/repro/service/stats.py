@@ -112,6 +112,17 @@ class ServiceStats:
         self.cache_misses = 0
         self.cache_evictions = 0
         self.cache_invalidations = 0
+        #: per-scope invalidation telemetry (PR-8): scoped vs wholesale
+        #: advances, how many entries each scoped advance dropped vs
+        #: retained, and the blast-radius sizes that drove them.
+        self.invalidation: dict[str, int] = {
+            "scoped": 0,
+            "wholesale": 0,
+            "entries_dropped": 0,
+            "entries_retained": 0,
+            "blast_entities": 0,
+            "max_blast_entities": 0,
+        }
         self.num_batches = 0
         self.batched_requests = 0
         self.max_batch_size = 0
@@ -171,6 +182,25 @@ class ServiceStats:
         """Count one wholesale cache invalidation (generation change)."""
         with self._lock:
             self.cache_invalidations += 1
+            self.invalidation["wholesale"] += 1
+
+    def record_scoped_invalidation(
+        self, dropped: int, retained: int, blast_entities: int
+    ) -> None:
+        """Count one blast-radius scoped cache advance.
+
+        *dropped* / *retained* are the entry counts the scoped eviction
+        removed and kept; *blast_entities* is the size of the entity
+        blast radius that drove the scopes (a high watermark of it is
+        kept alongside the running sum, mirroring ``max_batch_size``).
+        """
+        with self._lock:
+            self.invalidation["scoped"] += 1
+            self.invalidation["entries_dropped"] += dropped
+            self.invalidation["entries_retained"] += retained
+            self.invalidation["blast_entities"] += blast_entities
+            if blast_entities > self.invalidation["max_blast_entities"]:
+                self.invalidation["max_blast_entities"] = blast_entities
 
     def record_batch(self, size: int) -> None:
         """Count one gathered batch of *size* requests (occupancy telemetry)."""
@@ -223,6 +253,7 @@ class ServiceStats:
                 "max_batch_size": self.max_batch_size,
                 "hits_by_kind": dict(self.hits_by_kind),
                 "misses_by_kind": dict(self.misses_by_kind),
+                "invalidation": dict(self.invalidation),
                 "wire": self.wire.raw(),
             }
             latencies = list(self._latencies)
@@ -382,7 +413,7 @@ def _merge_counters(total: dict, part: dict) -> None:
                         slot[index] += item
                     else:
                         slot.append(item)
-        elif key == "max_batch_size":
+        elif key in ("max_batch_size", "max_blast_entities"):
             total[key] = max(total.get(key, 0), value)
         else:
             total[key] = total.get(key, 0) + value

@@ -70,12 +70,14 @@ from .framing import (
 from .mux import MuxConnection
 from .protocol import (
     OP_INVALIDATE,
+    OP_MUTATE,
     OP_PAIRS,
     OP_PING,
     OP_SHUTDOWN,
     OP_STATS,
     OP_TRACE,
     decode_error,
+    encode_mutations,
 )
 from .server import parse_listen_address
 from .wire import SUPPORTED_WIRES, WIRE_BINARY, WIRE_JSON, decode_any_body, encode_binary
@@ -128,6 +130,9 @@ class RemoteShardClient:
         #: Whether the peer advertised the ``trace`` capability; ``None``
         #: until a ping answers (a fully pinned client may never ping).
         self._peer_trace: bool | None = None
+        #: Whether the peer advertised the ``mutate`` capability; same
+        #: ``None``-until-pinged semantics as ``_peer_trace``.
+        self._peer_mutate: bool | None = None
 
     # ------------------------------------------------------------------
     # Connection pool (v1 transport + negotiation carrier)
@@ -207,6 +212,7 @@ class RemoteShardClient:
             peer_wires = info.get("wires", [WIRE_JSON])
             peer_mux = bool(info.get("mux", False))
             self._peer_trace = bool(info.get("trace", False))
+            self._peer_mutate = bool(info.get("mutate", False))
             if self.wire == WIRE_AUTO:
                 self._active_wire = (
                     WIRE_BINARY if WIRE_BINARY in peer_wires else WIRE_JSON
@@ -413,6 +419,31 @@ class RemoteShardClient:
         """Topology/identity of the server (shard id, shard count, token)."""
         return self.call({"op": OP_PING})
 
+    def mutate(self, specs, seq: int | None = None, timeout: float | None = None) -> dict:
+        """Apply one ordered mutation batch on this shard server.
+
+        The wire form follows the negotiated codec: the JSON v1 path
+        flattens each spec into a ``[op, kg, head, rel, tail]`` row, the
+        binary v2 path ships :class:`MutationSpec` objects natively (TLV
+        tag ``0x0E``).  A peer that did not advertise the ``mutate``
+        capability is refused client-side — the binary tag would be a
+        fatal protocol violation on an old decoder, and the JSON op an
+        unknown-op error; neither should cost a round trip.
+        """
+        self._ensure_negotiated(timeout)
+        if self._peer_mutate is False:
+            raise RemoteTransportError(
+                f"shard server at {self.endpoint} does not support online mutation"
+            )
+        payload: dict = {"op": OP_MUTATE}
+        if seq is not None:
+            payload["seq"] = seq
+        if self._active_wire == WIRE_JSON:
+            payload["mutations"] = encode_mutations(list(specs))
+        else:
+            payload["mutations"] = list(specs)
+        return self.call(payload, timeout=timeout)
+
     def trace_spans(self, trace_id: str | None = None) -> list[Span]:
         """Pull the server's span ring (optionally one trace's spans).
 
@@ -454,10 +485,16 @@ class RemoteShardedClient(ShardedClientFacade):
         check_topology: bool = True,
         wire: str | None = None,
         mux: bool | None = None,
+        trace_sample_rate: float = 1.0,
+        sample_seed: int | None = None,
     ) -> None:
         if not endpoints:
             raise ValueError("at least one shard endpoint is required")
-        super().__init__(len(endpoints))
+        super().__init__(
+            len(endpoints),
+            trace_sample_rate=trace_sample_rate,
+            sample_seed=sample_seed,
+        )
         self.endpoints = list(endpoints)
         self.shards = [
             RemoteShardClient(
@@ -538,6 +575,38 @@ class RemoteShardedClient(ShardedClientFacade):
         of the previous generation from its cache.
         """
         return [shard.call({"op": OP_INVALIDATE}) for shard in self.shards]
+
+    def mutate(self, mutations, timeout: float | None = None) -> dict:
+        """Apply one mutation batch on every shard process, in shard order.
+
+        Every shard server holds a full copy of both graphs (sharding
+        partitions the *pair space*, not the triples), so the edit must
+        land on all of them.  The fan-out is sequential in shard order —
+        a mutation is not latency-critical and ordered application keeps
+        a mid-fan-out failure easy to reason about (shards ``< i``
+        mutated, shards ``>= i`` untouched, error names shard ``i``).
+        Returns shard 0's report with drop/retain counts summed across
+        shards; per-shard reports ride under ``"per_shard"``.
+        """
+        reports = []
+        for shard_id, shard in enumerate(self.shards):
+            try:
+                reports.append(shard.mutate(mutations, timeout=timeout))
+            except RemoteTransportError as error:
+                raise RemoteTransportError(
+                    f"mutation failed at {self._shard_label(shard_id)} "
+                    f"(shards < {shard_id} already mutated): {error}"
+                ) from error
+        first = reports[0]
+        return {
+            "applied": first.get("applied", 0),
+            "token": first.get("token"),
+            "scoped": all(report.get("scoped", False) for report in reports),
+            "entries_dropped": sum(report.get("entries_dropped", 0) for report in reports),
+            "entries_retained": sum(report.get("entries_retained", 0) for report in reports),
+            "blast_entities": first.get("blast_entities", 0),
+            "per_shard": reports,
+        }
 
     def trace_spans(self, trace_id: str | None = None) -> list[Span]:
         """Spans recorded by every shard server, pulled over the wire.

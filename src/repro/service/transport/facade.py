@@ -28,6 +28,7 @@ policies are built from the same two questions:
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable
 
@@ -126,11 +127,32 @@ class ShardedClientFacade:
     batching, scatter/gather and result decoding are inherited.
     """
 
-    def __init__(self, num_shards: int, trace_buffer: int = 512) -> None:
+    def __init__(
+        self,
+        num_shards: int,
+        trace_buffer: int = 512,
+        trace_sample_rate: float = 1.0,
+        sample_seed: int | None = None,
+    ) -> None:
         self.router = ShardRouter(num_shards)
         #: client-side span ring: ``client_send`` envelopes and (for the
         #: cluster client) ``retry`` spans of traced failovers
         self.tracer = SpanRecorder(trace_buffer)
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        #: head-based sampling rate for :meth:`traced` — the keep/drop
+        #: decision is made once here at the root and rides with the
+        #: context, so a trace is recorded everywhere or nowhere
+        self.trace_sample_rate = trace_sample_rate
+        self._sample_random = random.Random(sample_seed)
+
+    def _sample(self) -> bool:
+        """One head-based sampling decision (1.0 and 0.0 skip the RNG)."""
+        if self.trace_sample_rate >= 1.0:
+            return True
+        if self.trace_sample_rate <= 0.0:
+            return False
+        return self._sample_random.random() < self.trace_sample_rate
 
     # -- the one transport hook ----------------------------------------
     def _call_shard(
@@ -183,16 +205,25 @@ class ShardedClientFacade:
         trace, and the enveloping ``client_send`` span — request out to
         result in, wire time included — lands in this client's own ring.
         Feed the context's ``trace_id`` to :meth:`trace_timeline`.
+
+        Head-based sampling (``trace_sample_rate``) decides keep/drop
+        here at the root: an unsampled request is sent *without* a trace
+        context (no wire bytes, no server spans, no client span) and
+        returns a context whose ``sampled`` flag is false, so callers can
+        tell an empty timeline from a dropped one.
         """
-        trace = new_trace()
+        trace = new_trace(sampled=self._sample())
         started = time.perf_counter()
-        value = self._single(kind, source, target, timeout, None, trace=trace)
-        self.tracer.add(
-            "client_send",
-            trace,
-            time.perf_counter() - started,
-            attrs={"kind": kind, "source": source, "target": target},
+        value = self._single(
+            kind, source, target, timeout, None, trace=trace if trace.sampled else None
         )
+        if trace.sampled:
+            self.tracer.add(
+                "client_send",
+                trace,
+                time.perf_counter() - started,
+                attrs={"kind": kind, "source": source, "target": target},
+            )
         return value, trace
 
     def trace_spans(self, trace_id: str | None = None) -> "list[Span]":

@@ -30,10 +30,12 @@ from ..errors import (
     DeadlineExceededError,
     RemoteOperationError,
     RemoteTransportError,
+    ReplicaBehindError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
 )
+from ..service import MutationSpec
 from .framing import (
     ConnectionClosedError,
     FrameTimeoutError,
@@ -66,6 +68,11 @@ OP_INVALIDATE = "invalidate"
 #: via the ping ``trace`` capability; peers that predate tracing reject
 #: it like any unknown op.
 OP_TRACE = "trace"
+#: Apply an ordered batch of KG mutations (blast-radius scoped cache
+#: invalidation server-side).  Advertised via the ping ``mutate``
+#: capability; peers that predate the mutation plane reject it like any
+#: unknown op.
+OP_MUTATE = "mutate"
 #: Ask the server process to exit after responding.
 OP_SHUTDOWN = "shutdown"
 
@@ -81,6 +88,7 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
     for cls in (
         ServiceError,
         ServiceOverloadedError,
+        ReplicaBehindError,
         ServiceClosedError,
         DeadlineExceededError,
         RemoteTransportError,
@@ -186,6 +194,39 @@ def decode_explanation(payload: dict) -> Explanation:
             _decode_triple(fields) for fields in payload["candidate_triples2"]
         },
     )
+
+
+def encode_mutations(specs: list[MutationSpec]) -> list[list]:
+    """JSON v1 wire form of a mutation batch: ``[op, kg, head, rel, tail]`` rows.
+
+    The binary v2 codec ships :class:`MutationSpec` objects natively
+    (TLV tag ``0x0E``) and never goes through this flattening.
+    """
+    return [
+        [spec.op, spec.kg, spec.triple.head, spec.triple.relation, spec.triple.tail]
+        for spec in specs
+    ]
+
+
+def decode_mutations(payload: object) -> list[MutationSpec]:
+    """Rebuild a mutation batch from either wire form.
+
+    Accepts native :class:`MutationSpec` items (binary v2) and the
+    5-element JSON rows; anything malformed raises ``ValueError`` so the
+    server answers with a typed error frame instead of dying mid-request.
+    """
+    if not isinstance(payload, list):
+        raise ValueError("mutations must be a list")
+    specs: list[MutationSpec] = []
+    for item in payload:
+        if isinstance(item, MutationSpec):
+            specs.append(item)
+            continue
+        if not isinstance(item, (list, tuple)) or len(item) != 5:
+            raise ValueError(f"malformed mutation row {item!r}")
+        op, kg, head, relation, tail = item
+        specs.append(MutationSpec(op=op, kg=kg, triple=Triple(head, relation, tail)))
+    return specs
 
 
 def encode_value(kind: str, value) -> object:

@@ -40,7 +40,7 @@ import socket
 import threading
 import time
 
-from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..errors import ReplicaBehindError, ServiceClosedError, ServiceOverloadedError
 from ..observability.context import TraceContext, new_span_id, trace_from_wire
 from ..service import ExplanationService
 from ..sharding import ShardRouter
@@ -57,6 +57,7 @@ from .protocol import (
     OP_BATCH,
     OP_EXPLAIN,
     OP_INVALIDATE,
+    OP_MUTATE,
     OP_PAIRS,
     OP_PING,
     OP_SHUTDOWN,
@@ -64,6 +65,7 @@ from .protocol import (
     OP_TRACE,
     PROTOCOL_VERSION,
     REQUEST_KINDS,
+    decode_mutations,
     encode_error,
     encode_value,
 )
@@ -120,6 +122,7 @@ class ShardServer:
         wires: tuple[str, ...] = SUPPORTED_WIRES,
         mux: bool = True,
         trace: bool = True,
+        mutate: bool = True,
     ) -> None:
         if not 0 <= shard_id < num_shards:
             raise ValueError(f"shard_id {shard_id} out of range for {num_shards} shard(s)")
@@ -133,6 +136,16 @@ class ShardServer:
         self.wires = tuple(wires)
         self.mux = mux
         self.trace = trace
+        self.mutate = mutate
+        #: highest mutation-log sequence number applied by this replica
+        #: (0 = none); guarded by its own lock because mutate frames may
+        #: arrive on any connection thread
+        self._mutation_seq_lock = threading.Lock()
+        self._mutation_seq = 0
+        #: highest sequence this replica knows exists but has not applied;
+        #: while set, reads are refused (the replica would serve a graph
+        #: state the cluster has already moved past)
+        self._mutation_behind: int | None = None
         self._listener: socket.socket | None = None
         self._address: str | None = None
         self._unix_path: str | None = None
@@ -467,9 +480,13 @@ class ShardServer:
             if op == OP_PING:
                 return {"ok": self._describe()}
             if op in REQUEST_KINDS:
+                self._check_caught_up()
                 return self._handle_single(op, request, binary)
             if op == OP_BATCH:
+                self._check_caught_up()
                 return self._handle_batch(request, binary)
+            if op == OP_MUTATE and self.mutate:
+                return self._handle_mutate(request)
             if op == OP_STATS:
                 return {"ok": self._stats_payload()}
             if op == OP_PAIRS:
@@ -503,6 +520,8 @@ class ShardServer:
             "wires": list(self.wires),
             "mux": self.mux,
             "trace": self.trace,
+            "mutate": self.mutate,
+            "mutation_seq": self._mutation_seq,
             "dataset": self.service.dataset.name,
             "model": self.service.model.name,
             "token": list(self.service.generation_token()),
@@ -648,6 +667,90 @@ class ShardServer:
             "num_pairs": self._num_pairs(),
             "slow_requests": self.service.slow_requests(),
         }
+
+    def _check_caught_up(self) -> None:
+        """Refuse reads while this replica is missing mutation-log entries.
+
+        A gap means some peer applied mutations this replica never saw:
+        answering reads here would serve a graph state the cluster has
+        already moved past.  :class:`ReplicaBehindError` subclasses the
+        backpressure error, so cluster clients fail the read over to a
+        caught-up replica while this one is replayed up to date.
+        """
+        behind = self._mutation_behind
+        if behind is not None:
+            raise ReplicaBehindError(
+                f"replica applied mutation seq {self._mutation_seq} but the log "
+                f"has advanced to {behind}; reads refused until caught up"
+            )
+
+    def _handle_mutate(self, request: dict) -> dict:
+        """Apply one ordered mutation batch; scoped-invalidate derived caches.
+
+        ``seq`` orders batches across the cluster (the sequencing client
+        numbers them 1, 2, 3, …).  A batch at or below the applied
+        sequence is an idempotent duplicate (acked without re-applying);
+        a batch that skips ahead marks the replica *behind* and is
+        refused, as are all reads, until the client replays the gap in
+        order.  Sequence-less batches (single-server deployments) apply
+        unordered.
+        """
+        specs = decode_mutations(request.get("mutations", []))
+        seq = request.get("seq")
+        if seq is not None and (not isinstance(seq, int) or isinstance(seq, bool) or seq < 1):
+            raise ValueError(f"mutation seq must be a positive integer, got {seq!r}")
+        with self._mutation_seq_lock:
+            if seq is not None:
+                if seq <= self._mutation_seq:
+                    return {
+                        "ok": {
+                            "applied": 0,
+                            "duplicate": True,
+                            "seq": self._mutation_seq,
+                            "token": list(self.service.generation_token()),
+                        }
+                    }
+                if seq > self._mutation_seq + 1:
+                    if self._mutation_behind is None or seq > self._mutation_behind:
+                        self._mutation_behind = seq
+                    raise ReplicaBehindError(
+                        f"replica expects mutation seq {self._mutation_seq + 1}, "
+                        f"got {seq}; missing entries must be replayed in order"
+                    )
+            token_before = self.service.generation_token()
+            report = self.service.mutate(specs)
+            scopes = report.pop("_scopes", None)
+            self._scope_encode_cache(scopes, token_before)
+            if seq is not None:
+                self._mutation_seq = seq
+                if self._mutation_behind is not None and seq >= self._mutation_behind:
+                    self._mutation_behind = None
+            report["seq"] = self._mutation_seq
+            return {"ok": report}
+
+    def _scope_encode_cache(self, scopes, token_before: tuple) -> None:
+        """Evict pre-encoded explain blobs inside the mutation's blast radius.
+
+        Surviving blobs encode explanations of pairs outside the scope,
+        which the blast-radius contract guarantees are byte-identical
+        post-mutation; re-stamping the cache's generation token validates
+        them for splicing into post-mutation responses.  Blobs from any
+        *other* generation (``_encode_token != token_before`` — e.g. an
+        out-of-band KG edit slipped between mutations) are not covered by
+        this mutation's scope and are dropped wholesale.
+        """
+        token = self.service.generation_token()
+        with self._encode_lock:
+            explain_scope = None if scopes is None else scopes.get(OP_EXPLAIN)
+            if scopes is None or explain_scope is None or self._encode_token != token_before:
+                self._encode_cache.clear()
+            else:
+                sources, targets = explain_scope
+                for key in [
+                    k for k in self._encode_cache if k[1] in sources or k[2] in targets
+                ]:
+                    del self._encode_cache[key]
+            self._encode_token = token
 
     def _handle_invalidate(self) -> dict:
         """Drop this shard's result cache (client-driven generation fan-out).

@@ -51,6 +51,7 @@ Value tags::
     0x0A MatchedPath (2 paths + sim)   0x0B Explanation (full result)
     0x0C blob (varint length + standalone-encoded value)
     0x0D TraceContext (trace/span/parent indices + sampled flag)
+    0x0E MutationSpec (op index, kg varint, triple)
 """
 
 from __future__ import annotations
@@ -60,6 +61,7 @@ import struct
 from ...core.explanation import Explanation, MatchedPath, RelationPath
 from ...kg import Triple
 from ..observability.context import TraceContext
+from ..service import MutationSpec
 from .framing import FrameTooLargeError, ProtocolError, decode_json_body
 
 #: First byte of every binary body; never the first byte of a JSON object.
@@ -88,6 +90,7 @@ _TAG_MATCH = 0x0A
 _TAG_EXPL = 0x0B
 _TAG_BLOB = 0x0C
 _TAG_TRACE = 0x0D
+_TAG_MUTATION = 0x0E
 
 
 class Blob:
@@ -206,6 +209,9 @@ class _Encoder:
         elif isinstance(value, TraceContext):
             body.append(_TAG_TRACE)
             self._write_trace(value)
+        elif isinstance(value, MutationSpec):
+            body.append(_TAG_MUTATION)
+            self._write_mutation(value)
         elif isinstance(value, str):  # str subclasses
             body.append(_TAG_STR)
             _write_varint(body, self.intern(str(value)))
@@ -245,6 +251,11 @@ class _Encoder:
         _write_varint(body, self.intern(trace.span_id))
         _write_varint(body, self.intern(trace.parent_span_id or ""))
         body.append(0x01 if trace.sampled else 0x00)
+
+    def _write_mutation(self, spec: MutationSpec) -> None:
+        _write_varint(self.body, self.intern(spec.op))
+        _write_varint(self.body, spec.kg)
+        self._write_triple(spec.triple)
 
     def _write_explanation(self, explanation: Explanation) -> None:
         body = self.body
@@ -429,6 +440,8 @@ class _Decoder:
             return self._read_blob()
         if tag == _TAG_TRACE:
             return self._read_trace()
+        if tag == _TAG_MUTATION:
+            return self._read_mutation()
         raise ProtocolError(f"binary frame carries unknown value tag 0x{tag:02X}")
 
     def _read_triple(self) -> Triple:
@@ -486,6 +499,14 @@ class _Decoder:
             parent_span_id=parent or None,
             sampled=sampled,
         )
+
+    def _read_mutation(self) -> MutationSpec:
+        op = self._string()
+        kg, self.offset = _read_varint(self.view, self.offset)
+        try:
+            return MutationSpec(op=op, kg=kg, triple=self._read_triple())
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"binary frame carries a malformed mutation: {error}") from error
 
     def _read_blob(self):
         length, offset = _read_varint(self.view, self.offset)

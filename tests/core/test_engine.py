@@ -304,3 +304,161 @@ class TestVectorisedReferences:
             )
             relation_id = model.index.relation_to_id[relation]
             assert np.allclose(derived[relation_id], manual)
+
+
+# ----------------------------------------------------------------------
+# Fused similarity gemms (PR-8)
+# ----------------------------------------------------------------------
+class TestFusedSimilarities:
+    def test_fused_blocked_gemm_bit_identical_to_per_pair_matmul(
+        self, fitted_mtranse, core_dataset, monkeypatch
+    ):
+        import repro.core.engine as engine_module
+
+        pairs = sorted(core_dataset.test_alignment)[:24]
+
+        def collect(generator):
+            reference = generator.reference_alignment()
+            batched = generator.explain_pairs(pairs, reference)
+            return {
+                pair: [
+                    (m.path1, m.path2, m.similarity)
+                    for m in batched[pair].matched_paths
+                ]
+                for pair in pairs
+            }
+
+        fused = collect(
+            ExplanationGenerator(fitted_mtranse, core_dataset, ExplanationConfig())
+        )
+        # Force the per-pair path for an otherwise identical run.
+        monkeypatch.setattr(engine_module, "_FUSE_MIN_PLANS", 10**9)
+        unfused = collect(
+            ExplanationGenerator(fitted_mtranse, core_dataset, ExplanationConfig())
+        )
+        # Bitwise float equality, not approximate: the fusion must not
+        # change a single similarity by even one ulp.
+        assert fused == unfused
+
+    def test_plan_similarities_groups_by_shape(self, fitted_mtranse, core_dataset):
+        generator = ExplanationGenerator(fitted_mtranse, core_dataset)
+        reference = generator.reference_alignment()
+        pairs = sorted(core_dataset.test_alignment)[:24]
+        generator.explain_pairs(pairs, reference)
+        engine = generator.engine
+        rows = sorted(engine._path_rows)[:6]
+        if len(rows) < 6:
+            pytest.skip("not enough cached endpoint blocks on this dataset")
+        plans = [(None, None, None, None, [key1], [key2]) for key1, key2 in zip(rows[:3], rows[3:])]
+        fused = engine._plan_similarities(plans * 2)  # 6 plans: fusion kicks in
+        loop = [
+            engine.store.unit_rows(engine._path_rows[key1])
+            @ engine.store.unit_rows(engine._path_rows[key2]).T
+            for key1, key2 in zip(rows[:3], rows[3:])
+        ] * 2
+        for got, expected in zip(fused, loop):
+            assert got.shape == expected.shape
+            assert np.array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Scoped engine-cache invalidation (PR-8)
+# ----------------------------------------------------------------------
+class TestScopedEngineInvalidation:
+    def _removed(self, dataset):
+        return sorted(dataset.kg1.triples, key=lambda t: t.as_tuple())[0]
+
+    def test_mutation_evicts_only_the_blast_radius(self, fitted_mtranse, core_dataset):
+        dataset = core_dataset.__class__(
+            core_dataset.kg1.copy(),
+            core_dataset.kg2.copy(),
+            core_dataset.train_alignment,
+            core_dataset.test_alignment,
+            name=core_dataset.name,
+        )
+        generator = ExplanationGenerator(fitted_mtranse, dataset)
+        engine = generator.engine
+        reference = generator.reference_alignment()
+        pairs = sorted(dataset.test_alignment)[:24]
+        generator.explain_pairs(pairs, reference)
+        before_rows = dict(engine._path_rows)
+        before_store = engine.store.size
+        assert before_rows
+
+        version_before = dataset.kg1.version
+        removed = self._removed(dataset)
+        dataset.kg1.remove_triple(removed)
+        blast = dataset.kg1.blast_radius(
+            dataset.kg1.mutations_since(version_before), generator.config.max_hops
+        )
+        engine._check_versions()
+
+        # Side-1 blocks inside the blast ball are gone, everything else
+        # (including every side-2 block) survives with its embedding rows.
+        for key, rows in before_rows.items():
+            side, entity, _ = key
+            if side == 1 and entity in blast:
+                assert key not in engine._path_rows
+            else:
+                assert np.array_equal(engine._path_rows[key], rows)
+        assert engine.store.size == before_store  # rows retained, not rebuilt
+        assert engine._dead_store_rows > 0 or all(
+            key[0] != 1 or key[1] not in blast for key in before_rows
+        )
+
+        # And the surviving caches are *correct*: identical to cold rebuild.
+        served = generator.explain_pairs(pairs, reference)
+        cold = ExplanationGenerator(fitted_mtranse, dataset).explain_pairs(
+            pairs, ExplanationGenerator(fitted_mtranse, dataset).reference_alignment()
+        )
+        for pair in pairs:
+            assert served[pair].matched_paths == cold[pair].matched_paths
+            assert served[pair].candidate_triples1 == cold[pair].candidate_triples1
+
+    def test_uncovered_log_falls_back_to_wholesale(self, fitted_mtranse, core_dataset):
+        dataset = core_dataset.__class__(
+            core_dataset.kg1.copy(),
+            core_dataset.kg2.copy(),
+            core_dataset.train_alignment,
+            core_dataset.test_alignment,
+            name=core_dataset.name,
+        )
+        generator = ExplanationGenerator(fitted_mtranse, dataset)
+        engine = generator.engine
+        reference = generator.reference_alignment()
+        generator.explain_pairs(sorted(dataset.test_alignment)[:8], reference)
+        assert engine.store.size > 0
+        dataset.kg1.remove_triple(self._removed(dataset))
+        dataset.kg1._mutation_log.clear()  # engine can no longer cover the span
+        engine._check_versions()
+        assert engine.store.size == 0
+        assert not engine._path_rows and not engine._path_lists
+
+    def test_dead_row_reclaim_resets_the_store(
+        self, fitted_mtranse, core_dataset, monkeypatch
+    ):
+        import repro.core.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_STORE_DEAD_ROW_MIN", 0)
+        monkeypatch.setattr(engine_module, "_STORE_DEAD_ROW_FACTOR", 0)
+        dataset = core_dataset.__class__(
+            core_dataset.kg1.copy(),
+            core_dataset.kg2.copy(),
+            core_dataset.train_alignment,
+            core_dataset.test_alignment,
+            name=core_dataset.name,
+        )
+        generator = ExplanationGenerator(fitted_mtranse, dataset)
+        engine = generator.engine
+        reference = generator.reference_alignment()
+        pairs = sorted(dataset.test_alignment)[:16]
+        generator.explain_pairs(pairs, reference)
+        dataset.kg1.remove_triple(self._removed(dataset))
+        engine._check_versions()
+        # Any eviction now trips the (zeroed) reclaim threshold.
+        assert engine.store.size == 0 and engine._dead_store_rows == 0
+        served = generator.explain_pairs(pairs, reference)
+        cold = ExplanationGenerator(fitted_mtranse, dataset)
+        cold_results = cold.explain_pairs(pairs, cold.reference_alignment())
+        for pair in pairs:
+            assert served[pair].matched_paths == cold_results[pair].matched_paths

@@ -180,3 +180,83 @@ def test_without_triples_never_contains_removed(raw, data):
     reduced = kg.without_triples(removed)
     for triple in removed:
         assert triple not in reduced
+
+
+class TestMutationLog:
+    def test_versions_advance_one_per_logged_mutation(self, small_kg):
+        base = small_kg.version
+        small_kg.add_triple(("newsom", "born_in", "san_francisco"))
+        small_kg.remove_triple(("brown", "governor", "california"))
+        records = small_kg.mutations_since(base)
+        assert [record.op for record in records] == ["add", "remove"]
+        assert [record.version for record in records] == [base + 1, base + 2]
+        assert records[0].endpoints() == ("newsom", "san_francisco")
+
+    def test_equal_version_yields_empty_and_future_yields_none(self, small_kg):
+        assert small_kg.mutations_since(small_kg.version) == []
+        assert small_kg.mutations_since(small_kg.version + 1) is None
+
+    def test_uncovered_span_yields_none(self, small_kg):
+        base = small_kg.version
+        small_kg.add_triple(("a", "r", "b"))
+        small_kg.add_triple(("c", "r", "d"))
+        while small_kg._mutation_log[0].version <= base + 1:
+            small_kg._mutation_log.popleft()  # simulate log overflow
+        assert small_kg.mutations_since(base) is None
+        # The span starting after the evicted record is still covered.
+        assert len(small_kg.mutations_since(base + 1)) == 1
+
+    def test_noop_mutations_do_not_log(self, small_kg):
+        base = small_kg.version
+        small_kg.add_triple(("newsom", "governor", "california"))  # already present
+        small_kg.remove_triple(("nobody", "r", "nothing"))  # never present
+        assert small_kg.version == base
+        assert small_kg.mutations_since(base) == []
+
+    def test_entity_only_mutation_has_empty_blast(self, small_kg):
+        base = small_kg.version
+        small_kg.add_entity("fresno")
+        records = small_kg.mutations_since(base)
+        assert [record.op for record in records] == ["add_entity"]
+        assert records[0].endpoints() == ()
+        assert small_kg.blast_radius(records, hops=2) == set()
+
+
+class TestBlastRadius:
+    @pytest.fixture
+    def chain(self):
+        return KnowledgeGraph(
+            [("a", "r", "b"), ("b", "r", "c"), ("c", "r", "d"), ("d", "r", "e")],
+            name="chain",
+        )
+
+    def test_removal_ball_on_post_mutation_graph(self, chain):
+        base = chain.version
+        chain.remove_triple(("a", "r", "b"))
+        records = chain.mutations_since(base)
+        # Post-mutation graph: a is isolated, b-c-d-e remains a chain.
+        assert chain.blast_radius(records, hops=1) == {"a", "b", "c"}
+        assert chain.blast_radius(records, hops=2) == {"a", "b", "c", "d"}
+
+    def test_addition_seeds_both_endpoints(self, chain):
+        base = chain.version
+        chain.add_triple(("e", "r2", "a"))
+        records = chain.mutations_since(base)
+        assert chain.blast_radius(records, hops=1) == {"a", "b", "d", "e"}
+
+    def test_relation_seeding_reaches_distant_carriers(self, chain):
+        base = chain.version
+        chain.remove_triple(("c", "r", "d"))
+        records = chain.mutations_since(base)
+        # Structurally only the ball around {c, d} is affected...
+        assert chain.blast_radius(records, hops=1) == {"b", "c", "d", "e"}
+        # ...but every surviving carrier of relation "r" shifts func(r),
+        # so relation seeding pulls in the whole graph here.
+        assert chain.blast_radius(records, hops=1, include_relations=True) == {
+            "a", "b", "c", "d", "e",
+        }
+
+    def test_index_ball_ignores_unknown_seeds(self, chain):
+        index = chain.index()
+        assert index.blast_radius(["ghost"], hops=3) == set()
+        assert index.blast_radius(["a", "a", "ghost"], hops=1) == {"a", "b"}

@@ -1,0 +1,470 @@
+"""Online-mutation tests: blast-radius invalidation + the ordered log.
+
+Five layers of coverage:
+
+* **Scoped-cache edge cases** — boundary pairs (source-only / target-only
+  membership in the blast scope), epoch-tag wraparound across
+  ``EPOCH_MODULUS``, the ``capacity=0`` degenerate cache, and stale puts
+  racing a scoped advance.
+* **Service mutate** — `ExplanationService.mutate` applies KG edits,
+  advances the cache scoped (entries outside the blast radius survive and
+  still hit), results after the mutation are bit-identical to a cold
+  rebuild on the mutated graphs, and the per-scope telemetry counters
+  record what happened.  ``scoped_invalidation=False`` falls back to the
+  wholesale drop with the same bit-identical results.
+* **Sharded mutate + concurrency** — concurrent readers hammering the
+  service throughout a mutation never observe an error or a torn result,
+  and shards ∈ {1, 4} answer bit-identically after the same mutations.
+* **Wire forms** — mutation batches round-trip through the JSON v1 rows
+  and natively through the binary v2 codec; malformed rows are refused.
+* **Ordered log over real sockets** — a `ShardServer` acks duplicates
+  idempotently, refuses sequence gaps, refuses *reads* while behind
+  (``ReplicaBehindError``), and recovers once the missing entries are
+  replayed in order; `ReplicatedLocalCluster` proves the cluster-wide
+  fan-out (every replica of every shard applies the log in order and
+  serves bit-identical post-mutation results).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import ExEA
+from repro.datasets import replay_workload
+from repro.kg import EADataset, Triple
+from repro.service import (
+    CONFIDENCE,
+    EXPLAIN,
+    ExEAClient,
+    ExplanationService,
+    MutationSpec,
+    RemoteShardClient,
+    ReplicaBehindError,
+    ReplicatedLocalCluster,
+    ServiceConfig,
+    ShardedExEAClient,
+    ShardedExplanationService,
+    ShardServer,
+)
+from repro.service.cache import EPOCH_MODULUS, ResultCache
+from repro.service.transport.protocol import (
+    OP_MUTATE,
+    decode_mutations,
+    encode_mutations,
+)
+from repro.service.transport.wire import decode_binary, encode_binary
+
+
+def predicted_pairs(model, limit=20):
+    return sorted(model.predict().pairs)[:limit]
+
+
+def dataset_copy(dataset):
+    """A private copy whose graphs this test may mutate freely."""
+    return EADataset(
+        dataset.kg1.copy(),
+        dataset.kg2.copy(),
+        dataset.train_alignment,
+        dataset.test_alignment,
+        name=dataset.name,
+    )
+
+
+def removal_specs(dataset, count=1):
+    """Deterministic remove-mutations over kg1's lexicographically first triples."""
+    triples = sorted(dataset.kg1.triples, key=lambda t: t.as_tuple())[:count]
+    return [MutationSpec(op="remove", kg=1, triple=triple) for triple in triples]
+
+
+# ----------------------------------------------------------------------
+# Scoped-cache edge cases
+# ----------------------------------------------------------------------
+class TestScopedCacheEdgeCases:
+    def test_boundary_pairs_evict_on_either_side_of_the_scope(self):
+        cache = ResultCache(capacity=16)
+        token = (1, 1, 1)
+        cache.put("explain", ("a", "x"), token, 1)  # source inside the scope
+        cache.put("explain", ("x", "b"), token, 2)  # target inside the scope
+        cache.put("explain", ("x", "y"), token, 3)  # fully outside
+        cache.put("confidence", ("a", "x"), token, 4)  # kind not in scopes
+
+        dropped, retained = cache.invalidate_scoped(
+            (2, 1, 1), {"explain": ({"a"}, {"b"})}
+        )
+        assert (dropped, retained) == (2, 2)
+        assert cache.lookup("explain", ("a", "x"), (2, 1, 1)) == (False, None)
+        assert cache.lookup("explain", ("x", "b"), (2, 1, 1)) == (False, None)
+        assert cache.lookup("explain", ("x", "y"), (2, 1, 1)) == (True, 3)
+        # A kind absent from the scopes mapping is retained untouched.
+        assert cache.lookup("confidence", ("a", "x"), (2, 1, 1)) == (True, 4)
+
+    def test_kind_mapped_to_none_is_evicted_wholesale(self):
+        cache = ResultCache(capacity=16)
+        cache.put("confidence", ("a", "b"), (1, 1, 1), 0.5)
+        cache.put("explain", ("a", "b"), (1, 1, 1), "kept")
+        dropped, retained = cache.invalidate_scoped(
+            (2, 1, 1), {"confidence": None, "explain": (set(), set())}
+        )
+        assert (dropped, retained) == (1, 1)
+        assert cache.lookup("explain", ("a", "b"), (2, 1, 1)) == (True, "kept")
+
+    def test_epoch_tag_wraps_around_the_modulus(self):
+        cache = ResultCache(capacity=8)
+        cache._epoch = EPOCH_MODULUS - 1
+        cache.put("explain", ("a", "b"), (1, 1, 1), "v")
+        assert cache.entry_epoch("explain", ("a", "b")) == EPOCH_MODULUS - 1
+
+        dropped, retained = cache.invalidate_scoped((2, 1, 1), {"explain": (set(), set())})
+        assert (dropped, retained) == (0, 1)
+        assert cache.epoch == 0  # wrapped, not EPOCH_MODULUS
+        # The survivor keeps its pre-wrap tag and still hits under the new token.
+        assert cache.entry_epoch("explain", ("a", "b")) == EPOCH_MODULUS - 1
+        assert cache.lookup("explain", ("a", "b"), (2, 1, 1)) == (True, "v")
+        cache.put("explain", ("c", "d"), (2, 1, 1), "w")
+        assert cache.entry_epoch("explain", ("c", "d")) == 0
+
+    def test_capacity_zero_cache_stays_a_noop(self):
+        cache = ResultCache(capacity=0)
+        cache.put("explain", ("a", "b"), (1, 1, 1), "v")
+        assert cache.invalidate_scoped((2, 1, 1), {"explain": None}) == (0, 0)
+        assert cache.lookup("explain", ("a", "b"), (2, 1, 1)) == (False, None)
+        assert len(cache) == 0
+
+    def test_stale_put_after_scoped_advance_is_discarded(self):
+        cache = ResultCache(capacity=8)
+        cache.put("explain", ("a", "b"), (1, 1, 1), "old-gen")
+        cache.invalidate_scoped((2, 1, 1), {"explain": ({"a"}, set())})
+        # A worker that computed under the superseded generation must not
+        # resurrect its value into the new one.
+        cache.put("explain", ("a", "b"), (1, 1, 1), "stale")
+        assert cache.lookup("explain", ("a", "b"), (2, 1, 1)) == (False, None)
+
+    def test_scoped_advance_at_or_behind_the_token_is_a_noop(self):
+        cache = ResultCache(capacity=8)
+        cache.put("explain", ("a", "b"), (2, 1, 1), "v")
+        assert cache.invalidate_scoped((2, 1, 1), {"explain": None}) == (0, 1)
+        assert cache.invalidate_scoped((1, 1, 1), {"explain": None}) == (0, 1)
+        assert cache.lookup("explain", ("a", "b"), (2, 1, 1)) == (True, "v")
+
+
+class TestMutationSpec:
+    def test_rejects_bad_fields(self):
+        triple = Triple("a", "r", "b")
+        with pytest.raises(ValueError):
+            MutationSpec(op="upsert", kg=1, triple=triple)
+        with pytest.raises(ValueError):
+            MutationSpec(op="add", kg=3, triple=triple)
+        with pytest.raises(TypeError):
+            MutationSpec(op="add", kg=1, triple=("a", "r", "b"))
+
+
+# ----------------------------------------------------------------------
+# Service mutate: scoped invalidation, bit-identity, telemetry
+# ----------------------------------------------------------------------
+class TestServiceMutate:
+    def test_scoped_mutation_bit_identical_to_cold_rebuild(self, private_copy):
+        dataset, model = private_copy
+        pairs = predicted_pairs(model, limit=12)
+        specs = removal_specs(dataset)
+
+        with ExplanationService(model, dataset) as service:
+            client = ExEAClient(service)
+            warm = {pair: (client.explain(*pair), client.confidence(*pair)) for pair in pairs}
+            warmed_entries = len(service.cache)
+            assert warmed_entries == 2 * len(pairs)
+
+            report = service.mutate(specs)
+            assert report["applied"] == len(specs)
+            assert report["scoped"] is True
+            assert report["entries_dropped"] + report["entries_retained"] == warmed_entries
+            assert report["blast_entities"] >= 1
+            assert tuple(report["token"]) == service.generation_token()
+
+            inv = service.stats.invalidation
+            assert inv["scoped"] == 1 and inv["wholesale"] == 0
+            assert inv["entries_dropped"] == report["entries_dropped"]
+            assert inv["entries_retained"] == report["entries_retained"]
+            assert inv["max_blast_entities"] == report["blast_entities"]
+
+            after = {pair: (client.explain(*pair), client.confidence(*pair)) for pair in pairs}
+
+        cold = ExEA(model, dataset)  # the graphs now hold the post-mutation state
+        reference = cold.reference_alignment()
+        for pair in pairs:
+            assert after[pair][0] == cold.explain(*pair)
+            assert after[pair][1] == cold.repairer.confidence(*pair, reference)
+        assert warm  # pre-mutation results were captured (warmed the cache)
+
+    def test_retained_entries_still_hit_after_scoped_mutation(self, private_copy):
+        dataset, model = private_copy
+        pairs = predicted_pairs(model, limit=12)
+
+        with ExplanationService(model, dataset) as service:
+            client = ExEAClient(service)
+            for pair in pairs:
+                client.explain(*pair)
+            report = service.mutate(removal_specs(dataset))
+            assert report["scoped"] is True
+            hits_before = service.stats.cache_hits
+            for pair in pairs:
+                client.explain(*pair)
+            new_hits = service.stats.cache_hits - hits_before
+            assert new_hits == report["entries_retained"]
+
+    def test_wholesale_fallback_when_scoped_disabled(self, private_copy):
+        dataset, model = private_copy
+        pairs = predicted_pairs(model, limit=6)
+        config = ServiceConfig(scoped_invalidation=False)
+
+        with ExplanationService(model, dataset, config) as service:
+            client = ExEAClient(service)
+            for pair in pairs:
+                client.confidence(*pair)
+            report = service.mutate(removal_specs(dataset))
+            assert report["scoped"] is False
+            assert report["entries_retained"] == 0
+            assert service.stats.invalidation["wholesale"] == 1
+            assert service.stats.invalidation["scoped"] == 0
+            after = {pair: client.confidence(*pair) for pair in pairs}
+
+        cold = ExEA(model, dataset)
+        reference = cold.reference_alignment()
+        for pair in pairs:
+            assert after[pair] == cold.repairer.confidence(*pair, reference)
+
+    def test_out_of_band_mutation_still_safe_via_wholesale(self, private_copy):
+        """Mutating the graph directly (not through mutate()) keeps the
+        pre-PR-8 wholesale contract: the next request drops everything."""
+        dataset, model = private_copy
+        pair = predicted_pairs(model, limit=1)[0]
+        with ExplanationService(model, dataset) as service:
+            client = ExEAClient(service)
+            client.explain(*pair)
+            removed = sorted(dataset.kg1.triples, key=lambda t: t.as_tuple())[0]
+            dataset.kg1.remove_triple(removed)
+            after = client.explain(*pair)
+            assert service.stats.cache_invalidations == 1
+        assert after == ExEA(model, dataset).explain(*pair)
+
+
+# ----------------------------------------------------------------------
+# Concurrency + sharded bit-identity
+# ----------------------------------------------------------------------
+class TestConcurrentAndShardedMutate:
+    def test_concurrent_lookups_during_mutation_shards_1_vs_4(
+        self, fitted_model, service_dataset
+    ):
+        pairs = predicted_pairs(fitted_model, limit=12)
+        workload = replay_workload(pairs, 60, seed=11, kinds=(EXPLAIN, CONFIDENCE))
+        specs_template = [
+            ("remove", 1, triple.as_tuple())
+            for triple in sorted(service_dataset.kg1.triples, key=lambda t: t.as_tuple())[:2]
+        ]
+
+        results = {}
+        for num_shards in (1, 4):
+            dataset = dataset_copy(service_dataset)
+            specs = [
+                MutationSpec(op=op, kg=kg, triple=Triple(*fields))
+                for op, kg, fields in specs_template
+            ]
+            config = ServiceConfig(num_shards=num_shards, num_workers=2)
+            with ShardedExplanationService(fitted_model, dataset, config) as service:
+                client = ShardedExEAClient(service)
+                client.replay(workload)  # warm every shard's cache
+
+                stop = threading.Event()
+                failures = []
+
+                def hammer():
+                    try:
+                        while not stop.is_set():
+                            for source, target in pairs[:4]:
+                                client.confidence(source, target)
+                    except BaseException as error:  # noqa: BLE001
+                        failures.append(error)
+
+                readers = [threading.Thread(target=hammer, daemon=True) for _ in range(3)]
+                for reader in readers:
+                    reader.start()
+                report = service.mutate(specs)
+                stop.set()
+                for reader in readers:
+                    reader.join(timeout=30)
+                assert not failures
+                assert report["applied"] == len(specs)
+                results[num_shards] = client.replay(workload)
+
+        assert results[1] == results[4]
+
+    def test_sharded_mutate_scopes_every_shard_once(self, fitted_model, service_dataset):
+        dataset = dataset_copy(service_dataset)
+        pairs = predicted_pairs(fitted_model, limit=12)
+        config = ServiceConfig(num_shards=3, num_workers=1)
+        with ShardedExplanationService(fitted_model, dataset, config) as service:
+            client = ShardedExEAClient(service)
+            for pair in pairs:
+                client.explain(*pair)
+            versions_before = (dataset.kg1.version, dataset.kg2.version)
+            report = service.mutate(removal_specs(dataset))
+            # The shared graphs were edited exactly once, not once per shard.
+            assert dataset.kg1.version == versions_before[0] + 1
+            assert dataset.kg2.version == versions_before[1]
+            assert report["scoped"] is True
+            total = sum(len(shard.cache) for shard in service.shards)
+            assert report["entries_retained"] == total
+
+
+# ----------------------------------------------------------------------
+# Wire forms
+# ----------------------------------------------------------------------
+class TestMutationWire:
+    SPECS = [
+        MutationSpec(op="add", kg=1, triple=Triple("é1", "r→", "e2")),
+        MutationSpec(op="remove", kg=2, triple=Triple("x", "rel", "y")),
+    ]
+
+    def test_json_rows_roundtrip(self):
+        rows = encode_mutations(self.SPECS)
+        assert rows == [["add", 1, "é1", "r→", "e2"], ["remove", 2, "x", "rel", "y"]]
+        assert decode_mutations(rows) == self.SPECS
+
+    def test_binary_codec_ships_specs_natively(self):
+        payload = {"op": OP_MUTATE, "seq": 3, "mutations": list(self.SPECS)}
+        _, decoded = decode_binary(encode_binary(payload))
+        assert decoded["seq"] == 3
+        assert decoded["mutations"] == self.SPECS
+        assert all(isinstance(spec, MutationSpec) for spec in decoded["mutations"])
+        assert decode_mutations(decoded["mutations"]) == self.SPECS
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["not-a-list", [["add", 1, "h", "r"]], [["grow", 1, "h", "r", "t", "x"]], [42]],
+    )
+    def test_malformed_rows_are_refused(self, payload):
+        with pytest.raises(ValueError):
+            decode_mutations(payload)
+
+
+# ----------------------------------------------------------------------
+# Ordered log over real sockets
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def mutation_server(private_copy):
+    dataset, model = private_copy
+    service = ExplanationService(model, dataset).start()
+    server = ShardServer(service, shard_id=0, num_shards=1)
+    address = server.bind("127.0.0.1:0")
+    server.start_in_thread()
+    yield dataset, model, service, server, address
+    server.stop()
+    service.close(drain=False)
+
+
+class TestOrderedLogServer:
+    def test_duplicate_gap_refusal_and_catch_up(self, mutation_server):
+        dataset, model, service, server, address = mutation_server
+        pair = predicted_pairs(model, limit=1)[0]
+        batches = [removal_specs(dataset, count=3)[i : i + 1] for i in range(3)]
+        client = RemoteShardClient(address)
+
+        first = client.mutate(batches[0], seq=1)
+        assert first["seq"] == 1 and first["applied"] == 1
+
+        # Idempotent duplicate: acked, not re-applied.
+        duplicate = client.mutate(batches[0], seq=1)
+        assert duplicate["duplicate"] is True and duplicate["applied"] == 0
+        assert tuple(duplicate["token"]) == service.generation_token()
+
+        # A gap marks the replica behind; the batch is NOT applied and
+        # reads are refused until the log is replayed in order.
+        with pytest.raises(ReplicaBehindError):
+            client.mutate(batches[2], seq=3)
+        with pytest.raises(ReplicaBehindError):
+            client.call({"op": EXPLAIN, "source": pair[0], "target": pair[1]})
+        # The control plane stays reachable: pings report the applied seq.
+        assert client.ping()["mutation_seq"] == 1
+
+        # Replaying the missing entry (then the gapped one) catches up.
+        assert client.mutate(batches[1], seq=2)["seq"] == 2
+        assert client.mutate(batches[2], seq=3)["seq"] == 3
+        served = client.call({"op": EXPLAIN, "source": pair[0], "target": pair[1]})
+        client.close()
+
+        from repro.service.transport.protocol import decode_value
+
+        assert decode_value(EXPLAIN, served) == ExEA(model, dataset).explain(*pair)
+
+    def test_unsequenced_mutate_applies_without_advancing_the_log(self, mutation_server):
+        dataset, _, service, _, address = mutation_server
+        client = RemoteShardClient(address)
+        version_before = dataset.kg1.version
+        report = client.mutate(removal_specs(dataset), seq=None)
+        assert report["applied"] == 1
+        assert dataset.kg1.version == version_before + 1
+        assert client.ping()["mutation_seq"] == 0
+        client.close()
+
+    def test_mutate_capability_is_advertised(self, mutation_server):
+        _, _, _, _, address = mutation_server
+        client = RemoteShardClient(address)
+        info = client.ping()
+        assert info["mutate"] is True
+        assert info["mutation_seq"] == 0
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Cluster-wide ordered fan-out (real subprocesses)
+# ----------------------------------------------------------------------
+class TestClusterMutation:
+    def test_ordered_mutation_through_replicated_cluster(
+        self, fitted_model, service_dataset
+    ):
+        pairs = predicted_pairs(fitted_model, limit=8)
+        specs = removal_specs(service_dataset, count=2)
+
+        # Expected post-mutation truth: a private in-process copy with the
+        # same mutations applied through the same service primitives.
+        expected_dataset = dataset_copy(service_dataset)
+        with ExplanationService(fitted_model, expected_dataset) as local:
+            local_client = ExEAClient(local)
+            local.mutate(specs)
+            expected = {
+                pair: (local_client.explain(*pair), local_client.confidence(*pair))
+                for pair in pairs
+            }
+
+        with ReplicatedLocalCluster(
+            fitted_model, service_dataset, num_shards=2, num_replicas=2
+        ) as cluster:
+            client = cluster.client
+            for pair in pairs:  # warm caches on every shard
+                client.confidence(*pair)
+
+            report = client.mutate(specs[:1])
+            assert report["seq"] == 1
+            assert len(report["replicas_applied"]) == 4
+            assert report["replicas_behind"] == []
+            report = client.mutate(specs[1:])
+            assert report["seq"] == 2
+            assert len(report["replicas_applied"]) == 4
+
+            for pair in pairs:
+                assert client.explain(*pair) == expected[pair][0]
+                assert client.confidence(*pair) == expected[pair][1]
+
+            # Kill one replica: the next mutation leaves it behind and
+            # reads keep succeeding (failover routes around it).
+            cluster.kill_replica(0, 1)
+            dead = cluster.replicas[0][1].endpoint
+            extra = removal_specs(service_dataset, count=3)[2:]
+            report = client.mutate(extra)
+            assert report["seq"] == 3
+            assert dead in report["replicas_behind"]
+            assert len(report["replicas_applied"]) == 3
+            for pair in pairs:
+                client.confidence(*pair)  # must not raise
+
+            # A catch-up sweep reports the dead replica still behind.
+            assert dead in client.catch_up()["behind"]
