@@ -55,10 +55,13 @@ from .cluster import (
     ClusterClient,
     ClusterManager,
     ClusterTopology,
+    RebalanceConfig,
     ReplicaSpec,
     ReplicatedLocalCluster,
     RoutingTable,
     TopologyError,
+    WeightConfig,
+    WeightController,
     load_topology,
     parse_topology,
     replay_cluster_concurrently,
@@ -123,6 +126,7 @@ __all__ = [
     "MicroBatcher",
     "MutationSpec",
     "MuxConnection",
+    "RebalanceConfig",
     "RemoteOperationError",
     "ReplicaBehindError",
     "RemoteShardClient",
@@ -148,6 +152,8 @@ __all__ = [
     "SpanRecorder",
     "TopologyError",
     "TraceContext",
+    "WeightConfig",
+    "WeightController",
     "VERIFY",
     "WIRE_AUTO",
     "WIRE_BINARY",

@@ -59,6 +59,8 @@ from ..models import TrainingConfig, make_model
 from .cluster import (
     ClusterClient,
     ClusterManager,
+    RebalanceConfig,
+    WeightConfig,
     load_topology,
     replay_cluster_concurrently,
 )
@@ -361,6 +363,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="disable multiplexed (request-id-tagged) dispatch; serve frames serially",
     )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="liveness lease this server grants on pings, in seconds (default: 15)",
+    )
     return parser
 
 
@@ -395,6 +403,9 @@ def serve_main(argv: list[str]) -> int:
 
     service = ExplanationService(model, dataset, config, exea_config=exea_config)
     wires = tuple(SUPPORTED_WIRES) if args.wire == "both" else (args.wire,)
+    server_kwargs = {}
+    if args.lease_ttl is not None:
+        server_kwargs["lease_ttl"] = args.lease_ttl
     server = ShardServer(
         service,
         shard_id=args.shard_id,
@@ -402,6 +413,7 @@ def serve_main(argv: list[str]) -> int:
         max_frame_bytes=args.max_frame_kb * 1024,
         wires=wires,
         mux=args.mux,
+        **server_kwargs,
     )
     address = server.bind(args.listen)
     service.start()
@@ -516,6 +528,44 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         help="consecutive failed pings before a replica is marked down",
     )
     parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help=(
+            "arm lease-based liveness checking: revoke a replica's routing lease when "
+            "this many seconds pass without a successful ping, or when its queued work "
+            "stalls (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive-weights",
+        action="store_true",
+        help=(
+            "adapt effective replica weights from probed p95/queue skew "
+            "(EMA-smoothed, clamped, flap-damped; default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help=(
+            "migrate pair slots between shard groups online when the request share "
+            "stays imbalanced (dual-routed handoff, atomic table flip; default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--rebalance-threshold",
+        type=float,
+        default=1.25,
+        help="imbalance ratio (max shard share / mean) that counts as skewed",
+    )
+    parser.add_argument(
+        "--rebalance-sustain",
+        type=int,
+        default=3,
+        help="consecutive skewed evaluations before slots migrate",
+    )
+    parser.add_argument(
         "--shutdown",
         action="store_true",
         help="ask every replica server to exit after the replay",
@@ -528,7 +578,16 @@ def cluster_main(argv: list[str]) -> int:
     args = build_cluster_parser().parse_args(argv)
     topology = load_topology(args.topology)
     manager = ClusterManager(
-        topology, probe_interval=args.probe_interval, miss_threshold=args.miss_threshold
+        topology,
+        probe_interval=args.probe_interval,
+        miss_threshold=args.miss_threshold,
+        lease_ttl=args.lease_ttl,
+        weights=WeightConfig() if args.adaptive_weights else None,
+        rebalance=RebalanceConfig(
+            threshold=args.rebalance_threshold, sustain=args.rebalance_sustain
+        )
+        if args.rebalance
+        else None,
     )
     client_kwargs = _client_transport_kwargs(args)
     with ClusterClient(topology, manager=manager, timeout=args.timeout, **client_kwargs) as client:

@@ -17,6 +17,14 @@ the fleet-operation layer in front of that transport:
   exact `ExEAClient` facade routing reads to healthy replicas by load
   score, retrying idempotent requests on a replica failing mid-flight,
   and fanning ``invalidate()`` out to every replica of every shard.
+* :mod:`~repro.service.cluster.weights` — :class:`WeightController`,
+  the adaptive-replica-weight loop: EMA-smoothed per-replica load skew
+  from the stats probes, clamped into configured bounds with flap
+  damping, published as effective routing weights.
+* :mod:`~repro.service.cluster.rebalance` — slot-addressed routing and
+  :func:`plan_rebalance`: sustained shard imbalance migrates pair slots
+  between shard groups through a dual-routing handoff window and one
+  atomic routing-table flip, bit-identical throughout.
 * :mod:`~repro.service.cluster.local` — :class:`ReplicatedLocalCluster`,
   spawning R real server subprocesses per shard from one pickled
   snapshot (tests, benchmarks, the experiment runner's
@@ -27,9 +35,21 @@ traffic against a running cluster; see ``docs/OPERATIONS.md`` ("Running a
 cluster") for the topology schema and failover semantics.
 """
 
-from .client import ClusterClient, replay_cluster_concurrently, replica_score
+from .client import (
+    ClusterClient,
+    prefer_distinct_domains,
+    replay_cluster_concurrently,
+    replica_score,
+)
 from .local import ReplicatedLocalCluster
 from .manager import ClusterManager, ReplicaRoute, RoutingTable
+from .rebalance import (
+    RebalanceConfig,
+    SlotMigration,
+    default_slot_map,
+    plan_rebalance,
+)
+from .weights import WeightConfig, WeightController
 from .topology import (
     ClusterTopology,
     ReplicaSpec,
@@ -43,13 +63,20 @@ __all__ = [
     "ClusterClient",
     "ClusterManager",
     "ClusterTopology",
+    "RebalanceConfig",
     "ReplicaRoute",
     "ReplicaSpec",
     "ReplicatedLocalCluster",
     "RoutingTable",
+    "SlotMigration",
     "TopologyError",
+    "WeightConfig",
+    "WeightController",
+    "default_slot_map",
     "load_topology",
     "parse_topology",
+    "plan_rebalance",
+    "prefer_distinct_domains",
     "replay_cluster_concurrently",
     "replica_score",
     "topology_for_endpoints",

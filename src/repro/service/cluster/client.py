@@ -25,11 +25,23 @@ of the pair's shard instead of a single endpoint:
 * **Generation fan-out** — ``invalidate()`` drops the cache of every
   replica of every shard, because each replica process holds its own
   versioned cache.
+* **Slot routing** — pairs route through the manager's slot→shard
+  assignment (identity ≡ the classic CRC partition until a migration
+  moves a slot); per-slot routed counters feed the manager's rebalance
+  loop, and during a handoff window the failover candidate set spans
+  *both* sides of the migration (every replica serves the full
+  snapshot, so either answers bit-identically).
+* **Zone-aware failover** — after a replica fails mid-request, the
+  retry prefers surviving replicas in a *different* zone than the
+  failed ones: a correlated failure domain (rack power, ToR switch)
+  should not eat every retry.  Replicas whose liveness lease was
+  revoked leave preferred routing the same way unhealthy ones do.
 
 Determinism is unchanged: which replica answers is a pure deployment
 decision (all replicas of a shard serve the same snapshot and the codec
 round-trips exactly), so results stay bit-identical to the in-process
-sharded service at the same shard count.
+sharded service at the same shard count — through failovers, lease
+revocations and live slot migrations alike.
 """
 
 from __future__ import annotations
@@ -111,14 +123,32 @@ def replica_score(route: ReplicaRoute, inflight: int, ema_ms: float) -> float:
     Multiplies a *congestion* term (requests this client has in flight
     there plus the server's own queue depth) by a *latency* term (the
     client's EMA of observed latency plus the server's published p95),
-    normalised by the topology weight.  Either signal alone is enough to
-    shift load: a stalled replica accumulates in-flight requests even
-    before its latency samples return, and a merely-slow replica raises
-    its EMA even when nothing is queued.
+    normalised by the routing weight (the topology weight, scaled by the
+    manager's adaptive factor when the weight controller is on).  Either
+    signal alone is enough to shift load: a stalled replica accumulates
+    in-flight requests even before its latency samples return, and a
+    merely-slow replica raises its EMA even when nothing is queued.
     """
     congestion = 1.0 + inflight + route.queue_depth
     latency = 1.0 + ema_ms + route.p95_ms
-    return congestion * latency / max(route.weight, 1e-9)
+    return congestion * latency / max(route.routing_weight, 1e-9)
+
+
+def prefer_distinct_domains(
+    candidates: "list[ReplicaRoute]", failed_zones: "set[str]"
+) -> "list[ReplicaRoute]":
+    """Zone-aware failover preference — pure filter, unit-tested directly.
+
+    Given the replicas still eligible for a retry and the zones of the
+    replicas that already failed this request, prefer the candidates in
+    a *different* (or unlabelled) zone; when every survivor shares a
+    failed zone, all of them stay eligible — domain diversity is a
+    preference, never a reason to fail a servable request.
+    """
+    if not failed_zones:
+        return candidates
+    distinct = [route for route in candidates if route.zone not in failed_zones]
+    return distinct or candidates
 
 
 class ClusterClient(ShardedClientFacade):
@@ -166,6 +196,11 @@ class ClusterClient(ShardedClientFacade):
         self._loads = {endpoint: _ReplicaLoad() for endpoint in self._clients}
         self._rr = 0
         self._rr_lock = threading.Lock()
+        #: per-slot routed-request counters: the load signal the manager's
+        #: rebalance loop differences into per-shard request shares
+        self._slot_lock = threading.Lock()
+        self._slot_routed = [0] * self.router.num_slots
+        self.manager.attach_slot_loads(self.slot_routed_snapshot)
         #: ordered mutation log: this client is the single sequencer, so
         #: ``seq`` values are assigned monotonically here and the log is
         #: the replay source for replicas that missed entries
@@ -236,18 +271,64 @@ class ClusterClient(ShardedClientFacade):
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _select(self, shard_id: int, excluded: set[str]) -> ReplicaRoute | None:
-        """The best replica of a shard not yet tried this request.
+    def shard_of(self, source: str, target: str) -> int:
+        """Which shard serves this pair under the *current* routing table.
 
-        Healthy replicas are preferred; when none remain (the detector may
-        simply not have caught a restart yet), unhealthy ones are tried as
-        a last resort rather than failing a request a live server could
-        answer.  Ties break round-robin so equal replicas share load.
+        Routes through the slot layer: the pair's CRC slot looks up the
+        manager's slot→shard assignment (identity — exactly the classic
+        ``crc32 % num_shards`` partition — until a migration moves the
+        slot).  Every lookup also bumps the slot's routed counter, which
+        is the load signal the rebalance loop differences.
         """
-        routes = self.manager.table().replicas(shard_id)
-        candidates = [route for route in routes if route.healthy and route.endpoint not in excluded]
+        slot = self.router.slot_of(source, target)
+        with self._slot_lock:
+            self._slot_routed[slot] += 1
+        return self.manager.table().shard_for_slot(slot)
+
+    def slot_routed_snapshot(self) -> list[int]:
+        """Copy of the cumulative per-slot routed-request counters."""
+        with self._slot_lock:
+            return list(self._slot_routed)
+
+    def _candidate_shards(self, table, shard_id: int) -> tuple[int, ...]:
+        """The shards whose replicas may serve a request addressed to *shard_id*.
+
+        The primary shard first; during a migration handoff window, the
+        other side of the migration follows — the dual-routing half of
+        the online rebalance (either side serves the full snapshot, so
+        failing over across the migration is bit-identical).
+        """
+        return (shard_id, *table.handoff_peers(shard_id))
+
+    def _select(
+        self,
+        table,
+        shard_id: int,
+        excluded: set[str],
+        failed_zones: set[str] | None = None,
+    ) -> ReplicaRoute | None:
+        """The best replica for a shard-addressed request, not yet tried.
+
+        Candidates span the primary shard and (during a handoff window)
+        the migration peer.  Preference order: healthy lease-holding
+        replicas — in a distinct zone from the ones that already failed
+        this request, when possible — then healthy replicas with a
+        revoked lease, then (the detector may simply not have caught a
+        restart yet) anything left, as a last resort rather than failing
+        a request a live server could answer.  Ties break round-robin so
+        equal replicas share load.
+        """
+        routes: list[ReplicaRoute] = []
+        for candidate_shard in self._candidate_shards(table, shard_id):
+            routes.extend(table.replicas(candidate_shard))
+        pool = [route for route in routes if route.endpoint not in excluded]
+        candidates = [route for route in pool if route.healthy and route.lease_ok]
+        if candidates and failed_zones:
+            candidates = prefer_distinct_domains(candidates, failed_zones)
         if not candidates:
-            candidates = [route for route in routes if route.endpoint not in excluded]
+            candidates = [route for route in pool if route.healthy]
+        if not candidates:
+            candidates = pool
         if not candidates:
             return None
         if len(candidates) == 1:
@@ -297,9 +378,17 @@ class ClusterClient(ShardedClientFacade):
         if not isinstance(trace, TraceContext):
             trace = None
         excluded: set[str] = set()
+        failed_zones: set[str] = set()
         last_error: Exception | None = None
-        for _ in range(len(self.topology.shards[shard_id])):
-            route = self._select(shard_id, excluded)
+        # One consistent table view per request: the candidate set (and
+        # any dual-routed migration peer) cannot shift mid-failover.
+        table = self.manager.table()
+        attempts = sum(
+            len(table.replicas(candidate_shard))
+            for candidate_shard in self._candidate_shards(table, shard_id)
+        )
+        for _ in range(attempts):
+            route = self._select(table, shard_id, excluded, failed_zones)
             if route is None:
                 break
             load = self._loads[route.endpoint]
@@ -320,6 +409,10 @@ class ClusterClient(ShardedClientFacade):
                 self.manager.report_failure(route.endpoint, error)
                 self._record_retry(trace, route.endpoint, error, time.monotonic() - start)
                 excluded.add(route.endpoint)
+                if route.zone is not None:
+                    # a transport death may be the whole failure domain
+                    # going dark — prefer retrying somewhere else
+                    failed_zones.add(route.zone)
                 last_error = error
                 continue
             except BaseException:
@@ -610,6 +703,7 @@ class ClusterClient(ShardedClientFacade):
             "unreachable": unreachable,
             "routing": self.routing_snapshot(),
             "client_wire": self.wire_snapshot(),
+            "fleet": self.manager.fleet_snapshot(),
         }
 
     def wire_snapshot(self) -> dict:
@@ -634,13 +728,26 @@ class ClusterClient(ShardedClientFacade):
                     "shard": route.shard_id,
                     "replica": route.replica_index,
                     "weight": route.weight,
+                    "effective_weight": route.routing_weight,
                     "healthy": route.healthy,
+                    "lease_ok": route.lease_ok,
+                    "zone": route.zone,
+                    "rack": route.rack,
                     "queue_depth": route.queue_depth,
                     "p95_ms": route.p95_ms,
                 }
                 row.update(self._loads[route.endpoint].snapshot())
                 replicas.append(row)
-        return {"table_version": table.version, "replicas": replicas}
+        return {
+            "table_version": table.version,
+            "replicas": replicas,
+            "migrations_active": len(table.migrations),
+            "slots_moved": sum(
+                1
+                for slot, shard in enumerate(table.slot_map)
+                if shard != slot % len(table.shards)
+            ),
+        }
 
     def shutdown_servers(self) -> None:
         """Ask every replica process of every shard to exit (best effort)."""
@@ -686,6 +793,7 @@ def replay_cluster_concurrently(
 
 __all__ = [
     "ClusterClient",
+    "prefer_distinct_domains",
     "replay_cluster_concurrently",
     "replica_score",
 ]

@@ -12,15 +12,26 @@ The spawned endpoints become a
 them, and :attr:`client` is a connected
 :class:`~repro.service.cluster.client.ClusterClient`.
 
-Tests and benchmarks use :meth:`kill_replica` to crash one replica
-mid-replay and prove the zero-failed-requests failover; production
-deployments run the same ``serve`` processes under their own supervisor
-and describe them in a topology file instead (see
-``docs/OPERATIONS.md``, "Running a cluster").
+The fleet-autonomy knobs pass straight through to the manager:
+*lease_ttl* arms the lease-based liveness check, *weights* /
+*rebalance* the adaptive-weight and online-rebalance loops, and
+*replica_zones* labels replica column *r* of every shard with a failure
+domain (the usual local layout: replica 0 of each shard models zone A,
+replica 1 zone B).
+
+Fault injection uses the process handles directly: :meth:`kill_replica`
+(SIGKILL) crashes a replica outright, while :meth:`stop_replica` /
+:meth:`cont_replica` (SIGSTOP/SIGCONT) freeze one mid-flight — the
+half-dead shape (sockets accept, nothing progresses) that only the
+lease detector catches.  ``tests/service/faultlib.py`` wraps these in
+seeded, replayable fault schedules; production deployments run the same
+``serve`` processes under their own supervisor and describe them in a
+topology file instead (see ``docs/OPERATIONS.md``, "Running a cluster").
 """
 
 from __future__ import annotations
 
+import signal
 import subprocess
 
 from ..config import ServiceConfig
@@ -33,11 +44,15 @@ from ..transport.cluster import (
 )
 from .client import ClusterClient
 from .manager import (
+    DEFAULT_LEASE_STALL_CYCLES,
     DEFAULT_MISS_THRESHOLD,
     DEFAULT_PROBE_INTERVAL,
+    DEFAULT_STATS_EVERY,
     ClusterManager,
 )
+from .rebalance import RebalanceConfig
 from .topology import ClusterTopology, topology_for_endpoints
+from .weights import WeightConfig
 
 
 class ReplicatedLocalCluster(LocalShardCluster):
@@ -68,6 +83,13 @@ class ReplicatedLocalCluster(LocalShardCluster):
         wire: str | None = None,
         mux: bool | None = None,
         server_wire: str | None = None,
+        probe_timeout: float = 5.0,
+        stats_every: int = DEFAULT_STATS_EVERY,
+        lease_ttl: float | None = None,
+        lease_stall_cycles: int = DEFAULT_LEASE_STALL_CYCLES,
+        weights: WeightConfig | None = None,
+        rebalance: RebalanceConfig | None = None,
+        replica_zones: list[str] | None = None,
     ) -> None:
         super().__init__(
             model,
@@ -86,6 +108,13 @@ class ReplicatedLocalCluster(LocalShardCluster):
         self.num_replicas = num_replicas
         self.probe_interval = probe_interval
         self.miss_threshold = miss_threshold
+        self.probe_timeout = probe_timeout
+        self.stats_every = stats_every
+        self.lease_ttl = lease_ttl
+        self.lease_stall_cycles = lease_stall_cycles
+        self.weights = weights
+        self.rebalance = rebalance
+        self.replica_zones = list(replica_zones) if replica_zones is not None else None
         self.replicas: list[list[ShardProcess]] = []
         self.topology: ClusterTopology | None = None
         self.manager: ClusterManager | None = None
@@ -112,12 +141,19 @@ class ReplicatedLocalCluster(LocalShardCluster):
                 self.replicas[shard_id].append(shard)
                 self.processes.append(shard)
             self.topology = topology_for_endpoints(
-                [[replica.endpoint for replica in group] for group in self.replicas]
+                [[replica.endpoint for replica in group] for group in self.replicas],
+                zones=self.replica_zones,
             )
             self.manager = ClusterManager(
                 self.topology,
                 probe_interval=self.probe_interval,
                 miss_threshold=self.miss_threshold,
+                probe_timeout=self.probe_timeout,
+                stats_every=self.stats_every,
+                lease_ttl=self.lease_ttl,
+                lease_stall_cycles=self.lease_stall_cycles,
+                weights=self.weights,
+                rebalance=self.rebalance,
             )
             self.client = ClusterClient(
                 self.topology,
@@ -147,8 +183,31 @@ class ReplicatedLocalCluster(LocalShardCluster):
         for replica in self.replicas[shard_id]:
             replica.kill()
 
+    def stop_replica(self, shard_id: int, replica_index: int) -> None:
+        """Freeze one replica with SIGSTOP (half-dead: alive, zero progress).
+
+        The kernel keeps its sockets open and its listen queue accepting,
+        so connection-level failure detection sees nothing wrong — the
+        exact failure mode the lease/work-stall detector exists for.
+        Undo with :meth:`cont_replica`.
+        """
+        self.replicas[shard_id][replica_index].process.send_signal(signal.SIGSTOP)
+
+    def cont_replica(self, shard_id: int, replica_index: int) -> None:
+        """Resume a SIGSTOP'd replica (SIGCONT); it re-earns its lease on ping."""
+        self.replicas[shard_id][replica_index].process.send_signal(signal.SIGCONT)
+
     def close(self) -> None:
         """Shut down the client (which stops the manager), processes, snapshot."""
+        # A SIGSTOP'd replica would ignore SIGTERM until resumed and make
+        # teardown wait out the kill escalation; resume everything first.
+        for group in self.replicas:
+            for replica in group:
+                if replica.process.poll() is None:
+                    try:
+                        replica.process.send_signal(signal.SIGCONT)
+                    except OSError:
+                        pass  # already reaped
         # ClusterClient owns its manager only when it constructed one; here
         # the cluster built the manager, so the client's close() leaves it
         # running — stop it explicitly after the client goes away.

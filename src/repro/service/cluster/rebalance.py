@@ -1,0 +1,158 @@
+"""Online pair rebalancing: slot-addressed routing and the migration planner.
+
+PR 5 started *measuring* ``shard_imbalance`` and this module finally acts
+on it.  The pair space subdivides into ``num_shards *
+SLOTS_PER_SHARD`` CRC-32 routing slots
+(:meth:`~repro.service.sharding.ShardRouter.slot_of`); the
+:class:`~repro.service.cluster.manager.RoutingTable` carries a slot→shard
+assignment whose identity form (``slot % num_shards``) is *exactly* the
+classic ``crc32 % num_shards`` partition, so slots are invisible until a
+migration moves one.  Rebalancing is then three small, separately
+testable steps:
+
+1. **Detect** — the manager sums the client's per-slot routed counters
+   into per-shard request shares each stats cycle; the imbalance ratio
+   (max/mean) must exceed ``threshold`` for ``sustain`` consecutive
+   evaluations before anything moves (a burst is not a trend).
+2. **Plan** — :func:`plan_rebalance`, a pure function: move the hottest
+   slots from the most-loaded shard to the least-loaded one, but only
+   while each move strictly improves the balance (moving a slot hotter
+   than the donor/recipient gap would just swap the hot spot around).
+3. **Hand off and flip** — each planned move opens a
+   :class:`SlotMigration` window during which reads of the slot may be
+   served by *both* donor and recipient replicas (every server holds the
+   full snapshot, so either side answers bit-identically; writes already
+   fan out to every replica in mutation-log order).  After
+   ``handoff_cycles`` probe cycles the manager publishes a new routing
+   table with the slot reassigned — one atomic version flip, no
+   in-between state a request can observe.
+
+Correctness note: sharding partitions the *pair space* for cache
+locality and load distribution, not the data — every serve process
+deserialises the same pickled snapshot.  Moving a slot therefore cannot
+change any result, only which shard's cache warms for its pairs; the
+fault-injection suite (``tests/service/test_fleet.py``) proves replays
+across live migrations bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sharding import SLOTS_PER_SHARD
+
+
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """Tuning of the online slot-rebalance loop (validated at construction)."""
+
+    #: Imbalance ratio (max shard share / mean share) that counts as skewed.
+    threshold: float = 1.25
+    #: Consecutive skewed evaluations before a migration is planned.
+    sustain: int = 3
+    #: Most slots migrated per planning round.
+    max_moves: int = 8
+    #: Probe cycles the dual-routing handoff window stays open before the flip.
+    handoff_cycles: int = 2
+    #: Routed requests an evaluation window needs before it counts at all.
+    min_requests: int = 64
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 1.0:
+            raise ValueError(f"threshold must be > 1, got {self.threshold!r}")
+        if self.sustain < 1:
+            raise ValueError(f"sustain must be >= 1, got {self.sustain!r}")
+        if self.max_moves < 1:
+            raise ValueError(f"max_moves must be >= 1, got {self.max_moves!r}")
+        if self.handoff_cycles < 1:
+            raise ValueError(f"handoff_cycles must be >= 1, got {self.handoff_cycles!r}")
+        if self.min_requests < 1:
+            raise ValueError(f"min_requests must be >= 1, got {self.min_requests!r}")
+
+
+@dataclass(frozen=True)
+class SlotMigration:
+    """One slot mid-handoff: owned by *donor*, being handed to *recipient*."""
+
+    slot: int
+    donor: int
+    recipient: int
+    #: Probe cycle the handoff window opened (the flip happens
+    #: ``handoff_cycles`` cycles later).
+    started_cycle: int = 0
+
+
+def default_slot_map(num_shards: int) -> list[int]:
+    """The identity slot→shard assignment (≡ ``crc32 % num_shards`` routing)."""
+    return [slot % num_shards for slot in range(num_shards * SLOTS_PER_SHARD)]
+
+
+def shard_loads(slot_map: list[int], slot_loads: list[int], num_shards: int) -> list[int]:
+    """Per-shard load sums of *slot_loads* under a slot→shard assignment."""
+    loads = [0] * num_shards
+    for slot, load in enumerate(slot_loads):
+        loads[slot_map[slot]] += load
+    return loads
+
+
+def imbalance_ratio(loads: list[int]) -> float:
+    """Max/mean ratio of per-shard loads (0.0 when nothing was routed)."""
+    if not loads or sum(loads) == 0:
+        return 0.0
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean
+
+
+def plan_rebalance(
+    slot_map: list[int],
+    slot_loads: list[int],
+    num_shards: int,
+    config: RebalanceConfig,
+) -> list[tuple[int, int, int]]:
+    """Plan slot moves that shrink the hottest shard's share — pure function.
+
+    *slot_map* is the current slot→shard assignment, *slot_loads* the
+    per-slot routed-request counts observed since the last evaluation.
+    Returns ``[(slot, donor, recipient), ...]`` moves (possibly empty):
+    the hottest slots of the most-loaded shard, moved to the
+    least-loaded shard, while each move strictly improves the balance
+    (``recipient + slot < donor``) and the donor stays above the mean.
+    Ties break on the lowest shard/slot id, so the same inputs always
+    produce the same plan.
+    """
+    if num_shards < 2 or sum(slot_loads) < config.min_requests:
+        return []
+    loads = shard_loads(slot_map, slot_loads, num_shards)
+    mean = sum(loads) / num_shards
+    donor = min(range(num_shards), key=lambda shard: (-loads[shard], shard))
+    recipient = min(range(num_shards), key=lambda shard: (loads[shard], shard))
+    if donor == recipient or mean == 0 or loads[donor] <= config.threshold * mean:
+        return []
+    donor_slots = sorted(
+        (slot for slot in range(len(slot_map)) if slot_map[slot] == donor),
+        key=lambda slot: (-slot_loads[slot], slot),
+    )
+    moves: list[tuple[int, int, int]] = []
+    donor_load, recipient_load = loads[donor], loads[recipient]
+    for slot in donor_slots:
+        if len(moves) >= config.max_moves:
+            break
+        load = slot_loads[slot]
+        if load == 0 or donor_load <= mean or recipient_load >= mean:
+            break
+        if recipient_load + load >= donor_load:
+            continue  # swapping the hot spot around is not balancing
+        moves.append((slot, donor, recipient))
+        donor_load -= load
+        recipient_load += load
+    return moves
+
+
+__all__ = [
+    "RebalanceConfig",
+    "SlotMigration",
+    "default_slot_map",
+    "imbalance_ratio",
+    "plan_rebalance",
+    "shard_loads",
+]

@@ -25,13 +25,19 @@ TOML form (Python >= 3.11, :mod:`tomllib`)::
     [[shards]]
     replicas = ["127.0.0.1:7402", "127.0.0.1:7412"]
 
-A replica entry is either a bare endpoint string (weight 1.0) or a table
-with ``endpoint`` and an optional positive ``weight``; endpoints use the
-transport's address syntax (``host:port`` or ``unix:/path``).  Shard
-order in the document *is* shard id (an optional explicit ``shard`` key
-per entry is validated against the position), endpoints must be unique
-across the whole document, and every shard needs at least one replica —
-a malformed topology fails loudly at load time, not at the first request.
+A replica entry is either a bare endpoint string (weight 1.0, no
+topology labels) or a table with ``endpoint``, an optional positive
+``weight``, and optional ``zone`` / ``rack`` failure-domain labels
+(non-empty strings); endpoints use the transport's address syntax
+(``host:port`` or ``unix:/path``).  The labels are purely declarative —
+they change nothing until a failure: the cluster client's failover
+prefers retrying in a *different* zone than the replica that just
+failed, so a correlated outage (one rack losing power) does not eat
+every retry.  Shard order in the document *is* shard id (an optional
+explicit ``shard`` key per entry is validated against the position),
+endpoints must be unique across the whole document, and every shard
+needs at least one replica — a malformed topology fails loudly at load
+time, not at the first request.
 """
 
 from __future__ import annotations
@@ -47,16 +53,26 @@ class TopologyError(ValueError):
 
 @dataclass(frozen=True)
 class ReplicaSpec:
-    """One replica endpoint of a shard and its routing weight."""
+    """One replica endpoint of a shard: routing weight + failure-domain labels."""
 
     endpoint: str
     weight: float = 1.0
+    #: Optional failure-domain labels (e.g. an availability zone and a
+    #: rack within it).  ``None`` means "unlabelled" and is always valid;
+    #: failover simply cannot prefer domain diversity for that replica.
+    zone: str | None = None
+    rack: str | None = None
 
     def __post_init__(self) -> None:
         if not self.endpoint or not isinstance(self.endpoint, str):
             raise TopologyError(f"replica endpoint must be a non-empty string, got {self.endpoint!r}")
         if not isinstance(self.weight, (int, float)) or isinstance(self.weight, bool) or self.weight <= 0:
             raise TopologyError(f"replica weight must be a positive number, got {self.weight!r}")
+        for label, value in (("zone", self.zone), ("rack", self.rack)):
+            if value is not None and (not isinstance(value, str) or not value):
+                raise TopologyError(
+                    f"replica {label} must be a non-empty string when present, got {value!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -103,13 +119,20 @@ class ClusterTopology:
 
     def to_dict(self) -> dict:
         """The JSON-serialisable document form (inverse of :func:`parse_topology`)."""
+
+        def replica_entry(spec: ReplicaSpec) -> dict:
+            entry = {"endpoint": spec.endpoint, "weight": spec.weight}
+            if spec.zone is not None:
+                entry["zone"] = spec.zone
+            if spec.rack is not None:
+                entry["rack"] = spec.rack
+            return entry
+
         return {
             "shards": [
                 {
                     "shard": shard_id,
-                    "replicas": [
-                        {"endpoint": spec.endpoint, "weight": spec.weight} for spec in replicas
-                    ],
+                    "replicas": [replica_entry(spec) for spec in replicas],
                 }
                 for shard_id, replicas in enumerate(self.shards)
             ]
@@ -117,19 +140,24 @@ class ClusterTopology:
 
 
 def _parse_replica(entry: object, shard_id: int) -> ReplicaSpec:
-    """One replica entry: a bare endpoint string or ``{endpoint, weight?}``."""
+    """One replica entry: a bare endpoint string or ``{endpoint, weight?, zone?, rack?}``."""
     if isinstance(entry, str):
         return ReplicaSpec(endpoint=entry)
     if isinstance(entry, dict):
-        unknown = set(entry) - {"endpoint", "weight"}
+        unknown = set(entry) - {"endpoint", "weight", "zone", "rack"}
         if unknown:
             raise TopologyError(
                 f"shard {shard_id}: unknown replica key(s) {sorted(unknown)} "
-                "(expected 'endpoint' and optional 'weight')"
+                "(expected 'endpoint' and optional 'weight'/'zone'/'rack')"
             )
         if "endpoint" not in entry:
             raise TopologyError(f"shard {shard_id}: replica table is missing 'endpoint'")
-        return ReplicaSpec(endpoint=entry["endpoint"], weight=entry.get("weight", 1.0))
+        return ReplicaSpec(
+            endpoint=entry["endpoint"],
+            weight=entry.get("weight", 1.0),
+            zone=entry.get("zone"),
+            rack=entry.get("rack"),
+        )
     raise TopologyError(
         f"shard {shard_id}: a replica must be an endpoint string or a table, got {type(entry).__name__}"
     )
@@ -202,11 +230,25 @@ def load_topology(path: str | Path) -> ClusterTopology:
     return parse_topology(document)
 
 
-def topology_for_endpoints(endpoint_lists: list[list[str]]) -> ClusterTopology:
-    """Topology with unit weights from per-shard endpoint lists (tests/clusters)."""
+def topology_for_endpoints(
+    endpoint_lists: list[list[str]],
+    zones: list[str] | None = None,
+) -> ClusterTopology:
+    """Topology with unit weights from per-shard endpoint lists (tests/clusters).
+
+    *zones*, when given, labels replica *r* of every shard with
+    ``zones[r]`` — the usual local-cluster layout where each replica
+    column models one failure domain.
+    """
     return ClusterTopology(
         shards=tuple(
-            tuple(ReplicaSpec(endpoint=endpoint) for endpoint in replicas)
+            tuple(
+                ReplicaSpec(
+                    endpoint=endpoint,
+                    zone=zones[index] if zones is not None and index < len(zones) else None,
+                )
+                for index, endpoint in enumerate(replicas)
+            )
             for replicas in endpoint_lists
         )
     )

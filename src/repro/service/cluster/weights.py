@@ -1,0 +1,134 @@
+"""Adaptive replica weighting: an EMA controller over probed load skew.
+
+Topology weights are a static operator guess ("this replica has twice the
+cores").  Under real load the guess drifts: one replica sits on a busy
+box, another degrades after a deploy, and the static weight keeps sending
+it the same share of traffic.  The :class:`WeightController` closes the
+loop from the control plane's *measured* signals — the per-replica p95
+latency and queue depth the :class:`~repro.service.cluster.manager.ClusterManager`
+already collects on its stats probe cycles — to an **effective weight
+factor** per replica, applied multiplicatively on top of the topology
+weight in the routing score.
+
+The controller is deliberately boring, because a routing feedback loop
+that oscillates is worse than no loop at all:
+
+* **EMA smoothing** — each replica's load signal folds into an
+  exponential moving average; one noisy probe cannot move traffic.
+* **Relative targets** — the factor compares a replica's EMA to the
+  *mean of its shard group* (replicas of one shard serve the same pair
+  partition, so their latencies are comparable; cross-shard comparison
+  is meaningless and never happens).
+* **Bound clamping** — factors live in ``[min_factor, max_factor]``: the
+  controller can shift traffic, never blackhole a replica entirely or
+  hug a fast one to death.
+* **Flap damping** — a new factor is only published when it moves more
+  than ``deadband`` (relative) away from the current one, and never
+  before ``min_samples`` observations; small oscillations around the
+  mean leave the published factor untouched.
+
+Everything here is pure arithmetic on dictionaries — no sockets, no
+clocks, no threads — so the unit tests in ``tests/service/test_fleet.py``
+drive it exhaustively without a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WeightConfig:
+    """Tuning of the adaptive-weight controller (validated at construction)."""
+
+    #: EMA smoothing factor for the per-replica load signal (0 < alpha <= 1).
+    alpha: float = 0.3
+    #: Lowest effective-weight factor ever published (> 0, <= 1).
+    min_factor: float = 0.25
+    #: Highest effective-weight factor ever published (>= 1).
+    max_factor: float = 4.0
+    #: Relative change a target factor needs before it is published.
+    deadband: float = 0.1
+    #: Observations per replica before its factor may leave 1.0.
+    min_samples: int = 3
+    #: Signal floor (milliseconds) so near-zero latencies cannot produce
+    #: huge ratios out of measurement jitter.
+    floor_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha!r}")
+        if not 0.0 < self.min_factor <= 1.0:
+            raise ValueError(f"min_factor must be in (0, 1], got {self.min_factor!r}")
+        if self.max_factor < 1.0:
+            raise ValueError(f"max_factor must be >= 1, got {self.max_factor!r}")
+        if self.deadband < 0.0:
+            raise ValueError(f"deadband must be >= 0, got {self.deadband!r}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples!r}")
+        if self.floor_ms <= 0.0:
+            raise ValueError(f"floor_ms must be positive, got {self.floor_ms!r}")
+
+
+class WeightController:
+    """Per-replica EMA of a load signal → damped, clamped weight factors.
+
+    Call :meth:`observe` once per stats-probe cycle with one shard
+    group's ``{endpoint: load_signal}`` samples (higher = more loaded);
+    it returns the published factor per endpoint.  A factor above 1
+    means "send this replica more than its topology share", below 1
+    "send it less".  State persists across calls per endpoint, so the
+    same controller serves every shard group of a manager.
+    """
+
+    def __init__(self, config: WeightConfig | None = None) -> None:
+        self.config = config or WeightConfig()
+        self._ema: dict[str, float] = {}
+        self._samples: dict[str, int] = {}
+        self._factor: dict[str, float] = {}
+
+    def observe(self, samples: dict[str, float]) -> dict[str, float]:
+        """Fold one probe cycle's samples in; return the published factors.
+
+        Factors only move when every sampled endpoint has at least
+        ``min_samples`` observations and there are at least two of them —
+        a lone replica has no group mean to deviate from.
+        """
+        cfg = self.config
+        for endpoint, value in samples.items():
+            value = max(float(value), 0.0)
+            if endpoint in self._ema:
+                self._ema[endpoint] = (1.0 - cfg.alpha) * self._ema[endpoint] + cfg.alpha * value
+            else:
+                self._ema[endpoint] = value
+            self._samples[endpoint] = self._samples.get(endpoint, 0) + 1
+        ready = len(samples) >= 2 and all(
+            self._samples.get(endpoint, 0) >= cfg.min_samples for endpoint in samples
+        )
+        if ready:
+            mean = sum(self._ema[endpoint] for endpoint in samples) / len(samples)
+            for endpoint in samples:
+                target = (cfg.floor_ms + mean) / (cfg.floor_ms + self._ema[endpoint])
+                target = min(max(target, cfg.min_factor), cfg.max_factor)
+                current = self._factor.get(endpoint, 1.0)
+                if abs(target - current) > cfg.deadband * current:
+                    self._factor[endpoint] = target
+        return {endpoint: self._factor.get(endpoint, 1.0) for endpoint in samples}
+
+    def factor(self, endpoint: str) -> float:
+        """The currently published factor of one endpoint (1.0 if unseen)."""
+        return self._factor.get(endpoint, 1.0)
+
+    def snapshot(self) -> dict:
+        """JSON-safe controller state: per-endpoint EMA, samples, factor."""
+        return {
+            endpoint: {
+                "ema": self._ema[endpoint],
+                "samples": self._samples.get(endpoint, 0),
+                "factor": self._factor.get(endpoint, 1.0),
+            }
+            for endpoint in sorted(self._ema)
+        }
+
+
+__all__ = ["WeightConfig", "WeightController"]

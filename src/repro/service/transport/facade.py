@@ -190,7 +190,10 @@ class ShardedClientFacade:
             payload["deadline_ms"] = deadline_ms
         if trace is not None:
             payload["trace"] = trace
-        shard_id = self.router.shard_of(source, target)
+        # self.shard_of, not router.shard_of: the cluster client overrides
+        # it with slot-table routing (live migrations move pairs between
+        # shard groups without touching this code path)
+        shard_id = self.shard_of(source, target)
         return decode_value(op, self._call_shard(shard_id, payload, timeout))
 
     # -- tracing -------------------------------------------------------
@@ -320,7 +323,7 @@ class ShardedClientFacade:
         """Partition items by shard, exchange concurrently, restore order."""
         by_shard: dict[int, list[int]] = {}
         for index, (_, source, target) in enumerate(items):
-            by_shard.setdefault(self.router.shard_of(source, target), []).append(index)
+            by_shard.setdefault(self.shard_of(source, target), []).append(index)
         results: list = [None] * len(items)
 
         def run_shard(shard_id: int, indices: list[int]) -> None:

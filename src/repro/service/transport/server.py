@@ -89,6 +89,11 @@ _BATCH_MAX_RETRY_SECONDS = 30.0
 _MUX_DISPATCH_LIMIT = 128
 #: Pre-encoded explain blobs kept before a wholesale cache reset.
 _ENCODE_CACHE_CAPACITY = 8192
+#: Liveness lease this server grants on every ping (seconds).  The
+#: control plane renews the lease on each successful probe and treats an
+#: expiry — or queued work whose completed counter stops advancing — as
+#: a revocation: the half-dead-replica detector ping counts cannot be.
+DEFAULT_LEASE_TTL = 15.0
 
 
 def parse_listen_address(listen: str) -> tuple[int, object]:
@@ -123,6 +128,7 @@ class ShardServer:
         mux: bool = True,
         trace: bool = True,
         mutate: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         if not 0 <= shard_id < num_shards:
             raise ValueError(f"shard_id {shard_id} out of range for {num_shards} shard(s)")
@@ -137,6 +143,9 @@ class ShardServer:
         self.mux = mux
         self.trace = trace
         self.mutate = mutate
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl!r}")
+        self.lease_ttl = lease_ttl
         #: highest mutation-log sequence number applied by this replica
         #: (0 = none); guarded by its own lock because mutate frames may
         #: arrive on any connection thread
@@ -529,6 +538,13 @@ class ShardServer:
             # Live load signal for health probes / routing: how many
             # admitted requests are waiting for a worker right now.
             "queue_depth": len(self.service.queue),
+            # Liveness lease grant + work-progress counter: the control
+            # plane renews the lease per ping and pairs the completed
+            # counter with queue_depth to catch a replica that still
+            # answers pings while its workers have stopped making
+            # progress (stalled, wedged, or paused).
+            "lease_ttl": self.lease_ttl,
+            "completed": self.service.stats.completed,
         }
 
     def _num_pairs(self) -> int:

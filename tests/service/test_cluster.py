@@ -11,10 +11,14 @@ Four layers of coverage:
   load-shift test against a deliberately slowed replica.
 * **Replicated cluster integration** — `ReplicatedLocalCluster` spawns
   real ``serve`` subprocesses at shards=2 x replicas=2: killing one
-  replica mid-replay completes with **zero failed requests** and results
-  bit-identical to the in-process sharded service; ``invalidate`` fans
-  out to every replica of every shard; the ``cluster`` CLI subcommand
-  replays against a topology file.
+  replica mid-replay (via ``faultlib.ChaosController``) completes with
+  **zero failed requests** and results bit-identical to the in-process
+  sharded service; ``invalidate`` fans out to every replica of every
+  shard; the ``cluster`` CLI subcommand replays against a topology file.
+
+Fault injection and the shared workload helpers live in ``faultlib``
+(the seeded fleet-chaos suite in ``test_fleet.py`` builds on the same
+primitives).
 """
 
 import json
@@ -23,6 +27,7 @@ import time
 
 import pytest
 
+from faultlib import ChaosController, SlowShardServer, predicted_pairs
 from repro.service import (
     CONFIDENCE,
     EXPLAIN,
@@ -43,10 +48,6 @@ from repro.service import (
 )
 from repro.service.cluster import replica_score, topology_for_endpoints
 from repro.service.cluster.manager import ReplicaRoute
-
-
-def predicted_pairs(model, limit=20):
-    return sorted(model.predict().pairs)[:limit]
 
 
 # ----------------------------------------------------------------------
@@ -289,14 +290,9 @@ class TestClusterClientFailover:
     def test_load_shifts_away_from_a_slow_replica(
         self, fitted_model, service_dataset
     ):
-        """With one deliberately slowed replica, routing must concentrate
-        traffic on its healthy peer (the acceptance-criteria scenario)."""
-
-        class SlowShardServer(ShardServer):
-            def _dispatch(self, request):
-                time.sleep(0.05)
-                return super()._dispatch(request)
-
+        """With one deliberately slowed replica (faultlib's injected-latency
+        server), routing must concentrate traffic on its healthy peer
+        (the acceptance-criteria scenario)."""
         service = ExplanationService(
             fitted_model, service_dataset, ServiceConfig(num_workers=1)
         ).start()
@@ -535,13 +531,14 @@ class TestReplicatedCluster:
             for thread in threads:
                 thread.start()
             # Kill one replica as soon as any traffic has been routed.
+            chaos = ChaosController(cluster)
             deadline = time.monotonic() + 30
             while time.monotonic() < deadline:
                 snapshot = client.routing_snapshot()
                 if any(row["routed"] or row["inflight"] for row in snapshot["replicas"]):
                     break
                 time.sleep(0.002)
-            cluster.kill_replica(0, 0)
+            chaos.kill(0, 0)
             for thread in threads:
                 thread.join(timeout=180)
             assert not errors, errors  # zero failed requests

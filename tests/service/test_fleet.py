@@ -1,0 +1,847 @@
+"""Fleet-autonomy tests: leases, adaptive weights, online rebalancing.
+
+Five layers of coverage, from pure arithmetic to process chaos:
+
+* **Controller units** — :class:`WeightController` (EMA convergence,
+  bound clamping, flap damping, sample gating) and the rebalance
+  planner (:func:`plan_rebalance` strict-improvement moves, slot/shard
+  identity, imbalance ratios) with no sockets at all.
+* **Routing units** — slot↔shard identity at every shard count,
+  :class:`RoutingTable` slot lookup and handoff peers, and the
+  zone-aware :func:`prefer_distinct_domains` failover filter.
+* **Topology labels** — zone/rack parsing, round-tripping and
+  validation edge cases.
+* **Virtual-clock control plane** — a real :class:`ClusterManager`
+  driven tick by tick with scripted probes (``faultlib.FakeProbe``) and
+  a hand-advanced clock: lease grant/expiry/stall/restore, the
+  report-failure backoff fix, weight adaptation and a full
+  detect→plan→handoff→flip migration, all deterministic.
+* **Seeded chaos acceptance** — shards=2 × replicas=2 real ``serve``
+  subprocesses; a seeded fault schedule SIGSTOPs a replica (half-dead:
+  pings accepted, zero progress) and forces a hot shard; the
+  2000-request mixed replay completes with **zero failed requests**,
+  triggers a lease revocation and an online slot migration, and every
+  result is bit-identical to an undisturbed in-process run.  The same
+  seed reproduces the same fault schedule (the repro line is printed).
+"""
+
+import time
+
+import pytest
+
+from faultlib import (
+    ChaosController,
+    FakeProbe,
+    FaultEvent,
+    FaultSchedule,
+    VirtualClock,
+    fake_ping,
+    install_probes,
+    predicted_pairs,
+    run_with_faults,
+    transport_error,
+)
+from repro.datasets import replay_workload
+from repro.service import (
+    CONFIDENCE,
+    EXPLAIN,
+    ClusterManager,
+    ExEAClient,
+    RebalanceConfig,
+    ReplicatedLocalCluster,
+    ServiceConfig,
+    ShardedExplanationService,
+    TopologyError,
+    WeightConfig,
+    WeightController,
+    parse_topology,
+)
+from repro.service.cluster import prefer_distinct_domains, topology_for_endpoints
+from repro.service.cluster.manager import ReplicaRoute, RoutingTable
+from repro.service.cluster.rebalance import (
+    SlotMigration,
+    default_slot_map,
+    imbalance_ratio,
+    plan_rebalance,
+    shard_loads,
+)
+from repro.service.sharding import SLOTS_PER_SHARD, ShardRouter
+
+
+# ----------------------------------------------------------------------
+# Weight controller units (no sockets)
+# ----------------------------------------------------------------------
+class TestWeightController:
+    def test_factors_converge_toward_the_load_skew(self):
+        controller = WeightController(WeightConfig())
+        for _ in range(6):
+            factors = controller.observe({"fast": 0.0, "slow": 100.0})
+        # The idle replica is offered more than its share, the loaded one
+        # less; the ratio targets (floor + mean) / (floor + ema).
+        assert factors["fast"] == pytest.approx(4.0)  # clamped at max_factor
+        assert factors["slow"] == pytest.approx(51.0 / 101.0, rel=1e-6)
+
+    def test_factors_recover_when_the_skew_heals(self):
+        controller = WeightController(WeightConfig())
+        for _ in range(4):
+            controller.observe({"a": 0.0, "b": 100.0})
+        assert controller.factor("b") < 0.6
+        for _ in range(25):  # the EMA forgets the bad stretch
+            factors = controller.observe({"a": 0.0, "b": 0.0})
+        assert factors["b"] > 0.9
+        assert factors["a"] < 1.2
+
+    def test_factors_stay_inside_the_bounds(self):
+        config = WeightConfig(min_factor=0.25, max_factor=4.0)
+        controller = WeightController(config)
+        samples = {"e0": 0.0, "e1": 0.0, "e2": 0.0, "e3": 0.0, "hot": 10000.0}
+        for _ in range(6):
+            factors = controller.observe(samples)
+        assert factors["hot"] == pytest.approx(0.25)  # clamped at min_factor
+        assert all(0.25 <= factor <= 4.0 for factor in factors.values())
+
+    def test_deadband_damps_flapping(self):
+        controller = WeightController(WeightConfig(deadband=0.1))
+        # Near-equal loads oscillating slightly: targets hover ~2% from
+        # 1.0, inside the deadband — the published factor never moves.
+        for cycle in range(10):
+            wobble = 0.5 if cycle % 2 else -0.5
+            factors = controller.observe({"a": 10.0 + wobble, "b": 10.0 - wobble})
+        assert factors == {"a": 1.0, "b": 1.0}
+
+    def test_no_factor_before_min_samples(self):
+        controller = WeightController(WeightConfig(min_samples=3))
+        for _ in range(2):
+            factors = controller.observe({"fast": 0.0, "slow": 100.0})
+        assert factors == {"fast": 1.0, "slow": 1.0}
+        factors = controller.observe({"fast": 0.0, "slow": 100.0})
+        assert factors["fast"] > 1.0 > factors["slow"]
+
+    def test_a_lone_replica_never_moves(self):
+        controller = WeightController()
+        for _ in range(10):
+            factors = controller.observe({"only": 500.0})
+        assert factors == {"only": 1.0}
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"min_factor": 0.0},
+            {"min_factor": 1.5},
+            {"max_factor": 0.5},
+            {"deadband": -0.1},
+            {"min_samples": 0},
+            {"floor_ms": 0.0},
+        ],
+    )
+    def test_config_validation(self, overrides):
+        with pytest.raises(ValueError):
+            WeightConfig(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Rebalance planning units (pure functions)
+# ----------------------------------------------------------------------
+class TestRebalancePlanning:
+    def test_default_slot_map_is_the_identity_partition(self):
+        for num_shards in (1, 2, 3, 5):
+            slot_map = default_slot_map(num_shards)
+            assert len(slot_map) == num_shards * SLOTS_PER_SHARD
+            assert all(slot_map[slot] == slot % num_shards for slot in range(len(slot_map)))
+
+    def test_slot_of_is_consistent_with_shard_of(self):
+        # The whole migration design rests on this: the identity slot map
+        # routes every pair exactly where the classic CRC partition does,
+        # at every shard count (num_slots is a multiple of num_shards).
+        pairs = [(f"s{i}", f"t{i}") for i in range(200)]
+        for num_shards in (1, 2, 3, 5, 7):
+            router = ShardRouter(num_shards)
+            for source, target in pairs:
+                assert router.slot_of(source, target) % num_shards == router.shard_of(
+                    source, target
+                )
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio([]) == 0.0
+        assert imbalance_ratio([0, 0]) == 0.0
+        assert imbalance_ratio([50, 50]) == pytest.approx(1.0)
+        assert imbalance_ratio([90, 10]) == pytest.approx(1.8)
+
+    def test_shard_loads_sums_by_assignment(self):
+        slot_map = default_slot_map(2)
+        loads = [0] * len(slot_map)
+        loads[0], loads[1], loads[2] = 10, 20, 30
+        assert shard_loads(slot_map, loads, 2) == [40, 20]
+        slot_map[0] = 1  # slot 0 migrated to shard 1
+        assert shard_loads(slot_map, loads, 2) == [30, 30]
+
+    def test_plan_moves_hot_slots_while_strictly_improving(self):
+        config = RebalanceConfig(threshold=1.25, min_requests=10)
+        slot_map = default_slot_map(2)
+        loads = [0] * len(slot_map)
+        loads[0], loads[2], loads[4], loads[6] = 40, 30, 20, 10
+        moves = plan_rebalance(slot_map, loads, 2, config)
+        # Slot 0 (40) moves; slots 2/4 (30/20) would leave the recipient
+        # at/above the donor — swapping the hot spot, skipped; slot 6
+        # (10) still strictly improves.  Then the donor hits the mean.
+        assert moves == [(0, 0, 1), (6, 0, 1)]
+
+    def test_plan_is_empty_when_balanced_or_too_quiet(self):
+        config = RebalanceConfig(threshold=1.25, min_requests=64)
+        slot_map = default_slot_map(2)
+        balanced = [1] * len(slot_map)
+        assert plan_rebalance(slot_map, balanced, 2, config) == []
+        quiet = [0] * len(slot_map)
+        quiet[0] = 10  # wildly skewed but under min_requests
+        assert plan_rebalance(slot_map, quiet, 2, config) == []
+
+    def test_plan_is_empty_for_a_single_shard(self):
+        config = RebalanceConfig()
+        slot_map = default_slot_map(1)
+        loads = [100] * len(slot_map)
+        assert plan_rebalance(slot_map, loads, 1, config) == []
+
+    def test_plan_respects_max_moves(self):
+        config = RebalanceConfig(threshold=1.1, min_requests=1, max_moves=2)
+        slot_map = default_slot_map(2)
+        loads = [0] * len(slot_map)
+        for slot in range(0, 40, 2):  # 20 equally hot shard-0 slots
+            loads[slot] = 10
+        moves = plan_rebalance(slot_map, loads, 2, config)
+        assert len(moves) == 2
+        assert moves == [(0, 0, 1), (2, 0, 1)]  # ties break on lowest slot id
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"threshold": 1.0},
+            {"sustain": 0},
+            {"max_moves": 0},
+            {"handoff_cycles": 0},
+            {"min_requests": 0},
+        ],
+    )
+    def test_config_validation(self, overrides):
+        with pytest.raises(ValueError):
+            RebalanceConfig(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Routing-table units
+# ----------------------------------------------------------------------
+def _route(**overrides) -> ReplicaRoute:
+    base = dict(
+        endpoint="x:1", shard_id=0, replica_index=0, weight=1.0, healthy=True
+    )
+    base.update(overrides)
+    return ReplicaRoute(**base)
+
+
+class TestRoutingTable:
+    def _table(self, num_shards=2, **overrides) -> RoutingTable:
+        shards = tuple(
+            (_route(endpoint=f"e{shard}:1", shard_id=shard),)
+            for shard in range(num_shards)
+        )
+        return RoutingTable(version=1, shards=shards, **overrides)
+
+    def test_empty_slot_map_is_the_identity(self):
+        table = self._table()
+        for slot in range(2 * SLOTS_PER_SHARD):
+            assert table.shard_for_slot(slot) == slot % 2
+
+    def test_slot_map_overrides_the_identity(self):
+        slot_map = tuple(default_slot_map(2))
+        moved = (1,) + slot_map[1:]
+        table = self._table(slot_map=moved)
+        assert table.shard_for_slot(0) == 1
+        assert table.shard_for_slot(2) == 0
+
+    def test_handoff_peers_cover_both_migration_sides(self):
+        migration = SlotMigration(slot=0, donor=0, recipient=1, started_cycle=3)
+        table = self._table(migrations=(migration,))
+        assert table.handoff_peers(0) == (1,)
+        assert table.handoff_peers(1) == (0,)
+        assert self._table().handoff_peers(0) == ()
+
+    def test_routing_weight_prefers_the_effective_weight(self):
+        assert _route(weight=2.0).routing_weight == 2.0
+        assert _route(weight=2.0, effective_weight=0.5).routing_weight == 0.5
+
+
+class TestZoneAwareFailover:
+    def test_no_failed_zones_keeps_every_candidate(self):
+        candidates = [_route(zone="a"), _route(zone="b")]
+        assert prefer_distinct_domains(candidates, set()) == candidates
+
+    def test_failed_zone_is_filtered_out(self):
+        a, b = _route(endpoint="a:1", zone="a"), _route(endpoint="b:1", zone="b")
+        assert prefer_distinct_domains([a, b], {"a"}) == [b]
+
+    def test_unlabelled_replicas_are_never_excluded(self):
+        labelled = _route(endpoint="a:1", zone="a")
+        bare = _route(endpoint="b:1")
+        assert prefer_distinct_domains([labelled, bare], {"a"}) == [bare]
+
+    def test_all_candidates_in_failed_zones_stay_eligible(self):
+        # Domain diversity is a preference, never a reason to fail a
+        # request a live replica could serve.
+        a1, a2 = _route(endpoint="a:1", zone="a"), _route(endpoint="a:2", zone="a")
+        assert prefer_distinct_domains([a1, a2], {"a"}) == [a1, a2]
+
+
+# ----------------------------------------------------------------------
+# Topology labels (zone/rack)
+# ----------------------------------------------------------------------
+class TestTopologyLabels:
+    def test_zone_and_rack_parse_and_roundtrip(self):
+        document = {
+            "shards": [
+                {
+                    "replicas": [
+                        {"endpoint": "a:1", "zone": "eu-1", "rack": "r7"},
+                        {"endpoint": "a:2", "zone": "eu-2"},
+                        "a:3",  # unlabelled stays valid
+                    ]
+                }
+            ]
+        }
+        topology = parse_topology(document)
+        assert topology.shards[0][0].zone == "eu-1"
+        assert topology.shards[0][0].rack == "r7"
+        assert topology.shards[0][1].rack is None
+        assert topology.shards[0][2].zone is None
+        assert parse_topology(topology.to_dict()) == topology
+
+    @pytest.mark.parametrize(
+        "replica",
+        [
+            {"endpoint": "a:1", "zone": ""},  # empty label
+            {"endpoint": "a:1", "zone": 7},  # non-string label
+            {"endpoint": "a:1", "rack": ""},
+            {"endpoint": "a:1", "region": "eu"},  # unknown key stays rejected
+        ],
+    )
+    def test_bad_labels_are_refused(self, replica):
+        with pytest.raises(TopologyError):
+            parse_topology({"shards": [{"replicas": [replica]}]})
+
+    def test_topology_for_endpoints_labels_replica_columns(self):
+        topology = topology_for_endpoints(
+            [["a:1", "a:2"], ["b:1", "b:2"]], zones=["east", "west"]
+        )
+        for shard in topology.shards:
+            assert shard[0].zone == "east"
+            assert shard[1].zone == "west"
+
+
+# ----------------------------------------------------------------------
+# Virtual-clock control plane (scripted probes, no sockets)
+# ----------------------------------------------------------------------
+def _virtual_manager(endpoints, clock, scripts, **overrides):
+    """A never-threaded manager over fake endpoints with scripted probes."""
+    settings = dict(
+        probe_interval=60.0,
+        miss_threshold=3,
+        backoff_base=0.0,
+        stats_every=1,
+        clock=clock,
+    )
+    settings.update(overrides)
+    manager = ClusterManager(topology_for_endpoints(endpoints), **settings)
+    install_probes(manager, scripts)
+    return manager
+
+
+E0, E1 = "127.0.0.1:7101", "127.0.0.1:7102"
+
+
+class TestLeases:
+    def test_successful_pings_keep_the_lease(self):
+        clock = VirtualClock()
+        manager = _virtual_manager(
+            [[E0, E1]],
+            clock,
+            {E0: FakeProbe([fake_ping()]), E1: FakeProbe([fake_ping()])},
+            lease_ttl=2.0,
+        )
+        for _ in range(3):
+            clock.advance(0.5)
+            table = manager.probe_once()
+        assert all(route.lease_ok for route in table.replicas(0))
+        assert manager.fleet_snapshot()["counters"]["lease_revocations"] == 0
+        manager.stop()
+
+    def test_expired_lease_is_revoked_then_restored_on_reconnect(self):
+        clock = VirtualClock()
+        probe = FakeProbe([fake_ping(), transport_error("wedged"), fake_ping()])
+        manager = _virtual_manager(
+            [[E0, E1]], clock, {E0: probe, E1: FakeProbe()}, lease_ttl=1.0
+        )
+        manager.probe_once()  # grants the lease (expires at t+1)
+        assert manager.table().route_of(E0).lease_ok
+
+        clock.advance(1.5)  # the clock outruns the lease; the ping fails too
+        table = manager.probe_once()
+        route = table.route_of(E0)
+        assert not route.lease_ok
+        assert route.healthy  # one miss < threshold: the lease caught it first
+        # E1's lease lapsed on the same clock jump but its ping answered,
+        # so it re-earned the lease within the cycle — only the wedged
+        # replica stays revoked.
+        assert table.route_of(E1).lease_ok
+        fleet = manager.fleet_snapshot()
+        assert fleet["counters"]["lease_revocations"] >= 1
+        assert any(
+            event["type"] == "lease_revoked"
+            and event["reason"] == "expired"
+            and event["endpoint"] == E0
+            for event in fleet["events"]
+        )
+        assert fleet["leases"][E0] is False
+
+        clock.advance(0.1)  # the replica answers again: lease re-earned
+        table = manager.probe_once()
+        assert table.route_of(E0).lease_ok
+        fleet = manager.fleet_snapshot()
+        assert any(
+            event["type"] == "lease_restored" and event["endpoint"] == E0
+            for event in fleet["events"]
+        )
+        manager.stop()
+
+    def test_manager_honours_the_shorter_server_grant(self):
+        clock = VirtualClock()
+        probe = FakeProbe([fake_ping(lease_ttl=0.5), transport_error("gone")])
+        manager = _virtual_manager(
+            [[E0, E1]], clock, {E0: probe, E1: FakeProbe()}, lease_ttl=10.0
+        )
+        manager.probe_once()
+        clock.advance(0.6)  # past the server's 0.5s grant, far under our 10s
+        assert not manager.probe_once().route_of(E0).lease_ok
+        manager.stop()
+
+    def test_work_stall_revokes_despite_answering_pings(self):
+        # The half-dead shape: pings answer, queued work frozen.  The
+        # stall detector needs queue_depth > 0 with a frozen completed
+        # counter for lease_stall_cycles consecutive stats cycles.
+        clock = VirtualClock()
+        probe = FakeProbe([fake_ping(queue_depth=2, completed=7)])
+        manager = _virtual_manager(
+            [[E0, E1]],
+            clock,
+            {E0: probe, E1: FakeProbe()},
+            lease_ttl=100.0,
+            lease_stall_cycles=2,
+        )
+        manager.probe_once()  # baseline: records completed=7
+        manager.probe_once()  # frozen x1
+        assert manager.table().route_of(E0).lease_ok
+        table = manager.probe_once()  # frozen x2 -> revoked
+        assert not table.route_of(E0).lease_ok
+        fleet = manager.fleet_snapshot()
+        assert any(
+            event["type"] == "lease_revoked" and event["reason"] == "stalled"
+            for event in fleet["events"]
+        )
+
+        probe.script = [fake_ping(queue_depth=0, completed=9)]  # progress resumed
+        probe.pings = 0
+        table = manager.probe_once()
+        assert table.route_of(E0).lease_ok
+        assert manager.fleet_snapshot()["counters"]["lease_restored"] == 1
+        manager.stop()
+
+    def test_leases_off_by_default(self):
+        clock = VirtualClock()
+        manager = _virtual_manager(
+            [[E0, E1]], clock, {E0: FakeProbe(), E1: FakeProbe()}
+        )
+        clock.advance(10_000.0)
+        table = manager.probe_once()
+        assert all(route.lease_ok for route in table.replicas(0))
+        assert manager.fleet_snapshot()["leases"] == {}
+        manager.stop()
+
+
+class TestReportFailureBackoff:
+    def test_first_report_marks_down_and_wakes_the_prober(self):
+        manager = _virtual_manager(
+            [[E0, E1]], VirtualClock(), {E0: FakeProbe(), E1: FakeProbe()}
+        )
+        manager._wake.clear()
+        version = manager.table().version
+        manager.report_failure(E0, transport_error("died mid-request"))
+        assert not manager.table().route_of(E0).healthy
+        assert manager.table().version > version
+        assert manager._wake.is_set()
+        manager.stop()
+
+    def test_repeat_reports_leave_the_backoff_schedule_alone(self):
+        # The satellite fix: reports against an already-down endpoint
+        # used to re-arm (and double) the reconnect backoff and force a
+        # probe cycle per failed request — hammering the healthy replicas
+        # exactly when the cluster is degraded.
+        clock = VirtualClock()
+        probe = FakeProbe([transport_error("down")])
+        manager = _virtual_manager(
+            [[E0, E1]],
+            clock,
+            {E0: probe, E1: FakeProbe()},
+            miss_threshold=1,
+            backoff_base=0.5,
+        )
+        manager.probe_once()  # marks E0 down and arms the 0.5s backoff
+        state = manager._health[E0]
+        assert not state.healthy
+        armed = (state.backoff_seconds, state.backoff_until)
+        assert armed[0] == pytest.approx(0.5)
+
+        version = manager.table().version
+        manager._wake.clear()
+        for _ in range(5):  # a burst of in-flight requests draining onto the corpse
+            manager.report_failure(E0, transport_error("still down"))
+        assert (state.backoff_seconds, state.backoff_until) == armed
+        assert manager.table().version == version  # no churned publishes
+        assert not manager._wake.is_set()  # no out-of-schedule probe storms
+        assert state.last_error == "still down"  # telemetry still updates
+        manager.stop()
+
+
+class TestVirtualWeightAdaptation:
+    def test_stats_skew_adjusts_published_weights(self):
+        clock = VirtualClock()
+        fast = FakeProbe([fake_ping()], p95_ms=0.0)
+        slow = FakeProbe([fake_ping()], p95_ms=100.0)
+        manager = _virtual_manager(
+            [[E0, E1]], clock, {E0: fast, E1: slow}, weights=WeightConfig()
+        )
+        for _ in range(4):  # min_samples=3 stats cycles before factors move
+            table = manager.probe_once()
+        fast_route, slow_route = table.replicas(0)
+        assert fast_route.routing_weight > 1.0
+        assert slow_route.routing_weight < 1.0
+        fleet = manager.fleet_snapshot()
+        assert fleet["adaptive_weights"] is True
+        assert fleet["counters"]["weight_adjustments"] >= 2
+        assert fleet["weights"][E0] > 1.0 > fleet["weights"][E1]
+        assert any(event["type"] == "weight_adjusted" for event in fleet["events"])
+        manager.stop()
+
+    def test_without_the_controller_weights_stay_static(self):
+        manager = _virtual_manager(
+            [[E0, E1]],
+            VirtualClock(),
+            {E0: FakeProbe(p95_ms=0.0), E1: FakeProbe(p95_ms=100.0)},
+        )
+        for _ in range(5):
+            table = manager.probe_once()
+        assert all(route.effective_weight is None for route in table.replicas(0))
+        assert manager.fleet_snapshot()["adaptive_weights"] is False
+        manager.stop()
+
+
+class TestVirtualRebalance:
+    def test_detect_plan_handoff_flip(self):
+        clock = VirtualClock()
+        manager = _virtual_manager(
+            [[E0], [E1]],
+            clock,
+            {E0: FakeProbe(), E1: FakeProbe()},
+            rebalance=RebalanceConfig(
+                threshold=1.25, sustain=2, min_requests=10, handoff_cycles=1
+            ),
+        )
+        counters = [0] * (2 * SLOTS_PER_SHARD)
+        manager.attach_slot_loads(lambda: list(counters))
+
+        def heat():  # all the load lands on shard-0 slots
+            counters[0] += 40
+            counters[2] += 30
+            counters[4] += 20
+            counters[6] += 10
+
+        manager.probe_once()  # cycle 1: baseline reading, nothing to difference
+        heat()
+        table = manager.probe_once()  # cycle 2: skewed (streak 1 of 2)
+        assert not table.migrations
+        heat()
+        table = manager.probe_once()  # cycle 3: sustained -> handoff windows open
+        assert [
+            (m.slot, m.donor, m.recipient) for m in table.migrations
+        ] == [(0, 0, 1), (6, 0, 1)]
+        # During the window the slot still routes to the donor, but the
+        # failover candidate set spans both sides (dual routing).
+        assert table.shard_for_slot(0) == 0
+        assert table.handoff_peers(0) == (1,)
+        assert table.handoff_peers(1) == (0,)
+
+        table = manager.probe_once()  # cycle 4: windows elapse -> atomic flip
+        assert not table.migrations
+        assert table.shard_for_slot(0) == 1
+        assert table.shard_for_slot(6) == 1
+        assert table.shard_for_slot(2) == 0  # unmoved slots keep the identity
+
+        fleet = manager.fleet_snapshot()
+        assert fleet["counters"]["migrations_planned"] == 2
+        assert fleet["counters"]["migrations_completed"] == 2
+        assert fleet["slots_moved"] == 2
+        kinds = [event["type"] for event in fleet["events"]]
+        assert kinds.count("migration_started") == 2
+        assert kinds.count("migration_completed") == 2
+        manager.stop()
+
+    def test_idle_windows_keep_the_streak(self):
+        clock = VirtualClock()
+        manager = _virtual_manager(
+            [[E0], [E1]],
+            clock,
+            {E0: FakeProbe(), E1: FakeProbe()},
+            rebalance=RebalanceConfig(threshold=1.25, sustain=2, min_requests=10),
+        )
+        counters = [0] * (2 * SLOTS_PER_SHARD)
+        manager.attach_slot_loads(lambda: list(counters))
+        def heat():
+            counters[0] += 60
+            counters[2] += 40
+
+        manager.probe_once()  # baseline
+        heat()
+        manager.probe_once()  # skewed: streak 1
+        manager.probe_once()  # idle window: too quiet to judge, streak kept
+        heat()
+        table = manager.probe_once()  # skewed again: streak 2 -> planned
+        assert table.migrations
+        manager.stop()
+
+
+# ----------------------------------------------------------------------
+# Fault schedules
+# ----------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_same_seed_reproduces_the_same_schedule(self):
+        first = FaultSchedule.generate(7, 2000, 2, 2, hold=2.5, kill=True)
+        again = FaultSchedule.generate(7, 2000, 2, 2, hold=2.5, kill=True)
+        assert first == again
+        assert first.describe() == again.describe()
+
+    def test_different_seeds_diverge(self):
+        schedules = {
+            FaultSchedule.generate(seed, 2000, 2, 2, hold=2.5).events
+            for seed in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_describe_carries_the_repro_seed(self):
+        schedule = FaultSchedule.generate(42, 1000, 2, 2, hold=1.5)
+        line = schedule.describe()
+        assert "seed=42" in line
+        assert "stop" in line and "cont" in line
+
+    def test_events_fire_in_request_order(self):
+        schedule = FaultSchedule.generate(3, 2000, 2, 2, kill=True)
+        positions = [event.at_request for event in schedule.events]
+        assert positions == sorted(positions)
+
+    def test_unknown_action_is_refused(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0, "explode", 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Seeded chaos acceptance (real subprocesses)
+# ----------------------------------------------------------------------
+class TestFleetChaos:
+    CHAOS_SEED = 11
+
+    def test_seeded_chaos_zero_failures_bit_identical(
+        self, fitted_model, service_dataset
+    ):
+        """The acceptance bar: shards=2 × replicas=2; a seeded schedule
+        SIGSTOPs one replica (half-dead) while the workload hammers one
+        shard; the 2000-request replay completes with zero failed
+        requests, a lease revocation and an online slot migration, and
+        every result is bit-identical to an in-process run."""
+        pairs = predicted_pairs(fitted_model, limit=24)
+        router = ShardRouter(2)
+        hot = [pair for pair in pairs if router.shard_of(*pair) == 0]
+        cold = [pair for pair in pairs if router.shard_of(*pair) == 1]
+        assert hot and cold, "the synthetic pairs must span both shards"
+        # ~90% of the traffic hits shard 0: the sustained imbalance the
+        # rebalance loop exists to fix.
+        workload = replay_workload(hot, 1800, seed=5, kinds=(EXPLAIN, CONFIDENCE))
+        workload += replay_workload(cold, 200, seed=6, kinds=(EXPLAIN, CONFIDENCE))
+        assert len(workload) == 2000
+        config = ServiceConfig(num_shards=2, num_workers=2)
+
+        with ShardedExplanationService(fitted_model, service_dataset, config) as local:
+            client = ExEAClient(local)
+            expected = client.replay(workload, timeout=120)
+            expected_hot = [client.explain(*pair) for pair in hot]
+
+        lease_ttl = 1.0
+        schedule = FaultSchedule.generate(
+            self.CHAOS_SEED,
+            num_requests=len(workload),
+            num_shards=2,
+            num_replicas=2,
+            hold=2.5 * lease_ttl,  # no requests in flight while the lease lapses
+        )
+        with ReplicatedLocalCluster(
+            fitted_model,
+            service_dataset,
+            num_shards=2,
+            num_replicas=2,
+            service_config=config,
+            probe_interval=0.1,
+            probe_timeout=1.0,
+            stats_every=2,
+            lease_ttl=lease_ttl,
+            weights=WeightConfig(),
+            rebalance=RebalanceConfig(
+                threshold=1.2, sustain=2, min_requests=32, handoff_cycles=1
+            ),
+            replica_zones=["east", "west"],
+        ) as cluster:
+            controller = ChaosController(cluster)
+            results = run_with_faults(
+                cluster.client,
+                workload,
+                schedule,
+                controller,
+                chunk_size=50,
+                pause=0.02,
+            )
+            # Zero failed requests (replay raises otherwise) and
+            # bit-identical to the undisturbed in-process run.
+            assert results == expected
+            assert len(controller.applied) == len(schedule.events)
+
+            # The SIGSTOP'd replica lost its lease while held.
+            fleet = cluster.manager.fleet_snapshot()
+            assert fleet["counters"]["lease_revocations"] >= 1
+            assert any(event["type"] == "lease_revoked" for event in fleet["events"])
+
+            # The hot shard triggered >= 1 online slot migration; drive a
+            # little more hot traffic if a handoff window is still open.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                fleet = cluster.manager.fleet_snapshot()
+                if fleet["counters"]["migrations_completed"] >= 1 and not fleet[
+                    "migrations_active"
+                ]:
+                    break
+                extra = cluster.client.replay(
+                    [(EXPLAIN, *pair) for pair in hot], timeout=120
+                )
+                assert extra == expected_hot  # identical across the migration
+                time.sleep(0.05)
+            assert fleet["counters"]["migrations_completed"] >= 1
+            assert any(
+                event["type"] == "migration_completed" for event in fleet["events"]
+            )
+            snapshot = cluster.client.routing_snapshot()
+            assert snapshot["slots_moved"] >= 1
+
+            # Post-migration (and post-SIGCONT) reads stay bit-identical.
+            assert (
+                cluster.client.replay([(EXPLAIN, *pair) for pair in hot], timeout=120)
+                == expected_hot
+            )
+
+            # The resumed replica re-earns its lease.
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                leases = cluster.manager.fleet_snapshot()["leases"]
+                if leases and all(leases.values()):
+                    break
+                time.sleep(0.05)
+            assert all(cluster.manager.fleet_snapshot()["leases"].values())
+
+            # The fleet telemetry reaches the stats surface.
+            stats = cluster.client.stats_snapshot()
+            assert stats["fleet"]["lease_ttl"] == lease_ttl
+            assert stats["fleet"]["adaptive_weights"] is True
+            assert stats["fleet"]["rebalance"] is True
+
+    def test_fleet_metrics_render_in_prometheus_text(self):
+        from repro.service.observability.metrics import prometheus_text
+
+        stats = {
+            "overall": {"submitted": 10, "completed": 10},
+            "fleet": {
+                "counters": {
+                    "lease_revocations": 1,
+                    "lease_restored": 1,
+                    "weight_adjustments": 4,
+                    "migrations_planned": 2,
+                    "migrations_completed": 2,
+                },
+                "migrations_active": [],
+                "slots_moved": 2,
+                "weights": {"127.0.0.1:7101": 1.5},
+                "leases": {"127.0.0.1:7101": True, "127.0.0.1:7102": False},
+            },
+        }
+        text = prometheus_text(stats)
+        assert "repro_fleet_lease_revocations_total 1" in text
+        assert "repro_fleet_migrations_completed_total 2" in text
+        assert "repro_fleet_migrations_active 0" in text
+        assert "repro_fleet_slots_moved 2" in text
+        assert 'repro_fleet_weight_factor{endpoint="127.0.0.1:7101"} 1.5' in text
+        assert 'repro_fleet_lease_ok{endpoint="127.0.0.1:7102"} 0' in text
+
+    def test_cluster_cli_fleet_flags_reach_the_stats_surface(
+        self, fitted_model, service_dataset, tmp_path, capsys
+    ):
+        """The documented operator path: ``cluster --lease-ttl
+        --adaptive-weights --rebalance`` wires the autonomy loops into
+        the manager, and ``--stats-json`` carries the ``fleet`` section."""
+        import json
+
+        from repro.service.__main__ import main
+
+        with ReplicatedLocalCluster(
+            fitted_model, service_dataset, num_shards=2, num_replicas=2, probe_interval=0.2
+        ) as cluster:
+            topology_path = tmp_path / "cluster.json"
+            topology_path.write_text(json.dumps(cluster.topology.to_dict()))
+            stats_path = tmp_path / "stats.json"
+            exit_code = main(
+                [
+                    "cluster",
+                    "--topology",
+                    str(topology_path),
+                    "--requests",
+                    "24",
+                    "--clients",
+                    "2",
+                    "--mix",
+                    "mixed",
+                    "--lease-ttl",
+                    "15",
+                    "--adaptive-weights",
+                    "--rebalance",
+                    "--rebalance-threshold",
+                    "1.3",
+                    "--rebalance-sustain",
+                    "2",
+                    "--stats-json",
+                    str(stats_path),
+                ]
+            )
+            assert exit_code == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["transport"] == "cluster"
+            assert report["service"]["failed"] == 0
+            fleet = json.loads(stats_path.read_text())["fleet"]
+            assert fleet["lease_ttl"] == 15.0
+            assert fleet["adaptive_weights"] is True
+            assert fleet["rebalance"] is True
+            assert set(fleet["leases"]) == {
+                replica.endpoint
+                for group in cluster.topology.shards
+                for replica in group
+            }

@@ -23,15 +23,19 @@ Five layers of coverage:
   replayed in order; `ReplicatedLocalCluster` proves the cluster-wide
   fan-out (every replica of every shard applies the log in order and
   serves bit-identical post-mutation results).
+
+Workload/mutation helpers and process-fault injection come from the
+shared ``faultlib`` harness.
 """
 
 import threading
 
 import pytest
 
+from faultlib import ChaosController, dataset_copy, predicted_pairs, removal_specs
 from repro.core import ExEA
 from repro.datasets import replay_workload
-from repro.kg import EADataset, Triple
+from repro.kg import Triple
 from repro.service import (
     CONFIDENCE,
     EXPLAIN,
@@ -53,27 +57,6 @@ from repro.service.transport.protocol import (
     encode_mutations,
 )
 from repro.service.transport.wire import decode_binary, encode_binary
-
-
-def predicted_pairs(model, limit=20):
-    return sorted(model.predict().pairs)[:limit]
-
-
-def dataset_copy(dataset):
-    """A private copy whose graphs this test may mutate freely."""
-    return EADataset(
-        dataset.kg1.copy(),
-        dataset.kg2.copy(),
-        dataset.train_alignment,
-        dataset.test_alignment,
-        name=dataset.name,
-    )
-
-
-def removal_specs(dataset, count=1):
-    """Deterministic remove-mutations over kg1's lexicographically first triples."""
-    triples = sorted(dataset.kg1.triples, key=lambda t: t.as_tuple())[:count]
-    return [MutationSpec(op="remove", kg=1, triple=triple) for triple in triples]
 
 
 # ----------------------------------------------------------------------
@@ -456,7 +439,7 @@ class TestClusterMutation:
 
             # Kill one replica: the next mutation leaves it behind and
             # reads keep succeeding (failover routes around it).
-            cluster.kill_replica(0, 1)
+            ChaosController(cluster).kill(0, 1)
             dead = cluster.replicas[0][1].endpoint
             extra = removal_specs(service_dataset, count=3)[2:]
             report = client.mutate(extra)

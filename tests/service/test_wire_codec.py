@@ -515,8 +515,8 @@ class TestNegotiation:
         service = ExplanationService(
             fitted_model, service_dataset, ServiceConfig(num_workers=1)
         ).start()
-        # Pings (~150 bytes) fit the bound; explanation results never do.
-        server = ShardServer(service, max_frame_bytes=192)
+        # Pings (~190 bytes) fit the bound; explanation results never do.
+        server = ShardServer(service, max_frame_bytes=256)
         address = server.bind("127.0.0.1:0")
         server.start_in_thread()
         try:
@@ -524,7 +524,7 @@ class TestNegotiation:
             client = RemoteShardClient(address, timeout=30, wire="binary", mux=True)
             with pytest.raises(FrameTooLargeError):
                 # The 2-item batch request (~110 bytes) fits the bound;
-                # its 2-explanation response (~330 bytes) cannot.
+                # its 2-explanation response (~330+ bytes) cannot.
                 client.call(
                     {"op": "batch", "items": [[EXPLAIN, s, t] for s, t in pairs]}
                 )
