@@ -44,7 +44,7 @@ import sys
 import time
 from pathlib import Path
 
-from conftest import run_once
+from conftest import record_fresh_row, run_once
 from repro.core import ExEA, ExEAConfig, ExplanationConfig
 from repro.datasets import replay_workload
 from repro.experiments import run_metadata, sample_correct_pairs
@@ -156,6 +156,7 @@ def test_service_throughput(benchmark, dataset_cache, model_cache, bench_scale, 
     )
 
     assert row["pairs_with_identical_results"] == row["num_unique_pairs"]
+    record_fresh_row(row["workload"], row)
     if quick:
         return  # smoke mode: no numeric assertions, no artifact writes
     _write_row(row["workload"], row)
@@ -255,6 +256,7 @@ def test_service_mixed_dispatcher_vs_per_worker(
     )
 
     assert row["pairs_with_identical_results"] == row["num_unique_pairs"]
+    record_fresh_row(row["workload"], row)
     if quick:
         return  # smoke mode: no numeric assertions, no artifact writes
     _write_row(row["workload"], row)
@@ -383,6 +385,7 @@ def test_service_remote_vs_inprocess(benchmark, dataset_cache, model_cache, benc
     # The hard invariant at any speed: neither the process boundary nor
     # the codec choice may change a single result bit.
     assert row["pairs_with_identical_results"] == row["num_unique_pairs"]
+    record_fresh_row(row["workload"], row)
     if quick:
         return  # smoke mode: no numeric assertions, no artifact writes
     _write_row(row["workload"], row)
@@ -531,6 +534,7 @@ def test_service_cluster_failover(benchmark, dataset_cache, model_cache, bench_s
     # no result bit.
     assert row["failed_requests_during_kill"] == 0
     assert row["pairs_with_identical_results"] == row["num_unique_pairs"]
+    record_fresh_row(row["workload"], row)
     if quick:
         return  # smoke mode: no numeric assertions, no artifact writes
     _write_row(row["workload"], row)

@@ -10,6 +10,8 @@ CPU-friendly size (see ``BENCH_SCALE``).  Increase ``dataset_scale`` /
 sample sizes for a closer run.
 """
 
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -94,3 +96,23 @@ def model_cache(dataset_cache):
 def run_once(benchmark, function):
     """Run *function* exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_fresh_row(key: str, row: dict) -> None:
+    """Append *row* to the ``REPRO_BENCH_FRESH_OUT`` file, when configured.
+
+    The CI bench-smoke job points this env var at a scratch file; every
+    benchmark records its freshly measured row there even in ``--quick``
+    mode (which never touches the committed ``BENCH_*.json`` artifacts),
+    and ``tools/check_bench.py`` then compares the fresh rows against the
+    committed ones to catch order-of-magnitude performance collapses.
+    """
+    path = os.environ.get("REPRO_BENCH_FRESH_OUT")
+    if not path:
+        return
+    target = Path(path)
+    existing = {}
+    if target.exists():
+        existing = json.loads(target.read_text())
+    existing[key] = row
+    target.write_text(json.dumps(existing, indent=2, sort_keys=True))

@@ -1,6 +1,6 @@
 """CLI of the service stack: in-process replay, shard serving, remote replay.
 
-Five subcommands (see ``docs/OPERATIONS.md`` for the full reference):
+Six subcommands (see ``docs/OPERATIONS.md`` for the full reference):
 
 * ``replay`` (the default when no subcommand is given, preserving the
   historic invocation) — load a registry dataset, fit a model, serve a
@@ -34,10 +34,18 @@ Five subcommands (see ``docs/OPERATIONS.md`` for the full reference):
           --topology cluster.json --requests 400 --clients 8
 
 * ``metrics`` — scrape running servers and emit their merged telemetry in
-  Prometheus text-exposition format (to stdout or ``--out``)::
+  Prometheus text-exposition format (to stdout or ``--out``; with
+  ``--interval SECONDS`` it re-scrapes periodically and rewrites
+  ``--out`` atomically so readers never see a torn file)::
 
       PYTHONPATH=src python -m repro.service metrics \\
           --endpoints 127.0.0.1:7401,127.0.0.1:7402
+
+* ``doctor`` — scrape a fleet once, evaluate its SLOs, and print a
+  ranked diagnosis (which shard/replica/stage is burning the error
+  budget); exits non-zero when the fleet is in a critical state::
+
+      PYTHONPATH=src python -m repro.service doctor --topology cluster.json
 
 All of the replay subcommands print a JSON report; ``--stats-json PATH``
 additionally dumps the raw :class:`~repro.service.stats.ServiceStats`
@@ -52,7 +60,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
+import time
 
 from ..datasets import load_benchmark, replay_workload
 from ..models import TrainingConfig, make_model
@@ -65,7 +76,18 @@ from .cluster import (
     replay_cluster_concurrently,
 )
 from .config import ServiceConfig
-from .observability import prometheus_text
+from .observability import (
+    BurnRateAlerter,
+    SLOConfigError,
+    SLOEngine,
+    TailSampleConfig,
+    TailSampler,
+    default_objectives,
+    diagnose,
+    prometheus_text,
+    render_diagnosis,
+    resolve_objectives,
+)
 from .service import CONFIDENCE, EXPLAIN, VERIFY, replay_concurrently
 from .sharding import ShardedExplanationService
 from .transport import (
@@ -78,7 +100,7 @@ from .transport import (
     replay_remote_concurrently,
 )
 
-SUBCOMMANDS = ("replay", "serve", "connect", "cluster", "metrics")
+SUBCOMMANDS = ("replay", "serve", "connect", "cluster", "metrics", "doctor")
 
 
 # ----------------------------------------------------------------------
@@ -189,15 +211,88 @@ def _add_client_wire_arguments(parser: argparse.ArgumentParser) -> None:
             "all; unsampled requests carry no trace context over the wire)"
         ),
     )
+    parser.add_argument(
+        "--tail-sample",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "enable tail-based trace sampling: trace this fraction of requests "
+            "(deterministic rotation, 0..1) and keep only the traces that turn out "
+            "slow, errored, or retried across replicas (plus --tail-keep-fast of "
+            "the healthy ones); replaces --trace-sample-rate for the keep decision"
+        ),
+    )
+    parser.add_argument(
+        "--tail-slow-ms",
+        type=float,
+        default=250.0,
+        help="tail sampling keeps any trace at least this slow end-to-end (default: 250)",
+    )
+    parser.add_argument(
+        "--tail-keep-fast",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="healthy-baseline fraction of fast, clean traces tail sampling keeps (default: 0)",
+    )
+
+
+def _add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    """Objective sources shared by ``cluster`` and ``doctor``."""
+    parser.add_argument(
+        "--slo-config",
+        default=None,
+        help="SLO objectives file (.json or .toml; see docs/OPERATIONS.md)",
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inline objective, repeatable: name:latency:THRESHOLD_MS:TARGET[:HISTOGRAM] "
+            "or name:errors:TARGET (e.g. explain-p95:latency:250:0.95:request.explain)"
+        ),
+    )
+
+
+def _resolve_slo_objectives(args: argparse.Namespace):
+    """Objectives from ``--slo-config`` / ``--slo``, exiting 2 on bad specs."""
+    try:
+        return resolve_objectives(args.slo_config, args.slo)
+    except SLOConfigError as error:
+        print(f"slo: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+
+
+def _tail_sampler(args: argparse.Namespace) -> TailSampler | None:
+    """Build the tail sampler from the CLI flags, or ``None`` when disabled."""
+    if args.tail_sample is None:
+        return None
+    try:
+        config = TailSampleConfig(
+            trace_fraction=args.tail_sample,
+            slow_ms=args.tail_slow_ms,
+            keep_fast_fraction=args.tail_keep_fast,
+        )
+    except ValueError as error:
+        print(f"tail sampling: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+    return TailSampler(config)
 
 
 def _client_transport_kwargs(args: argparse.Namespace) -> dict:
-    """``wire=``/``mux=`` kwargs for remote clients from the CLI flags."""
-    return {
+    """``wire=``/``mux=``/sampling kwargs for remote clients from the CLI flags."""
+    kwargs = {
         "wire": args.wire,
         "mux": args.mux,
         "trace_sample_rate": args.trace_sample_rate,
     }
+    sampler = _tail_sampler(args)
+    if sampler is not None:
+        kwargs["tail_sampler"] = sampler
+    return kwargs
 
 
 def _service_config(args: argparse.Namespace, num_shards: int = 1) -> ServiceConfig:
@@ -516,6 +611,7 @@ def build_cluster_parser() -> argparse.ArgumentParser:
     )
     _add_traffic_arguments(parser)
     _add_client_wire_arguments(parser)
+    _add_slo_arguments(parser)
     parser.add_argument("--seed", type=int, default=1, help="traffic seed")
     parser.add_argument("--timeout", type=float, default=60.0, help="per-request socket timeout (s)")
     parser.add_argument(
@@ -590,6 +686,9 @@ def cluster_main(argv: list[str]) -> int:
         else None,
     )
     client_kwargs = _client_transport_kwargs(args)
+    objectives = _resolve_slo_objectives(args)
+    if objectives:
+        client_kwargs["slo_objectives"] = objectives
     with ClusterClient(topology, manager=manager, timeout=args.timeout, **client_kwargs) as client:
         pairs = client.pairs()
         workload = _workload(args, pairs)
@@ -617,6 +716,8 @@ def cluster_main(argv: list[str]) -> int:
         "num_replicas": stats["num_replicas"],
         "routing": stats["routing"],
     }
+    if "slo" in stats:
+        report["slo"] = stats["slo"]
     _emit_report(report, stats, args)
     return 0
 
@@ -646,35 +747,168 @@ def build_metrics_parser() -> argparse.ArgumentParser:
     _add_client_wire_arguments(parser)
     parser.add_argument("--timeout", type=float, default=10.0, help="per-request socket timeout (s)")
     parser.add_argument("--out", default=None, help="also write the exposition text here")
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "re-scrape every SECONDS until interrupted, rewriting --out atomically "
+            "each cycle so readers never observe a torn file (default: scrape once)"
+        ),
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # stop after N scrapes in --interval mode (tests)
+    )
     return parser
 
 
-def metrics_main(argv: list[str]) -> int:
-    """Scrape server telemetry and emit Prometheus text exposition."""
-    args = build_metrics_parser().parse_args(argv)
+def _write_text_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* with no torn intermediate state.
+
+    The content lands in a temporary file in the same directory first and
+    is renamed over the target, so a concurrent reader (a Prometheus
+    textfile collector, a tailing dashboard) sees either the previous
+    scrape or the new one — never a partial write.
+    """
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".metrics-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _build_scrape_client(args: argparse.Namespace, prog: str):
+    """Remote or cluster client for the scrape subcommands, or ``None`` (exit 2).
+
+    ``metrics`` and ``doctor`` share the same addressing: exactly one of
+    ``--endpoints`` (plain sharded fleet) or ``--topology`` (replicated
+    cluster) picks the client; wire/mux/sampling flags apply to both.
+    """
     if bool(args.endpoints) == bool(args.topology):
-        print("metrics: exactly one of --endpoints or --topology is required", file=sys.stderr)
-        return 2
+        print(f"{prog}: exactly one of --endpoints or --topology is required", file=sys.stderr)
+        return None
     client_kwargs = _client_transport_kwargs(args)
     if args.endpoints:
         endpoints = [e.strip() for e in args.endpoints.split(",") if e.strip()]
-        with RemoteShardedClient(endpoints, timeout=args.timeout, **client_kwargs) as client:
-            stats = client.stats_snapshot()
-    else:
-        topology = load_topology(args.topology)
-        with ClusterClient(topology, timeout=args.timeout, **client_kwargs) as client:
-            stats = client.stats_snapshot()
-    text = prometheus_text(stats)
-    print(text, end="")
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        return RemoteShardedClient(endpoints, timeout=args.timeout, **client_kwargs)
+    topology = load_topology(args.topology)
+    return ClusterClient(topology, timeout=args.timeout, **client_kwargs)
+
+
+def metrics_main(argv: list[str]) -> int:
+    """Scrape server telemetry and emit Prometheus text exposition.
+
+    One-shot by default; ``--interval`` turns it into a long-lived
+    exporter loop that keeps the client's connections warm and rewrites
+    ``--out`` atomically per cycle (printing to stdout only when no
+    ``--out`` is given, so the loop composes with shell pipelines).
+    """
+    args = build_metrics_parser().parse_args(argv)
+    client = _build_scrape_client(args, "metrics")
+    if client is None:
+        return 2
+    scrapes = 0
+    try:
+        with client:
+            while True:
+                text = prometheus_text(client.stats_snapshot())
+                if args.out:
+                    _write_text_atomic(args.out, text)
+                if not args.out or args.interval is None:
+                    print(text, end="", flush=True)
+                scrapes += 1
+                if args.interval is None:
+                    break
+                if args.count is not None and scrapes >= args.count:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
 # ----------------------------------------------------------------------
+# doctor — one ranked diagnosis of a running fleet
+# ----------------------------------------------------------------------
+def build_doctor_parser() -> argparse.ArgumentParser:
+    """Parser of the ``doctor`` subcommand (ranked fleet diagnosis)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service doctor",
+        description=(
+            "Scrape a running fleet, evaluate its SLOs, and print a ranked diagnosis: "
+            "which shard/replica/stage is burning the error budget, what is firing, "
+            "what the control plane already did about it."
+        ),
+    )
+    parser.add_argument(
+        "--endpoints",
+        default=None,
+        help="comma-separated shard endpoints ordered by shard id (host:port or unix:/path)",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        help="cluster topology file (.json or .toml) to examine instead of --endpoints",
+    )
+    _add_client_wire_arguments(parser)
+    _add_slo_arguments(parser)
+    parser.add_argument("--timeout", type=float, default=10.0, help="per-request socket timeout (s)")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable diagnosis instead of the human summary",
+    )
+    return parser
+
+
+def doctor_main(argv: list[str]) -> int:
+    """Diagnose a running fleet; exit 1 when its health is critical.
+
+    The doctor is a fresh process, so it cannot see any long-lived
+    client's alert history — it evaluates the configured objectives
+    (``--slo``/``--slo-config``, defaulting to the stock request-latency
+    and availability pair) against the fleet's *lifetime* counters in one
+    shot: the zero-baseline burn windows make a single scrape meaningful.
+    """
+    args = build_doctor_parser().parse_args(argv)
+    objectives = _resolve_slo_objectives(args) or default_objectives()
+    client = _build_scrape_client(args, "doctor")
+    if client is None:
+        return 2
+    with client:
+        stats = client.stats_snapshot()
+    engine = SLOEngine(objectives)
+    engine.observe(stats["overall"])
+    evaluations = engine.evaluate()
+    alerter = BurnRateAlerter()
+    alerter.update(evaluations)
+    diagnosis = diagnose(stats, evaluations, alerter.firing())
+    if args.json:
+        document = {
+            "diagnosis": diagnosis,
+            "slo": {"objectives": evaluations, "alerts": alerter.snapshot()},
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_diagnosis(diagnosis))
+    return 1 if diagnosis["health"] == "critical" else 0
+
+
+# ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: dispatch to replay (default) / serve / connect / cluster.
+    """Entry point: dispatch replay (default) / serve / connect / cluster / metrics / doctor.
 
     A bare word that is not a known subcommand fails fast with the list
     of valid ones — falling through to the replay parser would turn a
@@ -690,6 +924,8 @@ def main(argv: list[str] | None = None) -> int:
             return cluster_main(argv[1:])
         if argv[0] == "metrics":
             return metrics_main(argv[1:])
+        if argv[0] == "doctor":
+            return doctor_main(argv[1:])
         if argv[0] == "replay":
             argv = argv[1:]
         else:

@@ -51,7 +51,9 @@ import time
 from typing import Callable, Iterable
 
 from ..errors import RemoteTransportError, ReplicaBehindError, ServiceOverloadedError
+from ..observability.alerts import AlertPolicy, BurnRateAlerter
 from ..observability.context import TraceContext, new_span_id
+from ..observability.slo import SLOEngine, SLOObjective
 from ..observability.spans import Span
 from ..stats import imbalance_summary, merge_raw
 from ..transport.client import RemoteShardClient
@@ -174,15 +176,33 @@ class ClusterClient(ShardedClientFacade):
         mux: bool | None = None,
         trace_sample_rate: float = 1.0,
         sample_seed: int | None = None,
+        tail_sampler=None,
+        slo_objectives: "Iterable[SLOObjective] | None" = None,
+        alert_policy: AlertPolicy | None = None,
     ) -> None:
         super().__init__(
             topology.num_shards,
             trace_sample_rate=trace_sample_rate,
             sample_seed=sample_seed,
+            tail_sampler=tail_sampler,
         )
         self.topology = topology
         self._owns_manager = manager is None
         self.manager = manager or ClusterManager(topology)
+        #: SLO plane (opt-in): objectives are evaluated over the merged
+        #: fleet counters on every ``stats_snapshot()`` call, burn-rate
+        #: alert transitions land in the fleet event log so SLO breaches
+        #: and lease revocations share one timeline.
+        objectives = tuple(slo_objectives or ())
+        self._slo_engine = (
+            SLOEngine(objectives, clock=self.manager.clock) if objectives else None
+        )
+        self._alerter = (
+            BurnRateAlerter(alert_policy, clock=self.manager.clock)
+            if objectives
+            else None
+        )
+        self._slo_lock = threading.Lock()
         self._clients = {
             endpoint: RemoteShardClient(
                 endpoint,
@@ -441,6 +461,7 @@ class ClusterClient(ShardedClientFacade):
         """Record one failed-over attempt as a ``retry`` span (traced requests)."""
         if trace is None:
             return
+        self._note_retried(trace.trace_id)
         self.tracer.add(
             "retry",
             trace,
@@ -469,6 +490,19 @@ class ClusterClient(ShardedClientFacade):
             except RemoteTransportError:
                 continue
         return spans
+
+    def pin_trace(self, trace_id: str) -> None:
+        """Fan the tail-sampling pin out to every replica of every shard.
+
+        Failover may have split a kept trace's spans across replicas, so
+        the pin covers them all; unreachable replicas are skipped — a
+        keep decision is best-effort against a degraded fleet.
+        """
+        for endpoint in self.topology.endpoints():
+            try:
+                self._clients[endpoint].pin_trace(trace_id)
+            except RemoteTransportError:
+                continue
 
     # ------------------------------------------------------------------
     # Bulk operations
@@ -692,7 +726,7 @@ class ClusterClient(ShardedClientFacade):
             "request_share": imbalance_summary(shard_submitted),
             "pair_count": imbalance_summary(pair_counts),
         }
-        return {
+        snapshot = {
             "num_shards": self.topology.num_shards,
             "num_replicas": self.topology.num_replicas,
             "overall": overall,
@@ -703,8 +737,45 @@ class ClusterClient(ShardedClientFacade):
             "unreachable": unreachable,
             "routing": self.routing_snapshot(),
             "client_wire": self.wire_snapshot(),
-            "fleet": self.manager.fleet_snapshot(),
         }
+        slo = self.slo_update(overall)
+        if slo is not None:
+            snapshot["slo"] = slo
+        # The fleet snapshot is taken *after* the SLO update so alert
+        # transitions raised by this very scrape are already in the
+        # event log — a one-shot doctor run sees its own breach.
+        snapshot["fleet"] = self.manager.fleet_snapshot()
+        if self.tail_sampler is not None:
+            snapshot["tail_sampling"] = self.tail_sampler.snapshot()
+        return snapshot
+
+    def slo_update(self, overall: dict) -> dict | None:
+        """Feed one merged snapshot through the SLO engine and alerter.
+
+        Returns the ``"slo"`` section (objective evaluations + alert
+        state) or ``None`` when no objectives are configured.  Alert
+        transitions are forwarded to the fleet event log, so a breach
+        shows up in the same timeline as the lease revocation that
+        caused it.  Serialised under a lock: the engine's history and
+        the alerter's state machine see snapshots in one order even with
+        concurrent ``stats_snapshot()`` callers.
+        """
+        if self._slo_engine is None or self._alerter is None:
+            return None
+        with self._slo_lock:
+            self._slo_engine.observe(overall)
+            evaluations = self._slo_engine.evaluate()
+            transitions = self._alerter.update(evaluations)
+            alerts = self._alerter.snapshot()
+        for event in transitions:
+            self.manager.record_external_event(
+                "slo_alert",
+                objective=event["objective"],
+                state=event["state"],
+                severity=event.get("severity"),
+                budget_remaining=event.get("budget_remaining"),
+            )
+        return {"objectives": evaluations, "alerts": alerts}
 
     def wire_snapshot(self) -> dict:
         """Client-side wire telemetry, overall and per replica endpoint."""

@@ -395,6 +395,26 @@ class ClusterManager:
         event.update(details)
         self._events.append(event)
 
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The manager's injected time source (shared by the SLO plane).
+
+        Exposed so the cluster client's SLO engine and alerter run on
+        the same clock as lease/backoff decisions — one virtual clock
+        drives the whole control plane deterministically in tests.
+        """
+        return self._clock
+
+    def record_external_event(self, kind: str, **details) -> None:
+        """Append one event from outside the probe loop (public, locking).
+
+        The SLO alerter feeds its firing/resolved transitions through
+        here so budget breaches and lease revocations land on the same
+        bounded fleet timeline (``fleet_snapshot()["events"]``).
+        """
+        with self._lock:
+            self._record_event(kind, **details)
+
     # ------------------------------------------------------------------
     # Detection
     # ------------------------------------------------------------------

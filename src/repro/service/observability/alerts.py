@@ -1,0 +1,152 @@
+"""Multi-window burn-rate alerting over SLO evaluations.
+
+The standard multiwindow policy: an objective **pages** when *both*
+windows of the fast pair (5m and 1h) burn above the page threshold — the
+long window proves it is sustained, the short window makes the alert
+resolve promptly once the burn stops — and **tickets** when both slow
+windows (30m and 6h) burn above the ticket threshold.  The default
+thresholds (14.4 / 6.0) are the textbook 28-day-budget numbers: a 14.4×
+burn spends ~2 days of budget in 2 hours.
+
+:class:`BurnRateAlerter` is deliberately dumb about delivery: it keeps
+the current firing set and a bounded, deduplicated log of
+firing/resolved *transitions* (steady state appends nothing), each with
+the burn rates and remaining budget at the moment of transition.  The
+cluster client publishes the snapshot under ``stats_snapshot()["slo"]``,
+the exporter renders it as ``repro_alert_*`` series, and transitions are
+fed into the fleet event log so SLO breaches and lease revocations share
+one timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .slo import FAST_WINDOWS, SLOW_WINDOWS, window_label
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """Burn thresholds and log bound for the multiwindow policy."""
+
+    page_burn: float = 14.4
+    ticket_burn: float = 6.0
+    capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.page_burn <= 0.0 or self.ticket_burn <= 0.0:
+            raise ValueError("burn thresholds must be positive")
+        if self.ticket_burn > self.page_burn:
+            raise ValueError(
+                f"ticket_burn ({self.ticket_burn}) must not exceed "
+                f"page_burn ({self.page_burn})"
+            )
+
+
+def _severity(policy: AlertPolicy, burn: Mapping[str, float]) -> str | None:
+    """``"page"`` / ``"ticket"`` / ``None`` from one objective's burn rates."""
+    fast_short = burn.get(window_label(FAST_WINDOWS[0]), 0.0)
+    fast_long = burn.get(window_label(FAST_WINDOWS[1]), 0.0)
+    if fast_short > policy.page_burn and fast_long > policy.page_burn:
+        return "page"
+    slow_short = burn.get(window_label(SLOW_WINDOWS[0]), 0.0)
+    slow_long = burn.get(window_label(SLOW_WINDOWS[1]), 0.0)
+    if slow_short > policy.ticket_burn and slow_long > policy.ticket_burn:
+        return "ticket"
+    return None
+
+
+class BurnRateAlerter:
+    """Firing/resolved state machine with a bounded transition log.
+
+    Not thread-safe on its own; callers serialise :meth:`update` (the
+    cluster client runs it under its stats path, which is already the
+    single writer).
+    """
+
+    def __init__(
+        self,
+        policy: AlertPolicy | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.policy = policy or AlertPolicy()
+        self._clock = clock
+        #: objective name -> severity, for currently-firing alerts only.
+        self._firing: dict[str, str] = {}
+        self._events: deque[dict] = deque(maxlen=max(self.policy.capacity, 1))
+        self._counters = {"fired": 0, "resolved": 0, "escalated": 0}
+
+    def update(self, evaluations: Mapping[str, Mapping], now: float | None = None) -> list[dict]:
+        """Apply one round of SLO evaluations; return new transition events.
+
+        *evaluations* is :meth:`SLOEngine.evaluate`'s output.  Only
+        state *changes* produce events (dedup by construction): a fresh
+        firing, a severity change (``escalated``/``downgraded``), or a
+        resolve.  Objectives that vanish from the evaluation set resolve.
+        """
+        at = self._clock() if now is None else now
+        transitions: list[dict] = []
+        for name, evaluation in evaluations.items():
+            burn = evaluation.get("burn", {})
+            severity = _severity(self.policy, burn)
+            previous = self._firing.get(name)
+            if severity == previous:
+                continue
+            event = {
+                "at": at,
+                "objective": name,
+                "burn": dict(burn),
+                "budget_remaining": evaluation.get("budget_remaining"),
+                "description": evaluation.get("description"),
+            }
+            if severity is None:
+                del self._firing[name]
+                event["state"] = "resolved"
+                event["severity"] = previous
+                self._counters["resolved"] += 1
+            else:
+                self._firing[name] = severity
+                event["severity"] = severity
+                if previous is None:
+                    event["state"] = "firing"
+                    self._counters["fired"] += 1
+                else:
+                    event["state"] = (
+                        "escalated" if severity == "page" else "downgraded"
+                    )
+                    self._counters["escalated"] += 1
+            self._events.append(event)
+            transitions.append(event)
+        for name in [name for name in self._firing if name not in evaluations]:
+            severity = self._firing.pop(name)
+            event = {
+                "at": at,
+                "objective": name,
+                "state": "resolved",
+                "severity": severity,
+                "burn": {},
+                "budget_remaining": None,
+                "description": "objective removed",
+            }
+            self._events.append(event)
+            transitions.append(event)
+            self._counters["resolved"] += 1
+        return transitions
+
+    def firing(self) -> dict[str, str]:
+        """Currently-firing alerts: ``{objective: severity}``."""
+        return dict(self._firing)
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for ``stats_snapshot()["slo"]["alerts"]``."""
+        return {
+            "firing": dict(self._firing),
+            "counters": dict(self._counters),
+            "events": [dict(event) for event in self._events],
+        }
+
+
+__all__ = ["AlertPolicy", "BurnRateAlerter"]

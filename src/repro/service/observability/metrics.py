@@ -177,6 +177,7 @@ _COUNTER_KEYS = (
     "cache_invalidations",
     "num_batches",
     "batched_requests",
+    "slow_requests",
 )
 
 _GAUGE_KEYS = (
@@ -330,7 +331,74 @@ def prometheus_text(stats: dict, namespace: str = "repro") -> str:
                 lines.append(
                     f"{metric}{_labels_text({'endpoint': endpoint})} {_format_value(bool(ok))}"
                 )
+    slo = stats.get("slo")
+    if isinstance(slo, dict):
+        lines.extend(_slo_lines(slo, namespace))
+    tail = stats.get("tail_sampling")
+    if isinstance(tail, dict) and isinstance(tail.get("counters"), dict):
+        metric = f"{namespace}_tail_sampling_total"
+        lines.append(f"# TYPE {metric} counter")
+        for key, value in sorted(tail["counters"].items()):
+            lines.append(
+                f"{metric}{_labels_text({'outcome': key})} {_format_value(value)}"
+            )
     return "\n".join(lines) + "\n"
+
+
+def _slo_lines(slo: dict, namespace: str) -> list[str]:
+    """``{namespace}_slo_*`` / ``{namespace}_alert_*`` series for one snapshot.
+
+    Renders the ``"slo"`` section the cluster client publishes:
+    per-objective burn rates (labelled by window), remaining error
+    budget, bad fraction, the firing set, and the alerter's lifetime
+    transition counters.
+    """
+    lines: list[str] = []
+    objectives = slo.get("objectives")
+    if isinstance(objectives, dict) and objectives:
+        burn_metric = f"{namespace}_slo_burn_rate"
+        lines.append(f"# TYPE {burn_metric} gauge")
+        for name, evaluation in sorted(objectives.items()):
+            if not isinstance(evaluation, dict):
+                continue
+            for window, rate in sorted(evaluation.get("burn", {}).items()):
+                lines.append(
+                    f"{burn_metric}{_labels_text({'objective': name, 'window': window})} "
+                    f"{_format_value(rate)}"
+                )
+        for key, metric_suffix in (
+            ("budget_remaining", "slo_error_budget_remaining"),
+            ("bad_fraction", "slo_bad_fraction"),
+            ("target", "slo_target"),
+        ):
+            metric = f"{namespace}_{metric_suffix}"
+            lines.append(f"# TYPE {metric} gauge")
+            for name, evaluation in sorted(objectives.items()):
+                if isinstance(evaluation, dict) and key in evaluation:
+                    lines.append(
+                        f"{metric}{_labels_text({'objective': name})} "
+                        f"{_format_value(evaluation[key])}"
+                    )
+    alerts = slo.get("alerts")
+    if isinstance(alerts, dict):
+        firing = alerts.get("firing")
+        if isinstance(firing, dict) and isinstance(objectives, dict):
+            metric = f"{namespace}_alert_firing"
+            lines.append(f"# TYPE {metric} gauge")
+            for name in sorted(objectives):
+                lines.append(
+                    f"{metric}{_labels_text({'objective': name})} "
+                    f"{_format_value(name in firing)}"
+                )
+        counters = alerts.get("counters")
+        if isinstance(counters, dict):
+            metric = f"{namespace}_alert_transitions_total"
+            lines.append(f"# TYPE {metric} counter")
+            for key, value in sorted(counters.items()):
+                lines.append(
+                    f"{metric}{_labels_text({'transition': key})} {_format_value(value)}"
+                )
+    return lines
 
 
 __all__ = [

@@ -80,10 +80,16 @@ class SpanRecorder:
     ``ServiceConfig(trace_buffer=0)`` turns tracing off serverside.
     """
 
-    def __init__(self, capacity: int = 2048) -> None:
+    def __init__(self, capacity: int = 2048, max_pinned: int = 64) -> None:
         self.capacity = capacity
+        self.max_pinned = max_pinned
         self._lock = threading.Lock()
         self._spans: deque[Span] = deque(maxlen=max(capacity, 1))
+        #: trace_id -> pinned spans, insertion-ordered (oldest pin evicted
+        #: first when over ``max_pinned`` traces).  Tail sampling promotes
+        #: kept traces here so ring churn cannot evict them (see
+        #: observability/tailsample.py).
+        self._pinned: dict[str, list[Span]] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -95,6 +101,50 @@ class SpanRecorder:
             return
         with self._lock:
             self._spans.append(span)
+            pinned = self._pinned.get(span.trace_id)
+            if pinned is not None:
+                pinned.append(span)
+
+    def pin(self, trace_id: str) -> int:
+        """Pin *trace_id*'s spans against ring eviction; return spans held.
+
+        Copies the trace's current ring spans into a bounded pinned side
+        table and marks the id so spans recorded later (e.g. a server
+        stage that finishes after the client's keep decision) are pinned
+        too.  Over ``max_pinned`` traces, the oldest pin is evicted —
+        the table is a tail-sampling keep buffer, not an archive.
+        Idempotent; a capacity-0 recorder ignores pins.
+        """
+        if self.capacity <= 0:
+            return 0
+        with self._lock:
+            pinned = self._pinned.get(trace_id)
+            if pinned is None:
+                pinned = self._pinned[trace_id] = [
+                    span for span in self._spans if span.trace_id == trace_id
+                ]
+                while len(self._pinned) > max(self.max_pinned, 1):
+                    self._pinned.pop(next(iter(self._pinned)))
+            return len(pinned)
+
+    def pinned_traces(self) -> list[str]:
+        """Currently pinned trace ids, oldest pin first."""
+        with self._lock:
+            return list(self._pinned)
+
+    def discard(self, trace_id: str) -> None:
+        """Drop every span of *trace_id* (ring and pin table).
+
+        The tail sampler's drop path: a pending trace that completed
+        fast and clean is removed immediately instead of waiting for
+        ring churn to push it out.
+        """
+        with self._lock:
+            self._pinned.pop(trace_id, None)
+            if any(span.trace_id == trace_id for span in self._spans):
+                kept = [span for span in self._spans if span.trace_id != trace_id]
+                self._spans.clear()
+                self._spans.extend(kept)
 
     def add(
         self,
@@ -133,17 +183,26 @@ class SpanRecorder:
         return span
 
     def spans(self, trace_id: str | None = None) -> list[Span]:
-        """Copy of the ring, optionally filtered to one trace."""
+        """Copy of the ring plus pinned spans, optionally one trace.
+
+        Pinned spans that have aged out of the ring are still returned;
+        duplicates (pinned *and* still in the ring) are collapsed by
+        span identity.
+        """
         with self._lock:
             items = list(self._spans)
+            seen = set(map(id, items))
+            for pinned in self._pinned.values():
+                items.extend(span for span in pinned if id(span) not in seen)
         if trace_id is None:
             return items
         return [span for span in items if span.trace_id == trace_id]
 
     def clear(self) -> None:
-        """Drop every recorded span."""
+        """Drop every recorded span (pins included)."""
         with self._lock:
             self._spans.clear()
+            self._pinned.clear()
 
 
 class SlowRequestLog:
@@ -220,18 +279,32 @@ class ServiceTracer:
 def stitch_trace(spans: list[Span], trace_id: str | None = None) -> dict:
     """Assemble spans (possibly from many processes) into one timeline.
 
-    Returns ``{"trace_id", "total_ms", "stage_totals_ms", "spans"}``:
-    spans sorted by wall-clock start with an ``offset_ms`` relative to
-    the earliest one, per-stage duration sums, and ``total_ms`` — the
-    root span's duration when a parentless span (the client's
-    ``client_send``) is present, otherwise the observed wall-clock
-    extent.  Stage sums exclude the root span itself, since it envelopes
-    the others.
+    Returns ``{"trace_id", "total_ms", "stage_totals_ms", "spans",
+    "missing_spans", "complete"}``: spans sorted by wall-clock start
+    with an ``offset_ms`` relative to the earliest one, per-stage
+    duration sums, and ``total_ms`` — the root span's duration when a
+    parentless span (the client's ``client_send``) is present, otherwise
+    the observed wall-clock extent.  Stage sums exclude the root span
+    itself, since it envelopes the others.
+
+    Span rings are bounded, so a busy server can evict part of a trace
+    before the ``trace`` op pulls it.  Rather than present a
+    misleadingly complete timeline, the stitch reports the gap:
+    ``missing_spans`` lists parent span ids that are referenced but
+    absent from the collected set, and ``complete`` is ``False`` when
+    any are (or when no root span was found at all).
     """
     if trace_id is not None:
         spans = [span for span in spans if span.trace_id == trace_id]
     if not spans:
-        return {"trace_id": trace_id, "total_ms": 0.0, "stage_totals_ms": {}, "spans": []}
+        return {
+            "trace_id": trace_id,
+            "total_ms": 0.0,
+            "stage_totals_ms": {},
+            "spans": [],
+            "missing_spans": [],
+            "complete": True,
+        }
     spans = sorted(spans, key=lambda span: (span.start, span.name))
     origin = spans[0].start
     root = next((span for span in spans if span.parent_span_id is None), None)
@@ -239,6 +312,14 @@ def stitch_trace(spans: list[Span], trace_id: str | None = None) -> dict:
         total_ms = root.duration_ms
     else:
         total_ms = max((span.start - origin) * 1000.0 + span.duration_ms for span in spans)
+    present = {span.span_id for span in spans}
+    missing = sorted(
+        {
+            span.parent_span_id
+            for span in spans
+            if span.parent_span_id is not None and span.parent_span_id not in present
+        }
+    )
     stage_totals: dict[str, float] = {}
     rows = []
     for span in spans:
@@ -250,6 +331,8 @@ def stitch_trace(spans: list[Span], trace_id: str | None = None) -> dict:
         "total_ms": total_ms,
         "stage_totals_ms": stage_totals,
         "spans": rows,
+        "missing_spans": missing,
+        "complete": not missing and root is not None,
     }
 
 

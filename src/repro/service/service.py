@@ -87,6 +87,7 @@ from .errors import (
 )
 from .observability.context import TraceContext, new_span_id, new_trace
 from .observability.spans import ServiceTracer, Span, SpanRecorder, stitch_trace
+from .observability.tailsample import TailDecision, TailSampler
 from .stats import ServiceStats
 from .worker import MicroBatchWorkerPool, WorkerPool
 
@@ -369,6 +370,7 @@ class ExplanationService:
             future: Future = Future()
             future.set_result(self._present(kind, value))
             self.stats.record_completed(0.0)
+            self.stats.record_request(kind, lookup_seconds)
             return future
         deadline_ms = deadline_ms if deadline_ms is not None else self.config.default_deadline_ms
         request = ServiceRequest(
@@ -399,6 +401,7 @@ class ExplanationService:
         now = time.monotonic()
         latency = now - request.enqueued_at
         self.stats.record_completed(latency)
+        self.stats.record_request(request.kind, latency)
         # Stages and spans are recorded *before* the future resolves so a
         # caller that sees the result and immediately pulls the trace is
         # guaranteed to find the request's stage spans.
@@ -450,6 +453,7 @@ class ExplanationService:
                 cursor -= seconds
         slow = self.tracer.slow_log
         if slow is not None and latency * 1000.0 >= slow.threshold_ms:
+            self.stats.record_slow_request()
             slow.record(
                 request.kind,
                 request.pair,
@@ -742,6 +746,7 @@ class ExEAClient:
         service: ExplanationService,
         trace_sample_rate: float | None = None,
         sample_seed: int | None = None,
+        tail_sampler: TailSampler | None = None,
     ) -> None:
         self.service = service
         #: head-based sampling rate of ``traced()``; defaults to the
@@ -752,6 +757,11 @@ class ExEAClient:
             raise ValueError("trace_sample_rate must be within [0, 1]")
         self._trace_sample_rate = trace_sample_rate
         self._sample_random = random.Random(sample_seed)
+        #: tail-based sampling: when set, it replaces the head-based
+        #: rate — ``traced()`` traces the sampler's fraction of requests
+        #: as *pending* and keeps/drops at completion (slow, errored,
+        #: retried, or baseline).  Never affects results.
+        self.tail_sampler = tail_sampler
         #: client-side span ring: one ``client_send`` span per traced call
         self.tracer = SpanRecorder(512)
 
@@ -777,18 +787,70 @@ class ExEAClient:
         records the enveloping ``client_send`` span — submit to result —
         into this client's ring.  Feed the context's ``trace_id`` to
         :meth:`trace_timeline` for the stitched per-request view.
+
+        With a :class:`TailSampler` attached, the sampled fraction is the
+        sampler's and the keep/drop decision moves to completion: slow,
+        errored or retried requests are kept (and their spans pinned in
+        every ring), fast clean ones are dropped on the spot bar the
+        configured baseline fraction.
         """
-        trace = new_trace(sampled=self._sample())
+        sampler = self.tail_sampler
+        sampled = sampler.begin() if sampler is not None else self._sample()
+        trace = new_trace(sampled=sampled)
         started = time.perf_counter()
-        value = self.service.submit(kind, source, target, trace=trace).result(timeout)
+        try:
+            value = self.service.submit(kind, source, target, trace=trace).result(timeout)
+        except BaseException:
+            if trace.sampled:
+                self.tracer.add(
+                    "client_send",
+                    trace,
+                    time.perf_counter() - started,
+                    attrs={"kind": kind, "source": source, "target": target, "error": True},
+                )
+                if sampler is not None:
+                    self._tail_complete(
+                        sampler, trace, (time.perf_counter() - started) * 1000.0, errored=True
+                    )
+            raise
+        elapsed = time.perf_counter() - started
         if trace.sampled:
             self.tracer.add(
                 "client_send",
                 trace,
-                time.perf_counter() - started,
+                elapsed,
                 attrs={"kind": kind, "source": source, "target": target},
             )
+            if sampler is not None:
+                self._tail_complete(sampler, trace, elapsed * 1000.0, errored=False)
         return value, trace
+
+    def _tail_complete(
+        self,
+        sampler: TailSampler,
+        trace: TraceContext,
+        latency_ms: float,
+        errored: bool,
+    ) -> TailDecision:
+        """Apply the tail keep/drop decision for one completed pending trace.
+
+        In-process requests never fail over, so ``retried`` is always
+        False here (the remote facades track failovers explicitly).
+        Dropped traces are NOT purged eagerly — the span ring is the
+        pending buffer and eviction recycles them for free; an O(ring)
+        rebuild per fast request would dwarf the request itself.
+        """
+        decision = sampler.complete(
+            trace.trace_id, latency_ms, errored=errored, retried=False
+        )
+        if decision.keep:
+            self._pin_trace(trace.trace_id)
+        return decision
+
+    def _pin_trace(self, trace_id: str) -> None:
+        """Pin a kept trace's spans against ring eviction, everywhere we can."""
+        self.tracer.pin(trace_id)
+        self.service.tracer.recorder.pin(trace_id)
 
     def trace_timeline(self, trace_id: str) -> dict:
         """Stitched timeline of one trace: client spans + the service's spans."""

@@ -126,6 +126,10 @@ class ServiceStats:
         self.num_batches = 0
         self.batched_requests = 0
         self.max_batch_size = 0
+        #: completions slow enough for the slow-request log (PR-10): a
+        #: cumulative counter, unlike the bounded log itself, so it
+        #: merges fleet-wide and survives ring eviction.
+        self.slow_requests = 0
         #: operation kind -> cache hits / misses attributed to that kind
         self.hits_by_kind: dict[str, int] = {}
         self.misses_by_kind: dict[str, int] = {}
@@ -234,6 +238,24 @@ class ServiceStats:
         """
         self.stages.observe(stage, seconds)
 
+    def record_request(self, kind: str, seconds: float) -> None:
+        """Record one whole-request latency histogram sample.
+
+        Lands in the ``request`` histogram plus a per-operation
+        ``request.<kind>`` histogram — the fixed-ladder, exactly
+        fleet-mergeable latency distribution the SLO engine evaluates
+        per-operation objectives against (the flat reservoir behind
+        ``p95_ms`` cannot be merged exactly and keeps only recent
+        samples).
+        """
+        self.stages.observe("request", seconds)
+        self.stages.observe(f"request.{kind}", seconds)
+
+    def record_slow_request(self) -> None:
+        """Count one completion over the slow-request threshold."""
+        with self._lock:
+            self.slow_requests += 1
+
     # ------------------------------------------------------------------
     def _raw(self) -> tuple[dict, list[float]]:
         """Copy of the raw counters and latency samples (caller gets fresh objects)."""
@@ -251,6 +273,7 @@ class ServiceStats:
                 "num_batches": self.num_batches,
                 "batched_requests": self.batched_requests,
                 "max_batch_size": self.max_batch_size,
+                "slow_requests": self.slow_requests,
                 "hits_by_kind": dict(self.hits_by_kind),
                 "misses_by_kind": dict(self.misses_by_kind),
                 "invalidation": dict(self.invalidation),

@@ -465,6 +465,25 @@ class RemoteShardClient:
                 spans.append(span)
         return spans
 
+    def pin_trace(self, trace_id: str) -> int:
+        """Pin one trace's spans in the server's ring (tail-sampling keep).
+
+        Rides the ``trace`` op with ``pin: true``: a pinning server
+        moves the spans out of eviction reach and reports how many it
+        holds; an older server ignores the unknown key and answers a
+        plain pull (``pinned`` absent → 0).  Peers without tracing at
+        all return 0 — pinning is best-effort by design.
+        """
+        payload = {"op": OP_TRACE, "trace_id": trace_id, "pin": True}
+        try:
+            response = self.call(payload)
+        except (ValueError, RemoteOperationError):
+            return 0
+        try:
+            return int(response.get("pinned", 0))
+        except (TypeError, ValueError):
+            return 0
+
 
 class RemoteShardedClient(ShardedClientFacade):
     """The `ExEAClient` facade spoken to a cluster of shard processes.
@@ -487,6 +506,7 @@ class RemoteShardedClient(ShardedClientFacade):
         mux: bool | None = None,
         trace_sample_rate: float = 1.0,
         sample_seed: int | None = None,
+        tail_sampler=None,
     ) -> None:
         if not endpoints:
             raise ValueError("at least one shard endpoint is required")
@@ -494,6 +514,7 @@ class RemoteShardedClient(ShardedClientFacade):
             len(endpoints),
             trace_sample_rate=trace_sample_rate,
             sample_seed=sample_seed,
+            tail_sampler=tail_sampler,
         )
         self.endpoints = list(endpoints)
         self.shards = [
@@ -622,6 +643,16 @@ class RemoteShardedClient(ShardedClientFacade):
             spans.extend(shard.trace_spans(trace_id))
         return spans
 
+    def pin_trace(self, trace_id: str) -> None:
+        """Fan the tail-sampling pin out to every shard server.
+
+        Only the shard that served the request holds spans, but pinning
+        is idempotent and a pin of an absent trace marks the id so later
+        spans stick — simpler and safer than guessing routing here.
+        """
+        for shard in self.shards:
+            shard.pin_trace(trace_id)
+
     def wire_snapshot(self) -> dict:
         """Client-side wire telemetry, overall and per shard endpoint."""
         per_shard = {shard.endpoint: shard.wire_counters.raw() for shard in self.shards}
@@ -657,6 +688,11 @@ class RemoteShardedClient(ShardedClientFacade):
                 for entry in payload.get("slow_requests", [])
             ],
             "client_wire": self.wire_snapshot(),
+            **(
+                {"tail_sampling": self.tail_sampler.snapshot()}
+                if self.tail_sampler is not None
+                else {}
+            ),
         }
 
     def shutdown_servers(self) -> None:

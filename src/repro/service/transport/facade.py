@@ -29,6 +29,7 @@ policies are built from the same two questions:
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Callable
 
@@ -36,6 +37,7 @@ from ...datasets import shard_workload
 from ..errors import RemoteTransportError
 from ..observability.context import TraceContext, new_trace
 from ..observability.spans import Span, SpanRecorder, stitch_trace
+from ..observability.tailsample import TailSampler
 from ..service import _fan_out
 from ..sharding import ShardRouter
 from .framing import ConnectionClosedError, FrameTimeoutError, ProtocolError
@@ -133,6 +135,7 @@ class ShardedClientFacade:
         trace_buffer: int = 512,
         trace_sample_rate: float = 1.0,
         sample_seed: int | None = None,
+        tail_sampler: TailSampler | None = None,
     ) -> None:
         self.router = ShardRouter(num_shards)
         #: client-side span ring: ``client_send`` envelopes and (for the
@@ -145,6 +148,19 @@ class ShardedClientFacade:
         #: context, so a trace is recorded everywhere or nowhere
         self.trace_sample_rate = trace_sample_rate
         self._sample_random = random.Random(sample_seed)
+        #: tail-based sampling: when set, it replaces the head-based
+        #: rate for :meth:`traced` — the sampler's fraction of requests
+        #: is traced as *pending* and kept only when slow / errored /
+        #: retried (or on the baseline rotation); kept traces are pinned
+        #: locally and on every serving process via the ``trace`` op's
+        #: ``pin`` flag.  Never affects request results.
+        self.tail_sampler = tail_sampler
+        #: trace ids that failed over at least once, noted by the
+        #: concrete client's retry path — an O(1) lookup for the tail
+        #: sampler's "retried" keep reason (scanning the span ring per
+        #: completion would cost O(ring) on every fast request)
+        self._retried_traces: dict[str, bool] = {}
+        self._retried_lock = threading.Lock()
 
     def _sample(self) -> bool:
         """One head-based sampling decision (1.0 and 0.0 skip the RNG)."""
@@ -214,20 +230,85 @@ class ShardedClientFacade:
         context (no wire bytes, no server spans, no client span) and
         returns a context whose ``sampled`` flag is false, so callers can
         tell an empty timeline from a dropped one.
+
+        With a :class:`TailSampler` attached the decision moves to
+        completion: the sampler's fraction of requests is traced as
+        pending, then kept (pinned fleet-wide) only when the request
+        turned out slow, errored, or failed over — plus the configured
+        baseline fraction of fast clean ones.
         """
-        trace = new_trace(sampled=self._sample())
+        sampler = self.tail_sampler
+        sampled = sampler.begin() if sampler is not None else self._sample()
+        trace = new_trace(sampled=sampled)
         started = time.perf_counter()
-        value = self._single(
-            kind, source, target, timeout, None, trace=trace if trace.sampled else None
-        )
+        try:
+            value = self._single(
+                kind, source, target, timeout, None, trace=trace if trace.sampled else None
+            )
+        except BaseException:
+            if trace.sampled:
+                self.tracer.add(
+                    "client_send",
+                    trace,
+                    time.perf_counter() - started,
+                    attrs={"kind": kind, "source": source, "target": target, "error": True},
+                )
+                if sampler is not None:
+                    self._tail_complete(
+                        sampler, trace, (time.perf_counter() - started) * 1000.0, errored=True
+                    )
+            raise
+        elapsed = time.perf_counter() - started
         if trace.sampled:
             self.tracer.add(
                 "client_send",
                 trace,
-                time.perf_counter() - started,
+                elapsed,
                 attrs={"kind": kind, "source": source, "target": target},
             )
+            if sampler is not None:
+                self._tail_complete(sampler, trace, elapsed * 1000.0, errored=False)
         return value, trace
+
+    def _note_retried(self, trace_id: str) -> None:
+        """Record that *trace_id* failed over (a tail-sampling keep reason)."""
+        with self._retried_lock:
+            retried = self._retried_traces
+            retried[trace_id] = True
+            while len(retried) > 1024:
+                del retried[next(iter(retried))]
+
+    def _tail_complete(
+        self,
+        sampler: TailSampler,
+        trace: TraceContext,
+        latency_ms: float,
+        errored: bool,
+    ) -> None:
+        """Keep-or-drop one completed pending trace (tail sampling).
+
+        Dropped traces are NOT purged from the ring eagerly — the ring is
+        the pending buffer and eviction recycles them for free, whereas a
+        per-request O(ring) rebuild would dominate fast requests.
+        """
+        with self._retried_lock:
+            retried = self._retried_traces.pop(trace.trace_id, False)
+        decision = sampler.complete(
+            trace.trace_id, latency_ms, errored=errored, retried=retried
+        )
+        if decision.keep:
+            self.tracer.pin(trace.trace_id)
+            self.pin_trace(trace.trace_id)
+
+    def pin_trace(self, trace_id: str) -> None:
+        """Ask every serving process to pin *trace_id* against ring eviction.
+
+        Subclasses fan the ``trace`` wire op out with ``pin: true``;
+        peers that predate pinning treat it as a plain trace pull (the
+        unknown key is ignored), so a kept trace is merely best-effort
+        on a mixed-version fleet.  The base class is a no-op so local
+        facades without a remote side still work.
+        """
 
     def trace_spans(self, trace_id: str | None = None) -> "list[Span]":
         """Spans pulled from every serving process (the ``trace`` wire op).

@@ -529,6 +529,9 @@ class ShardServer:
             "wires": list(self.wires),
             "mux": self.mux,
             "trace": self.trace,
+            # Tail-sampling keep fan-out: this server honours the
+            # ``pin`` flag on the trace op (rides the trace capability).
+            "pin": self.trace,
             "mutate": self.mutate,
             "mutation_seq": self._mutation_seq,
             "dataset": self.service.dataset.name,
@@ -662,13 +665,25 @@ class ShardServer:
         return {"results": slots}
 
     def _trace_payload(self, request: dict) -> dict:
-        """This process's span ring, optionally filtered to one trace id."""
+        """This process's span ring, optionally filtered to one trace id.
+
+        ``pin: true`` (with a ``trace_id``) additionally pins that
+        trace's spans against ring eviction — the tail sampler's
+        promote-to-keep fan-out.  Pre-pinning servers simply ignored the
+        unknown key and answered the plain pull, which is why the flag
+        rides the existing op instead of a new one (version-skew safe).
+        """
         trace_id = request.get("trace_id")
-        spans = self.service.trace_spans(trace_id if isinstance(trace_id, str) else None)
+        trace_id = trace_id if isinstance(trace_id, str) else None
+        pinned = 0
+        if request.get("pin") and trace_id is not None:
+            pinned = self.service.tracer.recorder.pin(trace_id)
+        spans = self.service.trace_spans(trace_id)
         return {
             "shard_id": self.shard_id,
             "pid": os.getpid(),
             "spans": [span.to_wire() for span in spans],
+            "pinned": pinned,
         }
 
     def _stats_payload(self) -> dict:

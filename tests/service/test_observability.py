@@ -260,6 +260,7 @@ class TestSpanRecorder:
         timeline = stitch_trace([], "nope")
         assert timeline == {
             "trace_id": "nope", "total_ms": 0.0, "stage_totals_ms": {}, "spans": [],
+            "missing_spans": [], "complete": True,
         }
 
 
